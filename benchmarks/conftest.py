@@ -1,0 +1,35 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's exhibits (a table or a
+figure) and *prints* the reproduced rows/series next to the paper's
+values, in addition to timing a representative unit of work through
+pytest-benchmark.  The printed exhibits are also appended to
+``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to watch the
+exhibits stream by).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_exhibit(results_dir):
+    """Print an exhibit and persist it under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,62 @@
+"""Ablation: energy per access across engine configurations.
+
+Quantifies the paper's efficiency remark (§4.1: reducing re-encryption
+"results in better energy efficiency"; §3.1: MAC-in-ECC removes a DRAM
+transaction per miss).  DRAM transaction energy dominates, so the
+configuration ordering follows the traffic ordering of Figure 8.
+"""
+
+import pytest
+
+from repro.analysis.energy import measure_backend_energy
+from repro.core.engine.config import preset
+from repro.core.engine.timing import EncryptionTimingBackend
+from repro.harness.charts import bar_chart
+from repro.memsim.cpu.system import TraceDrivenSystem
+from repro.workloads.parsec import profile
+
+REGION = 32 * 1024 * 1024
+CONFIGS = ("bmt_baseline", "mac_in_ecc", "delta_only", "combined")
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    traces = profile("canneal").traces(15_000, REGION // 64, cores=4, seed=2)
+    out = {}
+    for name in CONFIGS:
+        backend = EncryptionTimingBackend(preset(name, protected_bytes=REGION))
+        result = TraceDrivenSystem(backend).run([list(t) for t in traces])
+        out[name] = (
+            measure_backend_energy(name, backend),
+            backend.stats.demand_reads + backend.stats.demand_writes,
+        )
+    return out
+
+
+def test_energy_per_access(benchmark, breakdowns, record_exhibit):
+    per_access = {
+        name: breakdown.per_access_nj(accesses)
+        for name, (breakdown, accesses) in breakdowns.items()
+    }
+    chart = bar_chart(
+        "Energy ablation -- nJ per demand access (canneal)",
+        per_access,
+        value_format="{:.2f} nJ",
+    )
+    detail = "\n".join(
+        f"{name}: dram={b.dram_pj / 1e6:.2f}uJ crypto={b.crypto_pj / 1e6:.2f}uJ "
+        f"reenc={b.reencryption_pj / 1e6:.3f}uJ"
+        for name, (b, _) in breakdowns.items()
+    )
+    record_exhibit("ablation_energy", chart + "\n\n" + detail)
+
+    # Every optimization reduces energy; combined is the cheapest.
+    assert per_access["mac_in_ecc"] < per_access["bmt_baseline"]
+    assert per_access["delta_only"] < per_access["bmt_baseline"]
+    assert per_access["combined"] == min(per_access.values())
+
+    benchmark(
+        measure_backend_energy,
+        "combined",
+        EncryptionTimingBackend(preset("combined", protected_bytes=REGION)),
+    )

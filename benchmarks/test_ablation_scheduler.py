@@ -1,0 +1,88 @@
+"""Ablation: memory-controller scheduling policy under metadata traffic.
+
+The paper's numbers come from DRAMSim2, whose controller schedules
+FR-FCFS.  Our fast timing path services in arrival order (FCFS).  This
+bench quantifies how much the policy matters for exactly the traffic mix
+the paper studies: demand reads interleaved with encryption-metadata
+fetches to *other rows of the same banks* -- the pattern that gives a
+reordering scheduler something to exploit.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.memsim.dram.controller import FrFcfsController, Request
+from repro.memsim.dram.system import AddressMapping, DramSystem
+
+
+def _metadata_interleaved_trace(requests_count=600):
+    """Demand stream + counter-block stream, strictly interleaved.
+
+    Demand reads sweep sequential blocks; every demand read is followed
+    by its counter-block fetch, which lands in a distant row of the same
+    channel group (as the real metadata region does).
+    """
+    mapping = AddressMapping()
+    span = mapping.channels * mapping.row_bytes * mapping.banks_per_channel
+    metadata_base = 64 * span  # far away: different rows, same banks
+    out = []
+    cycle = 0
+    for i in range(requests_count // 2):
+        out.append(Request(cycle, i * 64))
+        out.append(Request(cycle + 1, metadata_base + (i // 8) * 64))
+        cycle += 6  # tight enough that queues form
+    return out
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return _metadata_interleaved_trace()
+
+
+def test_scheduler_ablation(benchmark, traffic, record_exhibit):
+    frfcfs = FrFcfsController()
+    serviced = frfcfs.replay(list(traffic))
+
+    fcfs = DramSystem()
+    fcfs_latency = []
+    for request in traffic:
+        fcfs_latency.append(fcfs.access(request.arrival, request.address))
+
+    rows = [
+        [
+            "FCFS (fast path)",
+            round(fcfs.stats.row_hit_rate, 3),
+            round(sum(fcfs_latency) / len(fcfs_latency), 1),
+            "-",
+        ],
+        [
+            "FR-FCFS (queue model)",
+            round(frfcfs.stats.row_hit_rate, 3),
+            round(
+                sum(s.latency for s in serviced) / len(serviced), 1
+            ),
+            frfcfs.stats.reordered,
+        ],
+    ]
+    table = format_table(
+        "Scheduler ablation -- demand + metadata interleaved streams",
+        ["policy", "row-hit rate", "mean latency (cyc)", "reorders"],
+        rows,
+    )
+    table += (
+        "\n\nReading: FR-FCFS recovers row locality the metadata "
+        "interleaving destroys under FCFS.  The timing experiments use "
+        "the FCFS fast path for speed; this bounds what the richer "
+        "policy would change."
+    )
+    record_exhibit("ablation_scheduler", table)
+
+    assert frfcfs.stats.row_hit_rate >= fcfs.stats.row_hit_rate
+    assert frfcfs.stats.reordered > 0  # the policy actually engaged
+    assert len(serviced) == len(traffic)
+
+    benchmark.pedantic(
+        lambda: FrFcfsController().replay(list(traffic)),
+        rounds=3,
+        iterations=1,
+    )

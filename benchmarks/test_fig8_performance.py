@@ -1,0 +1,98 @@
+"""Figure 8: normalized IPC of authenticated memory encryption, Bonsai
+Merkle tree baseline vs the paper's storage-optimized configurations.
+
+Paper claims this bench checks (the *shape*):
+
+* every optimization is an improvement over the BMT baseline
+  (MAC-in-ECC avg ~3%, up to ~15%; combined 1%-28%, avg ~5% over the
+  shown apps);
+* canneal -- the most memory-bound app -- benefits the most;
+* memory-light apps see the smallest gains (the paper drops
+  bodytrack/vips/blackscholes/swaptions from the figure entirely for
+  having no measurable impact).
+
+Absolute improvement factors run larger than the paper's (our synthetic
+traces are more DRAM-bound per instruction than sim-med PARSEC on the
+authors' testbed); the ordering and sign of every effect is asserted.
+"""
+
+import pytest
+
+from repro.harness.charts import grouped_bar_chart
+from repro.harness.reporting import format_table
+from repro.harness.runner import PerformanceExperiment
+from repro.workloads.parsec import figure8_apps
+
+ACCESSES_PER_CORE = 60_000
+
+
+@pytest.fixture(scope="module")
+def runs():
+    experiment = PerformanceExperiment(accesses_per_core=ACCESSES_PER_CORE)
+    return {run.app: run for run in experiment.run(figure8_apps())}
+
+
+def test_figure8_normalized_ipc(benchmark, runs, record_exhibit):
+    table_rows = []
+    for app in figure8_apps():
+        run = runs[app]
+        normalized = run.normalized()
+        table_rows.append(
+            [
+                app,
+                round(run.plain_ipc, 3),
+                round(normalized["bmt_baseline"], 3),
+                round(normalized["mac_in_ecc"], 3),
+                round(normalized["delta_only"], 3),
+                round(normalized["combined"], 3),
+                f"{run.improvement_over_baseline() * 100:+.1f}%",
+            ]
+        )
+    table = format_table(
+        "Figure 8 -- IPC normalized to no encryption "
+        "(4 cores, 128 MB protected region)",
+        ["program", "plain IPC", "bmt", "mac_ecc", "delta", "combined",
+         "combined vs bmt"],
+        table_rows,
+    )
+    chart = grouped_bar_chart(
+        "Figure 8 -- normalized IPC (bars)",
+        {
+            app: {
+                "bmt_baseline": runs[app].normalized()["bmt_baseline"],
+                "mac_in_ecc": runs[app].normalized()["mac_in_ecc"],
+                "delta_only": runs[app].normalized()["delta_only"],
+                "combined": runs[app].normalized()["combined"],
+            }
+            for app in figure8_apps()
+        },
+        maximum=1.0,
+    )
+    record_exhibit("figure8_performance", table + "\n\n" + chart)
+
+    improvements = {}
+    for app, run in runs.items():
+        normalized = run.normalized()
+        # Encryption costs something; optimizations claw it back.
+        assert normalized["bmt_baseline"] < 1.0, app
+        assert run.ipc["mac_in_ecc"] > run.ipc["bmt_baseline"], app
+        assert run.ipc["delta_only"] > run.ipc["bmt_baseline"], app
+        assert run.ipc["combined"] >= run.ipc["mac_in_ecc"], app
+        assert run.ipc["combined"] >= run.ipc["delta_only"], app
+        improvements[app] = run.improvement_over_baseline()
+
+    # canneal (most memory-bound) benefits the most -- the paper's ~28%.
+    assert improvements["canneal"] == max(improvements.values())
+    # Every shown app improves measurably (paper: 1%-28%).
+    assert all(value > 0.01 for value in improvements.values())
+    # The average improvement is positive and non-trivial (paper: ~5%
+    # over the whole suite, more over the shown subset).
+    mean_improvement = sum(improvements.values()) / len(improvements)
+    assert mean_improvement > 0.03
+
+    small = PerformanceExperiment(
+        region_bytes=8 * 1024 * 1024, accesses_per_core=4_000
+    )
+    benchmark.pedantic(
+        small.run_app, args=("dedup",), rounds=2, iterations=1
+    )

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Counter representations head-to-head on three write patterns.
+
+Drives the four counter schemes with the three canonical write shapes
+from the paper's Section 4 discussion and prints how often each one is
+forced to re-encrypt a block-group:
+
+* lock-step streaming (dedup-like)    -- delta resets win outright;
+* isolated hot block (canneal-like)   -- delta == split, widening helps;
+* straddling hot pair (facesim-like)  -- dual-length's worst case.
+
+Run:  python examples/counter_scheme_comparison.py
+"""
+
+from repro.core.counters import make_scheme
+from repro.harness.reporting import format_table
+
+BLOCKS = 256  # 4 block-groups
+LAPS = 2000
+
+
+def lockstep_stream(scheme):
+    for _ in range(LAPS // 4):
+        for block in range(BLOCKS):
+            scheme.on_write(block)
+
+
+def isolated_hot_block(scheme):
+    for _ in range(LAPS * 8):
+        scheme.on_write(37)  # lone hot block, neighbours never written
+
+
+def straddling_hot_pair(scheme):
+    for _ in range(LAPS * 4):
+        scheme.on_write(0)  # delta-group 0 of block-group 0
+        scheme.on_write(16)  # delta-group 1 of the same block-group
+
+
+WORKLOADS = {
+    "lock-step stream": lockstep_stream,
+    "isolated hot block": isolated_hot_block,
+    "straddling hot pair": straddling_hot_pair,
+}
+
+SCHEMES = ("monolithic", "split", "delta", "dual_length")
+
+
+def main() -> None:
+    rows = []
+    for workload_name, driver in WORKLOADS.items():
+        for scheme_name in SCHEMES:
+            scheme = make_scheme(scheme_name, BLOCKS)
+            driver(scheme)
+            stats = scheme.stats
+            rows.append(
+                [
+                    f"{workload_name} / {scheme_name}",
+                    stats.re_encryptions,
+                    stats.resets,
+                    stats.re_encodes,
+                    stats.widens,
+                    f"{100 * scheme.storage_overhead:.2f}%",
+                ]
+            )
+    print(
+        format_table(
+            "Counter schemes under the paper's three write shapes "
+            f"({BLOCKS} blocks, {LAPS} laps equivalent)",
+            ["workload / scheme", "re-enc", "resets", "re-encodes",
+             "widens", "storage"],
+            rows,
+        )
+    )
+    print(
+        "\nreadings: 'lock-step stream' -> delta/dual absorb everything;\n"
+        "'isolated hot block' -> delta equals split, dual widens to 10 "
+        "bits;\n'straddling hot pair' -> dual re-encrypts MORE than 7-bit "
+        "delta\n(the facesim row of Table 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

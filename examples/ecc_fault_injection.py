@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""MAC-in-ECC vs conventional SEC-DED under injected DRAM faults.
+
+Reproduces the Figure 3 comparison interactively: prints the bit layout
+of the repurposed ECC field (Figure 2), injects each fault pattern into
+both schemes, and runs a parity-assisted scrub pass (Section 3.3).
+
+Run:  python examples/ecc_fault_injection.py
+"""
+
+import os
+import random
+
+from repro.analysis.faults import figure3_scenarios, run_fault_matrix
+from repro.core.ecc_mac.layout import MacEccCodec
+from repro.core.ecc_mac.scrubber import Scrubber
+from repro.crypto.mac import CarterWegmanMac
+from repro.harness.reporting import format_table
+
+
+def show_layout() -> None:
+    print("Figure 2 -- the 64 ECC bits per 64-byte block, repurposed:")
+    print("  bits  0..55  56-bit Carter-Wegman MAC over the ciphertext")
+    print("  bits 56..62  7-bit Hamming SEC-DED over the MAC itself")
+    print("  bit      63  even parity over the ciphertext (scrub bit)")
+
+    codec = MacEccCodec(CarterWegmanMac(os.urandom(24), mode="fast"))
+    ciphertext = os.urandom(64)
+    field = codec.build(ciphertext, address=0x1000, counter=7)
+    print(f"\n  example field: {field.pack().hex()}")
+    print(f"    mac       = {field.mac:#016x}")
+    print(f"    mac_check = {field.mac_check:#04x}")
+    print(f"    ct_parity = {field.ct_parity}")
+
+
+def show_fault_matrix() -> None:
+    matrix = run_fault_matrix(trials=10, seed=1)
+    rows = []
+    for scenario in figure3_scenarios():
+        rows.append(
+            [
+                scenario.description,
+                matrix.dominant(scenario.name, "secded").value,
+                matrix.dominant(scenario.name, "mac_ecc").value,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            "Figure 3 -- dominant outcome per fault pattern (10 trials)",
+            ["fault pattern", "conventional SEC-DED", "MAC-based ECC"],
+            rows,
+        )
+    )
+    print(
+        "\nNote the asymmetry on '3 flips inside one 8-byte word': "
+        "SEC-DED silently *miscorrects*, the MAC always detects."
+    )
+
+
+def show_scrubbing() -> None:
+    rng = random.Random(9)
+    codec = MacEccCodec(CarterWegmanMac(os.urandom(24), mode="fast"))
+    blocks = []
+    for i in range(64):
+        ciphertext = bytes(rng.randrange(256) for _ in range(64))
+        blocks.append([i * 64, ciphertext, codec.build(ciphertext, i * 64, 1)])
+
+    # Inject latent single-bit upsets into three blocks.
+    for index in (5, 21, 40):
+        corrupted = bytearray(blocks[index][1])
+        corrupted[rng.randrange(64)] ^= 1 << rng.randrange(8)
+        blocks[index][1] = bytes(corrupted)
+
+    report = Scrubber(codec).scrub(tuple(b) for b in blocks)
+    print(
+        f"\nscrub pass: {report.blocks_scanned} blocks scanned, "
+        f"suspicious at {report.suspicious_blocks} "
+        f"(expected [{5 * 64}, {21 * 64}, {40 * 64}])"
+    )
+    print("only parity checks were needed -- no MAC recomputation.")
+
+
+if __name__ == "__main__":
+    show_layout()
+    show_fault_matrix()
+    show_scrubbing()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Non-volatile main-memory wear: extra writes caused by re-encryption.
+
+Section 2.2's NVMM motivation: every block-group re-encryption rewrites
+the whole group (64 blocks), so a counter scheme's overflow rate directly
+multiplies write wear on endurance-limited memory.  This example replays
+a PARSEC-like write-back stream into each compact counter scheme and
+reports the *write amplification* each one would impose on an NVMM.
+
+Run:  python examples/nvm_lifetime.py
+"""
+
+from repro.core.counters import make_scheme
+from repro.harness.reporting import format_table
+from repro.harness.runner import WritebackFilter
+from repro.workloads.parsec import profile
+
+REGION_BLOCKS = 32 * 1024 * 1024 // 64
+APPS = ("dedup", "facesim", "canneal", "vips")
+SCHEMES = ("split", "delta", "dual_length")
+
+
+def main() -> None:
+    rows = []
+    for app in APPS:
+        traces = profile(app).traces(400_000, REGION_BLOCKS, cores=4, seed=1)
+        writebacks, _ = WritebackFilter().filter(traces)
+        demand_writes = len(writebacks)
+        for scheme_name in SCHEMES:
+            scheme = make_scheme(scheme_name, REGION_BLOCKS)
+            for block in writebacks:
+                scheme.on_write(block)
+            extra = scheme.stats.re_encryptions * scheme.blocks_per_group
+            amplification = (demand_writes + extra) / demand_writes
+            rows.append(
+                [
+                    f"{app} / {scheme_name}",
+                    demand_writes,
+                    scheme.stats.re_encryptions,
+                    extra,
+                    f"{amplification:.4f}x",
+                ]
+            )
+    print(
+        format_table(
+            "NVMM write amplification from counter-overflow re-encryption",
+            ["workload / scheme", "demand writes", "re-encryptions",
+             "extra block writes", "amplification"],
+            rows,
+        )
+    )
+    print(
+        "\nSplit counters re-encrypt orders of magnitude more often on "
+        "streaming\nworkloads; delta encoding keeps amplification near "
+        "1.0x, which is the\npaper's argument that it is 'more efficient "
+        "and non-volatile memory\nfriendly' (Section 5.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

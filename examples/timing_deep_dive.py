@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Where the cycles go: metadata traffic across engine configurations.
+
+Runs one memory-bound workload (canneal) through the trace-driven system
+under each Figure 8 configuration and breaks down exactly *why* the
+optimized configurations are faster: fewer counter fetches (denser
+metadata), zero MAC fetches (the ECC side-band), fewer tree-node fetches
+(a shallower Bonsai tree), and the resulting energy difference.
+
+Run:  python examples/timing_deep_dive.py
+"""
+
+from repro.analysis.energy import measure_backend_energy
+from repro.core.engine.config import preset
+from repro.core.engine.timing import EncryptionTimingBackend
+from repro.harness.charts import bar_chart
+from repro.harness.reporting import format_table
+from repro.memsim.cpu.system import PlainMemoryBackend, TraceDrivenSystem
+from repro.workloads.parsec import profile
+
+REGION = 32 * 1024 * 1024
+CONFIGS = ("bmt_baseline", "mac_in_ecc", "delta_only", "combined")
+
+
+def main() -> None:
+    traces = profile("canneal").traces(
+        20_000, REGION // 64, cores=4, seed=7
+    )
+
+    plain = TraceDrivenSystem(PlainMemoryBackend())
+    plain_ipc = plain.run([list(t) for t in traces]).ipc
+
+    rows = []
+    normalized = {}
+    for name in CONFIGS:
+        backend = EncryptionTimingBackend(
+            preset(name, protected_bytes=REGION)
+        )
+        result = TraceDrivenSystem(backend).run([list(t) for t in traces])
+        stats = backend.stats
+        energy = measure_backend_energy(name, backend)
+        demand = stats.demand_reads + stats.demand_writes
+        normalized[name] = result.ipc / plain_ipc
+        rows.append(
+            [
+                name,
+                stats.counter_fetches,
+                stats.tree_fetches,
+                stats.mac_fetches,
+                round(stats.extra_transactions / max(demand, 1), 2),
+                backend.layout.offchip_tree_levels,
+                round(backend.metadata_cache.stats.hit_rate, 3),
+                round(energy.per_access_nj(max(demand, 1)), 2),
+            ]
+        )
+
+    print(f"plain (no encryption) IPC: {plain_ipc:.3f}\n")
+    print(
+        format_table(
+            "Metadata traffic breakdown (canneal, 32 MB region)",
+            ["config", "ctr fetch", "tree fetch", "mac fetch",
+             "extra txn/miss", "levels", "meta hit", "nJ/access"],
+            rows,
+        )
+    )
+    print()
+    print(
+        bar_chart(
+            "IPC normalized to no encryption",
+            normalized,
+            maximum=1.0,
+        )
+    )
+    print(
+        "\nreading: MAC-in-ECC zeroes the 'mac fetch' column; delta "
+        "encoding removes\na tree level and multiplies the metadata "
+        "cache's reach; combined does both."
+    )
+
+
+if __name__ == "__main__":
+    main()

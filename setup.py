@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`pip install -e . --no-build-isolation`)
+on offline machines where PEP 660 wheel builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

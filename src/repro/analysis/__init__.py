@@ -1,0 +1,47 @@
+"""Analytical models and fault-injection harnesses.
+
+* :mod:`repro.analysis.storage` -- the storage-overhead arithmetic of
+  Figure 1 and Section 1 (22% -> 2%) and the tree-depth reduction.
+* :mod:`repro.analysis.faults` -- the Figure 3 fault-pattern matrix
+  comparing conventional SEC-DED with MAC-based checking.
+"""
+
+from repro.analysis.storage import (
+    StorageBreakdown,
+    figure1_breakdowns,
+    scheme_breakdown,
+)
+from repro.analysis.faults import (
+    FaultOutcome,
+    FaultScenario,
+    FaultMatrix,
+    figure3_scenarios,
+    run_fault_matrix,
+)
+from repro.analysis.attacks import ALL_ATTACKS, AttackResult, run_all
+from repro.analysis.wear import WearReport, compare_schemes, measure_wear
+from repro.analysis.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    measure_backend_energy,
+)
+
+__all__ = [
+    "StorageBreakdown",
+    "scheme_breakdown",
+    "figure1_breakdowns",
+    "FaultScenario",
+    "FaultOutcome",
+    "FaultMatrix",
+    "figure3_scenarios",
+    "run_fault_matrix",
+    "AttackResult",
+    "ALL_ATTACKS",
+    "run_all",
+    "WearReport",
+    "measure_wear",
+    "compare_schemes",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "measure_backend_energy",
+]

@@ -1,0 +1,248 @@
+"""Command-line interface: regenerate paper exhibits from the terminal.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table2 --apps dedup canneal --accesses 200000
+    python -m repro figure8 --apps canneal dedup
+    python -m repro figure1
+    python -m repro figure3 --trials 10
+    python -m repro attacks
+    python -m repro trace dedup out.trc.gz --accesses 100000
+
+Each subcommand prints the same exhibit its pytest benchmark produces,
+at a scale the flags control -- handy for quick what-if runs (different
+region sizes, trace lengths, subsets of applications) without invoking
+the test machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.attacks import run_all
+from repro.analysis.faults import figure3_scenarios, run_fault_matrix
+from repro.analysis.storage import (
+    counter_compaction_factor,
+    figure1_breakdowns,
+)
+from repro.core.engine.config import preset
+from repro.core.engine.secure_memory import SecureMemory
+from repro.harness.reporting import format_table
+from repro.harness.runner import PerformanceExperiment, ReencryptionExperiment
+from repro.memsim.cpu.trace import save_trace
+from repro.workloads.micro import MICRO_PROFILES, micro_profile
+from repro.workloads.parsec import figure8_apps, profile, table2_apps
+
+
+def _resolve_profile(name):
+    """PARSEC app or microbenchmark, by name."""
+    if name in MICRO_PROFILES:
+        return micro_profile(name)
+    return profile(name)
+
+
+def _cmd_table2(args) -> int:
+    experiment = ReencryptionExperiment(
+        region_bytes=args.region_mb * 1024 * 1024,
+        accesses_per_core=args.accesses,
+        seed=args.seed,
+    )
+    rows = [
+        experiment.run_app(_resolve_profile(app)).as_row()
+        for app in args.apps
+    ]
+    print(
+        format_table(
+            "Table 2 -- re-encryptions per 10^9 cycles",
+            ["program", "split", "7-bit delta", "dual-length"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_figure8(args) -> int:
+    experiment = PerformanceExperiment(
+        region_bytes=args.region_mb * 1024 * 1024,
+        accesses_per_core=args.accesses,
+        seed=args.seed,
+    )
+    rows = []
+    for app in args.apps:
+        run = experiment.run_app(_resolve_profile(app))
+        normalized = run.normalized()
+        rows.append(
+            [
+                app,
+                round(run.plain_ipc, 3),
+                round(normalized["bmt_baseline"], 3),
+                round(normalized["mac_in_ecc"], 3),
+                round(normalized["delta_only"], 3),
+                round(normalized["combined"], 3),
+                f"{run.improvement_over_baseline() * 100:+.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            "Figure 8 -- IPC normalized to no encryption",
+            ["program", "plain", "bmt", "mac_ecc", "delta", "combined",
+             "gain"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    rows = []
+    for breakdown in figure1_breakdowns(
+        args.region_mb * 1024 * 1024
+    ).values():
+        rows.append(
+            [
+                breakdown.name,
+                f"{breakdown.counter_overhead:.1%}",
+                f"{breakdown.mac_overhead:.1%}",
+                f"{breakdown.tree_overhead:.2%}",
+                f"{breakdown.encryption_metadata:.1%}",
+                breakdown.offchip_tree_levels,
+            ]
+        )
+    print(
+        format_table(
+            "Figure 1 -- metadata storage overhead",
+            ["configuration", "counters", "MACs", "tree", "total", "levels"],
+            rows,
+        )
+    )
+    print(f"\ncounter compaction: {counter_compaction_factor():.1f}x")
+    return 0
+
+
+def _cmd_figure3(args) -> int:
+    matrix = run_fault_matrix(trials=args.trials, seed=args.seed)
+    rows = [
+        [
+            scenario.description,
+            matrix.dominant(scenario.name, "secded").value,
+            matrix.dominant(scenario.name, "mac_ecc").value,
+        ]
+        for scenario in figure3_scenarios()
+    ]
+    print(
+        format_table(
+            f"Figure 3 -- dominant outcome ({args.trials} injections)",
+            ["fault pattern", "SEC-DED", "MAC-based ECC"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_attacks(args) -> int:
+    def factory():
+        return SecureMemory(
+            preset(
+                args.preset,
+                protected_bytes=args.region_mb * 1024 * 1024,
+                keystream_mode="fast",
+            ),
+            os.urandom(48),
+        )
+
+    results = run_all(factory)
+    rows = [
+        [r.name, "DEFENDED" if r.defended else "BREACHED", r.detail]
+        for r in results
+    ]
+    print(
+        format_table(
+            f"Threat-model sweep against preset {args.preset!r}",
+            ["attack", "outcome", "detail"],
+            rows,
+        )
+    )
+    return 0 if all(r.defended for r in results) else 1
+
+
+def _cmd_trace(args) -> int:
+    app = _resolve_profile(args.app)
+    records = app.trace(
+        args.accesses,
+        args.region_mb * 1024 * 1024 // 64,
+        core=args.core,
+        seed=args.seed,
+    )
+    count = save_trace(args.output, records)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, default_region=32):
+        p.add_argument("--region-mb", type=int, default=default_region,
+                       help="protected region size in MiB")
+        p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("table2", help="re-encryption rates (Table 2)")
+    common(p)
+    p.add_argument("--apps", nargs="+", default=table2_apps(),
+                   choices=table2_apps() + sorted(MICRO_PROFILES),
+                   metavar="APP")
+    p.add_argument("--accesses", type=int, default=600_000,
+                   help="trace accesses per core")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("figure8", help="normalized IPC (Figure 8)")
+    common(p, default_region=128)
+    p.add_argument("--apps", nargs="+", default=figure8_apps(),
+                   choices=table2_apps() + sorted(MICRO_PROFILES),
+                   metavar="APP")
+    p.add_argument("--accesses", type=int, default=60_000)
+    p.set_defaults(func=_cmd_figure8)
+
+    p = sub.add_parser("figure1", help="storage overhead (Figure 1)")
+    common(p, default_region=512)
+    p.set_defaults(func=_cmd_figure1)
+
+    p = sub.add_parser("figure3", help="fault matrix (Figure 3)")
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_figure3)
+
+    p = sub.add_parser("attacks", help="threat-model sweep")
+    p.add_argument("--preset", default="combined",
+                   choices=["bmt_baseline", "mac_in_ecc", "delta_only",
+                            "combined", "combined_dual"])
+    # 16 MiB gives the Bonsai tree off-chip interior nodes, so the
+    # tree-grafting attack actually runs instead of being skipped.
+    p.add_argument("--region-mb", type=int, default=16)
+    p.set_defaults(func=_cmd_attacks)
+
+    p = sub.add_parser("trace", help="generate a workload trace file")
+    p.add_argument("app", choices=table2_apps() + sorted(MICRO_PROFILES))
+    p.add_argument("output", help="output path (.trc.gz)")
+    common(p)
+    p.add_argument("--accesses", type=int, default=100_000)
+    p.add_argument("--core", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.counters` -- per-block encryption-counter
+  representations: monolithic (SGX-style), split counters (the prior-art
+  comparator), 7-bit frame-of-reference delta encoding, and dual-length
+  delta encoding, with the paper's reset / re-encode overflow mitigations.
+* :mod:`repro.core.ecc_mac` -- the MAC-in-ECC layout, detection flow,
+  brute-force flip-and-check correction, and the scrub pass.
+* :mod:`repro.core.engine` -- the memory-encryption engine tying counters,
+  MACs, the Bonsai Merkle tree and the metadata cache together.
+"""

@@ -1,0 +1,144 @@
+"""Abstract interface shared by all counter-representation schemes.
+
+A counter scheme owns the encryption counters of ``total_blocks`` 64-byte
+memory blocks, arranged in block-groups of ``blocks_per_group``.  The
+memory-encryption engine interacts with it through three operations:
+
+* :meth:`CounterScheme.counter` -- the current encryption counter of a
+  block (needed to decrypt it on a read),
+* :meth:`CounterScheme.on_write` -- bump a block's counter before a write,
+  returning a :class:`~repro.core.counters.events.WriteOutcome` that also
+  tells the engine whether a whole group must be re-encrypted,
+* :meth:`CounterScheme.group_metadata` -- the byte serialization of one
+  group's counters, which is what actually lives in DRAM, flows through
+  the metadata cache, and is hashed by the Bonsai Merkle tree.
+
+All schemes maintain the central security invariant: a block is never
+encrypted twice under the same (address, counter) nonce.  The stateful
+hypothesis tests in ``tests/core/test_counter_properties.py`` check this
+across arbitrary write interleavings for every scheme.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.counters.events import CounterStats, WriteOutcome
+
+BLOCK_BYTES = 64
+METADATA_BLOCK_BYTES = 64
+
+
+class CounterScheme(abc.ABC):
+    """Base class: group bookkeeping, stats, and the abstract operations."""
+
+    #: short machine name used by configs and report tables
+    name: str = "abstract"
+
+    def __init__(self, total_blocks: int, blocks_per_group: int):
+        if total_blocks <= 0:
+            raise ValueError("total_blocks must be positive")
+        if blocks_per_group <= 0:
+            raise ValueError("blocks_per_group must be positive")
+        if total_blocks % blocks_per_group:
+            raise ValueError(
+                "total_blocks must be a multiple of blocks_per_group"
+            )
+        self.total_blocks = total_blocks
+        self.blocks_per_group = blocks_per_group
+        self.num_groups = total_blocks // blocks_per_group
+        self.stats = CounterStats()
+
+    # -- geometry ----------------------------------------------------------
+
+    def group_of(self, block_index: int) -> int:
+        """Block-group index a block belongs to."""
+        self._check_block(block_index)
+        return block_index // self.blocks_per_group
+
+    def slot_of(self, block_index: int) -> int:
+        """Position of a block within its group."""
+        self._check_block(block_index)
+        return block_index % self.blocks_per_group
+
+    def blocks_in_group(self, group_index: int) -> range:
+        """All block indices of one group."""
+        self._check_group(group_index)
+        start = group_index * self.blocks_per_group
+        return range(start, start + self.blocks_per_group)
+
+    def _check_block(self, block_index: int) -> None:
+        if not 0 <= block_index < self.total_blocks:
+            raise IndexError(f"block index {block_index} out of range")
+
+    def _check_group(self, group_index: int) -> None:
+        if not 0 <= group_index < self.num_groups:
+            raise IndexError(f"group index {group_index} out of range")
+
+    # -- abstract operations -------------------------------------------------
+
+    @abc.abstractmethod
+    def counter(self, block_index: int) -> int:
+        """Current encryption counter of a block."""
+
+    @abc.abstractmethod
+    def _increment(self, block_index: int) -> WriteOutcome:
+        """Scheme-specific counter bump; subclasses implement this."""
+
+    def on_write(self, block_index: int) -> WriteOutcome:
+        """Advance a block's counter for a write and record statistics."""
+        outcome = self._increment(block_index)
+        self.stats.record(outcome, group=self.group_of(block_index))
+        return outcome
+
+    # -- storage accounting ---------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def bits_per_group(self) -> int:
+        """Raw bits of counter state per block-group."""
+
+    @property
+    def metadata_blocks(self) -> int:
+        """64-byte memory blocks needed to store all counters.
+
+        Groups are padded to block boundaries (a group's metadata must be
+        fetchable in a single read, per Section 4.2 "the decryption
+        pipeline will perform better if both the reference value and the
+        associated deltas are stored in the same memory block").
+        """
+        blocks_per_group_meta = max(
+            1, -(-self.bits_per_group // (8 * METADATA_BLOCK_BYTES))
+        )
+        return self.num_groups * blocks_per_group_meta
+
+    @property
+    def storage_overhead(self) -> float:
+        """Counter storage as a fraction of protected data capacity."""
+        return self.metadata_blocks / self.total_blocks
+
+    # -- serialization --------------------------------------------------------
+
+    @abc.abstractmethod
+    def group_metadata(self, group_index: int) -> bytes:
+        """Serialize one group's counter state to its metadata block(s)."""
+
+    @abc.abstractmethod
+    def decode_metadata(self, data: bytes) -> list:
+        """Decode serialized group metadata back to per-slot counters.
+
+        This is the *decode unit* of Figure 7: the functional engine reads
+        counters from tree-verified stored bytes (never from trusted
+        in-object state), so a tampered or replayed counter block yields
+        wrong counters and a failing data MAC -- exactly the hardware's
+        failure semantics.
+        """
+
+    def metadata_block_of_group(self, group_index: int) -> int:
+        """Index of the (first) metadata block storing a group's counters."""
+        self._check_group(group_index)
+        per_group = self.metadata_blocks // self.num_groups
+        return group_index * per_group
+
+
+__all__ = ["CounterScheme", "BLOCK_BYTES", "METADATA_BLOCK_BYTES"]

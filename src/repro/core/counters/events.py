@@ -1,0 +1,94 @@
+"""Counter-scheme event records and aggregate statistics.
+
+Table 2 of the paper counts *re-encryptions per billion cycles* for three
+counter representations; the ablation benches additionally need resets,
+re-encodes and group widenings.  Every scheme reports what happened on each
+write through these shared types so the harness can aggregate uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CounterEvent(enum.Enum):
+    """Things that can happen while incrementing a block's counter."""
+
+    INCREMENT = "increment"  # plain delta/minor bump
+    RESET = "reset"  # all deltas converged -> folded into reference
+    RE_ENCODE = "re_encode"  # delta_min subtracted into the reference
+    WIDEN = "widen"  # dual-length: overflow bits assigned to a group
+    RE_ENCRYPT = "re_encrypt"  # block-group re-encrypted with a new counter
+    GLOBAL_RE_ENCRYPT = "global_re_encrypt"  # monolithic counter wrapped
+
+
+@dataclass
+class WriteOutcome:
+    """Result of one counter increment.
+
+    ``counter`` is the encryption counter the written block must be
+    encrypted with.  When ``reencrypted_group`` is set, the engine must
+    also re-encrypt every other block of that group using
+    ``group_counter`` (the identical fresh counter the paper's Figure 5a
+    assigns to the whole group).
+    """
+
+    counter: int
+    events: tuple = ()
+    reencrypted_group: int | None = None
+    group_counter: int | None = None
+
+    def has(self, event: CounterEvent) -> bool:
+        return event in self.events
+
+
+@dataclass
+class CounterStats:
+    """Aggregate event counts across a run (drives Table 2)."""
+
+    writes: int = 0
+    increments: int = 0
+    resets: int = 0
+    re_encodes: int = 0
+    widens: int = 0
+    re_encryptions: int = 0
+    global_re_encryptions: int = 0
+    per_group_re_encryptions: dict = field(default_factory=dict)
+
+    _FIELD_BY_EVENT = {
+        CounterEvent.INCREMENT: "increments",
+        CounterEvent.RESET: "resets",
+        CounterEvent.RE_ENCODE: "re_encodes",
+        CounterEvent.WIDEN: "widens",
+        CounterEvent.RE_ENCRYPT: "re_encryptions",
+        CounterEvent.GLOBAL_RE_ENCRYPT: "global_re_encryptions",
+    }
+
+    def record(self, outcome: WriteOutcome, group: int | None = None) -> None:
+        """Fold one write outcome into the aggregates."""
+        self.writes += 1
+        for event in outcome.events:
+            name = self._FIELD_BY_EVENT[event]
+            setattr(self, name, getattr(self, name) + 1)
+        if CounterEvent.RE_ENCRYPT in outcome.events and group is not None:
+            self.per_group_re_encryptions[group] = (
+                self.per_group_re_encryptions.get(group, 0) + 1
+            )
+
+    def merge(self, other: "CounterStats") -> None:
+        """Accumulate another stats object (e.g. across trace segments)."""
+        self.writes += other.writes
+        self.increments += other.increments
+        self.resets += other.resets
+        self.re_encodes += other.re_encodes
+        self.widens += other.widens
+        self.re_encryptions += other.re_encryptions
+        self.global_re_encryptions += other.global_re_encryptions
+        for group, count in other.per_group_re_encryptions.items():
+            self.per_group_re_encryptions[group] = (
+                self.per_group_re_encryptions.get(group, 0) + count
+            )
+
+
+__all__ = ["CounterEvent", "WriteOutcome", "CounterStats"]

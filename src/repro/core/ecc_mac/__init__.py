@@ -1,0 +1,33 @@
+"""MAC-in-ECC: authentication + error correction in the ECC bits.
+
+Implements paper Section 3: the 64 ECC bits a conventional DIMM stores per
+64-byte block are repurposed as
+
+    56-bit Carter-Wegman MAC | 7-bit Hamming SEC-DED over the MAC | 1
+    ciphertext parity bit (Figure 2),
+
+giving authentication, full error *detection* on data (any number of
+flips fails the MAC check), SEC-DED protection of the MAC bits themselves,
+and brute-force *flip-and-check* error correction (Section 3.4).
+"""
+
+from repro.core.ecc_mac.layout import EccField, MacEccCodec
+from repro.core.ecc_mac.detection import CheckOutcome, CheckResult
+from repro.core.ecc_mac.correction import (
+    CorrectionMethod,
+    CorrectionResult,
+    FlipAndCheckCorrector,
+)
+from repro.core.ecc_mac.scrubber import ScrubReport, Scrubber
+
+__all__ = [
+    "EccField",
+    "MacEccCodec",
+    "CheckOutcome",
+    "CheckResult",
+    "FlipAndCheckCorrector",
+    "CorrectionMethod",
+    "CorrectionResult",
+    "Scrubber",
+    "ScrubReport",
+]

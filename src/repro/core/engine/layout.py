@@ -1,0 +1,168 @@
+"""Physical layout of encryption metadata in DRAM.
+
+The protected data region occupies ``[0, protected_bytes)``.  Above it the
+engine reserves, in order: counter storage, (for the separate-MAC
+configuration) MAC storage, then the off-chip interior levels of the
+Bonsai Merkle tree.  The address map matters because metadata competes
+with data for the same banks/channels and because the metadata cache is
+indexed by these physical addresses.
+
+The layout also yields the storage-overhead arithmetic behind Figure 1 and
+the tree-depth reduction (5 -> 4 off-chip levels) reported in Section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine.tree import NODE_BYTES, TreeGeometry
+
+BLOCK_BYTES = 64
+_MAC_BYTES = 8  # 56-bit MAC padded to a byte-addressable 8-byte slot
+
+
+@dataclass(frozen=True)
+class MetadataLayout:
+    """Address map for one protected region.
+
+    ``counters_per_block`` is how many per-block counters one 64-byte
+    metadata block holds: 8 for SGX-style monolithic 56-bit counters
+    (power-of-two slots, as SGX lays them out), 64 for the split/delta
+    family (one group per block).
+    """
+
+    protected_bytes: int
+    counters_per_block: int
+    mac_separate: bool
+    arity: int = 8
+    onchip_tree_bytes: int = 3072
+
+    def __post_init__(self):
+        if self.protected_bytes <= 0 or self.protected_bytes % BLOCK_BYTES:
+            raise ValueError(
+                "protected_bytes must be a positive multiple of 64"
+            )
+        if self.counters_per_block <= 0:
+            raise ValueError("counters_per_block must be positive")
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def data_blocks(self) -> int:
+        return self.protected_bytes // BLOCK_BYTES
+
+    @property
+    def counter_blocks(self) -> int:
+        return -(-self.data_blocks // self.counters_per_block)
+
+    @property
+    def mac_blocks(self) -> int:
+        if not self.mac_separate:
+            return 0
+        macs_per_block = BLOCK_BYTES // _MAC_BYTES
+        return -(-self.data_blocks // macs_per_block)
+
+    @property
+    def tree(self) -> TreeGeometry:
+        """Tree over the counter blocks (Bonsai: counters only)."""
+        return TreeGeometry.for_leaves(
+            self.counter_blocks, self.arity, self.onchip_tree_bytes
+        )
+
+    @property
+    def tree_blocks(self) -> int:
+        """Off-chip interior tree nodes, in 64-byte blocks."""
+        return self.tree.offchip_node_count
+
+    @property
+    def metadata_blocks(self) -> int:
+        return self.counter_blocks + self.mac_blocks + self.tree_blocks
+
+    @property
+    def storage_overhead(self) -> float:
+        """All off-chip metadata as a fraction of protected capacity."""
+        return self.metadata_blocks / self.data_blocks
+
+    @property
+    def offchip_tree_levels(self) -> int:
+        """The paper's 'N-level off-chip integrity tree' figure: counter
+        level + interior levels below the on-chip top."""
+        return self.tree.offchip_levels
+
+    # -- addresses -------------------------------------------------------------
+
+    @property
+    def counter_base(self) -> int:
+        return self.protected_bytes
+
+    @property
+    def mac_base(self) -> int:
+        return self.counter_base + self.counter_blocks * BLOCK_BYTES
+
+    @property
+    def tree_base(self) -> int:
+        return self.mac_base + self.mac_blocks * BLOCK_BYTES
+
+    def counter_block_address(self, data_address: int) -> int:
+        """Metadata block holding the counter of a data address."""
+        self._check_data_address(data_address)
+        block = data_address // BLOCK_BYTES
+        return self.counter_base + (block // self.counters_per_block) * BLOCK_BYTES
+
+    def mac_block_address(self, data_address: int) -> int:
+        """Metadata block holding the separate MAC of a data address."""
+        if not self.mac_separate:
+            raise ValueError("layout has no separate MAC region")
+        self._check_data_address(data_address)
+        block = data_address // BLOCK_BYTES
+        macs_per_block = BLOCK_BYTES // _MAC_BYTES
+        return self.mac_base + (block // macs_per_block) * BLOCK_BYTES
+
+    def tree_node_address(self, level: int, index: int) -> int:
+        """Physical address of an off-chip interior tree node.
+
+        ``level`` 1 is the level directly above the counter blocks; the
+        on-chip top level has no DRAM address.
+        """
+        sizes = self.tree.level_sizes
+        if not 1 <= level < len(sizes) - 1:
+            raise ValueError(
+                f"level {level} is not an off-chip interior level"
+            )
+        if not 0 <= index < sizes[level]:
+            raise IndexError("tree node index out of range")
+        base = self.tree_base
+        for lower in range(1, level):
+            base += sizes[lower] * NODE_BYTES
+        return base + index * NODE_BYTES
+
+    def tree_path_addresses(self, data_address: int) -> list:
+        """DRAM addresses of the tree nodes a counter verify walks,
+        bottom-up, excluding the counter block itself and the on-chip
+        top."""
+        self._check_data_address(data_address)
+        block = data_address // BLOCK_BYTES
+        leaf = block // self.counters_per_block
+        sizes = self.tree.level_sizes
+        out = []
+        index = leaf
+        for level in range(1, len(sizes) - 1):
+            index //= self.arity
+            out.append(self.tree_node_address(level, index))
+        return out
+
+    @property
+    def total_bytes(self) -> int:
+        """End of the metadata region (for DRAM capacity checks)."""
+        sizes = self.tree.level_sizes
+        interior = sum(sizes[1:-1]) * NODE_BYTES if len(sizes) > 1 else 0
+        return self.tree_base + interior
+
+    def _check_data_address(self, address: int) -> None:
+        if not 0 <= address < self.protected_bytes:
+            raise ValueError(
+                f"address {address:#x} outside the protected region"
+            )
+
+
+__all__ = ["MetadataLayout", "BLOCK_BYTES"]

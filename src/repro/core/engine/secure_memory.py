@@ -1,0 +1,464 @@
+"""Functional authenticated-encrypted memory.
+
+This is the full data path of the paper's system, bit-for-bit:
+
+* AES counter-mode encryption per 64-byte block, nonce = (counter,
+  physical address),
+* per-block 56-bit Carter-Wegman MACs bound to the counter (Bonsai
+  requirement), stored either in a separate metadata region (baseline) or
+  inside the ECC bits with 7-bit Hamming + 1 parity (the paper's scheme),
+* counters held in one of the four interchangeable representations,
+  *read back from their serialized storage* (never from trusted in-object
+  state) so counter tampering corrupts decryption exactly as in hardware,
+* a Bonsai Merkle tree over the counter storage; leaf verification on
+  every read, leaf update on every write,
+* fault injection (bit flips in data or ECC bits) and attacker operations
+  (rollback/replay, arbitrary overwrites, tree-node corruption) for the
+  security and Figure 3 experiments,
+* flip-and-check error correction on MAC-in-ECC configurations.
+
+The class keeps everything addressable by *byte address* of the block
+(block-aligned), mirroring how the engine sits on the memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.counters.events import CounterEvent
+from repro.core.ecc_mac.correction import (
+    CorrectionMethod,
+    FlipAndCheckCorrector,
+)
+from repro.core.ecc_mac.detection import CheckOutcome, check_block
+from repro.core.ecc_mac.layout import EccField, MacEccCodec
+from repro.core.engine.config import EngineConfig
+from repro.core.engine.tree import BonsaiMerkleTree
+from repro.crypto.ctr import CtrModeCipher
+from repro.crypto.mac import CarterWegmanMac
+
+BLOCK_BYTES = 64
+
+
+class IntegrityError(Exception):
+    """Raised when a read cannot be authenticated.
+
+    ``kind`` distinguishes what tripped:
+
+    * ``"tree"`` -- counter-storage verification failed (tamper/replay of
+      counters or tree nodes),
+    * ``"mac"`` -- the data MAC failed and no small error explains it
+      (data tamper, or an uncorrectable fault),
+    * ``"mac_bits"`` -- the stored MAC itself had an uncorrectable
+      multi-bit fault.
+    """
+
+    def __init__(self, kind: str, address: int, message: str):
+        super().__init__(message)
+        self.kind = kind
+        self.address = address
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """A successful authenticated read."""
+
+    data: bytes
+    outcome: CheckOutcome
+    corrected_bits: tuple = ()  # data bits fixed by flip-and-check
+    correction_checks: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.outcome is CheckOutcome.CLEAN and not self.corrected_bits
+
+
+@dataclass
+class EngineCounters:
+    """Operation counters for reporting."""
+
+    reads: int = 0
+    writes: int = 0
+    group_reencryptions: int = 0
+    corrections: int = 0
+    mac_self_corrections: int = 0
+
+
+class SecureMemory:
+    """Authenticated, encrypted, optionally error-correcting memory."""
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        key: bytes,
+        correction_method: CorrectionMethod = CorrectionMethod.ACCELERATED,
+    ):
+        if len(key) < 48:
+            raise ValueError(
+                "key material must be at least 48 bytes "
+                "(16 data-encryption + 24 MAC + 8 tree)"
+            )
+        self.config = config
+        self.scheme = config.build_scheme()
+        mode = config.keystream_mode
+        self._cipher = CtrModeCipher(key[:16], mode=mode)
+        self._mac = CarterWegmanMac(key[16:40], mode=mode)
+        self._codec = MacEccCodec(self._mac)
+        self._corrector = FlipAndCheckCorrector(self._mac)
+        self._correction_method = correction_method
+        tree_key = int.from_bytes(key[40:48], "little")
+        #: counter storage as the attacker sees it: group -> serialized bytes
+        self.counter_storage: dict = {}
+        self._initial_metadata = self.scheme.group_metadata(0)
+        self.tree = BonsaiMerkleTree(
+            num_leaves=self.scheme.num_groups,
+            key=tree_key,
+            arity=config.tree_arity,
+            onchip_bytes=config.onchip_tree_bytes,
+            initial_leaf=self._pad_leaf(self._initial_metadata),
+        )
+        #: off-chip data: block index -> ciphertext bytes
+        self.ciphertexts: dict = {}
+        #: off-chip MAC state: block index -> EccField (mac_in_ecc) or
+        #: block index -> int tag (separate-MAC baseline)
+        self.ecc_fields: dict = {}
+        self.mac_store: dict = {}
+        self.counters = EngineCounters()
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def codec(self) -> MacEccCodec:
+        """The MAC/ECC codec (for scrubbers and fault harnesses)."""
+        return self._codec
+
+    @staticmethod
+    def _pad_leaf(metadata: bytes) -> bytes:
+        """Tree leaves hash whole group metadata (any multiple of 64B)."""
+        return metadata
+
+    def _block_index(self, address: int) -> int:
+        if address % BLOCK_BYTES:
+            raise ValueError("addresses must be 64-byte aligned")
+        block = address // BLOCK_BYTES
+        if not 0 <= block < self.scheme.total_blocks:
+            raise ValueError(f"address {address:#x} outside protected region")
+        return block
+
+    def _stored_metadata(self, group: int) -> bytes:
+        return self.counter_storage.get(group, self._initial_metadata)
+
+    def _nonce(self, counter: int, epoch: int | None = None) -> int:
+        """Epoch-qualified encryption counter.
+
+        Monolithic counters can (with test-sized widths) wrap, which the
+        scheme reports as a global re-encryption and a new *epoch*.  A
+        real system re-keys; we model the key change by folding the
+        epoch into the nonce's high bits, which keeps every (address,
+        nonce) pair unique across epochs.
+        """
+        if epoch is None:
+            epoch = getattr(self.scheme, "epoch", 0)
+        return counter + (epoch << 57)
+
+    def _stored_ciphertext(self, block: int) -> bytes:
+        if block in self.ciphertexts:
+            return self.ciphertexts[block]
+        # Untouched blocks hold the encryption of all-zeros under the
+        # current epoch's counter 0.
+        zero = b"\x00" * BLOCK_BYTES
+        address = block * BLOCK_BYTES
+        ciphertext = self._cipher.encrypt(zero, self._nonce(0), address)
+        self._store_block(block, ciphertext, self._nonce(0))
+        return ciphertext
+
+    def _store_block(self, block: int, ciphertext: bytes, nonce: int) -> None:
+        address = block * BLOCK_BYTES
+        self.ciphertexts[block] = ciphertext
+        if self.config.mac_in_ecc:
+            self.ecc_fields[block] = self._codec.build(
+                ciphertext, address, nonce
+            )
+        else:
+            self.mac_store[block] = self._mac.tag(ciphertext, address, nonce)
+
+    def _commit_metadata(self, group: int) -> None:
+        metadata = self.scheme.group_metadata(group)
+        self.counter_storage[group] = metadata
+        self.tree.update_leaf(group, self._pad_leaf(metadata))
+
+    # -- public API -------------------------------------------------------------
+
+    def write(self, address: int, data: bytes) -> None:
+        """Encrypt and store one 64-byte block."""
+        if len(data) != BLOCK_BYTES:
+            raise ValueError(f"data must be {BLOCK_BYTES} bytes")
+        block = self._block_index(address)
+        outcome = self.scheme.on_write(block)
+        self.counters.writes += 1
+        if outcome.has(CounterEvent.GLOBAL_RE_ENCRYPT):
+            self._global_reencrypt(skip_block=block)
+        elif outcome.reencrypted_group is not None:
+            self._reencrypt_group(
+                outcome.reencrypted_group,
+                outcome.group_counter,
+                skip_block=block,
+            )
+            self.counters.group_reencryptions += 1
+        nonce = self._nonce(outcome.counter)
+        ciphertext = self._cipher.encrypt(data, nonce, address)
+        self._store_block(block, ciphertext, nonce)
+        self._commit_metadata(self.scheme.group_of(block))
+
+    def _reencrypt_group(
+        self, group: int, group_counter: int, skip_block: int
+    ) -> None:
+        """Decrypt every block of the group under its old counter and
+        re-encrypt under the shared fresh counter (Figure 5a).
+
+        Each block's MAC is verified against its old counter *before*
+        re-encryption: otherwise an overflow-triggered re-encryption
+        would launder tampered ciphertext into freshly-MACed garbage.
+        (The paper leaves the re-encryption engine's checks implicit;
+        SGX-class hardware verifies on every read, including these.)
+        """
+        old_counters = self.scheme.decode_metadata(self._stored_metadata(group))
+        for slot, blk in enumerate(self.scheme.blocks_in_group(group)):
+            if blk == skip_block:
+                continue  # about to be overwritten with new data anyway
+            address = blk * BLOCK_BYTES
+            old_nonce = self._nonce(old_counters[slot])
+            ciphertext = self._verify_for_reencryption(
+                blk, address, self._stored_ciphertext(blk), old_nonce
+            )
+            plaintext = self._cipher.decrypt(ciphertext, old_nonce, address)
+            new_nonce = self._nonce(group_counter)
+            ciphertext = self._cipher.encrypt(plaintext, new_nonce, address)
+            self._store_block(blk, ciphertext, new_nonce)
+
+    def _verify_for_reencryption(
+        self, block: int, address: int, ciphertext: bytes, nonce: int
+    ) -> bytes:
+        """Integrity check on the re-encryption path.
+
+        Benign <=2-bit faults are corrected exactly as on demand reads
+        (MAC-in-ECC configurations); anything else raises.  Returns the
+        authenticated (possibly healed) ciphertext to re-encrypt.
+        """
+        if self.config.mac_in_ecc:
+            ecc = self.ecc_fields.get(block)
+            result = check_block(self._codec, ciphertext, ecc, address, nonce)
+            if result.outcome is CheckOutcome.MAC_UNCORRECTABLE:
+                raise IntegrityError(
+                    "mac_bits",
+                    address,
+                    "stored MAC uncorrectable during group re-encryption",
+                )
+            if result.ok:
+                return ciphertext
+            correction = self._corrector.correct(
+                ciphertext,
+                address,
+                nonce,
+                result.recovered_mac,
+                method=self._correction_method,
+            )
+            if not correction.corrected:
+                raise IntegrityError(
+                    "mac",
+                    address,
+                    "block failed integrity check during group "
+                    "re-encryption",
+                )
+            self.counters.corrections += 1
+            return correction.data
+        stored = self.mac_store.get(block)
+        if self._mac.tag(ciphertext, address, nonce) != stored:
+            raise IntegrityError(
+                "mac",
+                address,
+                "block failed integrity check during group re-encryption",
+            )
+        return ciphertext
+
+    def _global_reencrypt(self, skip_block: int) -> None:
+        """Handle a monolithic counter wrap: re-encrypt *everything*
+        under the new epoch (the model of a full re-key).
+
+        Old counters come from the still-uncommitted serialized storage;
+        every block is integrity-verified before re-encryption, as on
+        the group path.
+        """
+        old_epoch = self.scheme.epoch - 1
+        decoded_cache = {}
+        for blk in sorted(self.ciphertexts):
+            if blk == skip_block:
+                continue
+            group = self.scheme.group_of(blk)
+            if group not in decoded_cache:
+                decoded_cache[group] = self.scheme.decode_metadata(
+                    self._stored_metadata(group)
+                )
+            old_counter = decoded_cache[group][self.scheme.slot_of(blk)]
+            old_nonce = self._nonce(old_counter, epoch=old_epoch)
+            address = blk * BLOCK_BYTES
+            ciphertext = self._verify_for_reencryption(
+                blk, address, self.ciphertexts[blk], old_nonce
+            )
+            plaintext = self._cipher.decrypt(ciphertext, old_nonce, address)
+            new_nonce = self._nonce(0)  # counter 0, new epoch
+            self._store_block(
+                blk, self._cipher.encrypt(plaintext, new_nonce, address),
+                new_nonce,
+            )
+        for group in range(self.scheme.num_groups):
+            self._commit_metadata(group)
+
+    def read(self, address: int) -> ReadResult:
+        """Authenticate and decrypt one block.
+
+        Raises :class:`IntegrityError` on tamper/replay or uncorrectable
+        faults; transparently corrects <=2-bit faults on MAC-in-ECC
+        configurations (writing the corrected ciphertext back, as a
+        demand-scrub would).
+        """
+        block = self._block_index(address)
+        self.counters.reads += 1
+        group = self.scheme.group_of(block)
+        metadata = self._stored_metadata(group)
+        if not self.tree.verify_leaf(group, self._pad_leaf(metadata)):
+            raise IntegrityError(
+                "tree", address, "counter storage failed tree verification"
+            )
+        counter = self.scheme.decode_metadata(metadata)[self.scheme.slot_of(block)]
+        nonce = self._nonce(counter)
+        ciphertext = self._stored_ciphertext(block)
+
+        if self.config.mac_in_ecc:
+            return self._read_with_ecc(block, address, ciphertext, nonce)
+        stored = self.mac_store.get(block)
+        if self._mac.tag(ciphertext, address, nonce) != stored:
+            raise IntegrityError(
+                "mac", address, "MAC mismatch on separate-MAC configuration"
+            )
+        return ReadResult(
+            data=self._cipher.decrypt(ciphertext, nonce, address),
+            outcome=CheckOutcome.CLEAN,
+        )
+
+    def _read_with_ecc(
+        self, block: int, address: int, ciphertext: bytes, nonce: int
+    ) -> ReadResult:
+        ecc = self.ecc_fields.get(block)
+        result = check_block(self._codec, ciphertext, ecc, address, nonce)
+        if result.outcome is CheckOutcome.MAC_UNCORRECTABLE:
+            raise IntegrityError(
+                "mac_bits", address, "stored MAC bits uncorrectable"
+            )
+        if result.ok:
+            if result.outcome is CheckOutcome.MAC_CORRECTED:
+                self.counters.mac_self_corrections += 1
+                # Write the healed field back (demand scrub).
+                self.ecc_fields[block] = self._codec.build(
+                    ciphertext, address, nonce
+                )
+            return ReadResult(
+                data=self._cipher.decrypt(ciphertext, nonce, address),
+                outcome=result.outcome,
+            )
+        # Data MAC mismatch: attempt flip-and-check before declaring tamper.
+        correction = self._corrector.correct(
+            ciphertext,
+            address,
+            nonce,
+            result.recovered_mac,
+            method=self._correction_method,
+        )
+        if not correction.corrected:
+            raise IntegrityError(
+                "mac",
+                address,
+                "MAC mismatch not explained by <=2 bit flips: tampering",
+            )
+        self.counters.corrections += 1
+        self.ciphertexts[block] = correction.data
+        self.ecc_fields[block] = self._codec.build(
+            correction.data, address, nonce
+        )
+        return ReadResult(
+            data=self._cipher.decrypt(correction.data, nonce, address),
+            outcome=CheckOutcome.DATA_MISMATCH,
+            corrected_bits=correction.flipped_bits,
+            correction_checks=correction.checks,
+        )
+
+    # -- fault injection / attacker operations -------------------------------------
+
+    def flip_data_bits(self, address: int, positions) -> None:
+        """Inject DRAM faults: flip ciphertext bits (0..511)."""
+        block = self._block_index(address)
+        data = bytearray(self._stored_ciphertext(block))
+        for position in positions:
+            if not 0 <= position < BLOCK_BYTES * 8:
+                raise ValueError("bit position out of range")
+            data[position >> 3] ^= 1 << (position & 7)
+        self.ciphertexts[block] = bytes(data)
+
+    def flip_ecc_bits(self, address: int, positions) -> None:
+        """Inject faults into the stored 64 ECC bits (MAC-in-ECC only)."""
+        if not self.config.mac_in_ecc:
+            raise ValueError("configuration stores no ECC field")
+        block = self._block_index(address)
+        self._stored_ciphertext(block)  # ensure initialized
+        ecc = self.ecc_fields[block]
+        for position in positions:
+            ecc = ecc.flip_bit(position)
+        self.ecc_fields[block] = ecc
+
+    def snapshot_block(self, address: int) -> dict:
+        """Attacker records everything off-chip about a block (for replay)."""
+        block = self._block_index(address)
+        group = self.scheme.group_of(block)
+        return {
+            "ciphertext": self._stored_ciphertext(block),
+            "ecc": self.ecc_fields.get(block),
+            "mac": self.mac_store.get(block),
+            "metadata": self._stored_metadata(group),
+        }
+
+    def rollback_block(self, address: int, snapshot: dict) -> None:
+        """Attacker restores data + MAC + counter storage to an old,
+        mutually consistent state.  The tree (whose top lives on-chip)
+        cannot be rolled back, so the next read must detect this."""
+        block = self._block_index(address)
+        group = self.scheme.group_of(block)
+        self.ciphertexts[block] = snapshot["ciphertext"]
+        if snapshot["ecc"] is not None:
+            self.ecc_fields[block] = snapshot["ecc"]
+        if snapshot["mac"] is not None:
+            self.mac_store[block] = snapshot["mac"]
+        self.counter_storage[group] = snapshot["metadata"]
+
+    def corrupt_counter_storage(self, group: int, data: bytes) -> None:
+        """Attacker overwrites a counter metadata block."""
+        self.counter_storage[group] = data
+
+    def corrupt_tree_node(self, level: int, index: int, data: bytes) -> None:
+        """Attacker overwrites an off-chip interior tree node."""
+        if (level, index) not in self.tree.offchip:
+            raise KeyError(f"no off-chip node at level {level}, index {index}")
+        self.tree.offchip[(level, index)] = data
+
+    def scrub_iter(self):
+        """Yield (address, ciphertext, EccField) for the scrubber."""
+        if not self.config.mac_in_ecc:
+            raise ValueError("scrubbing needs the MAC-in-ECC layout")
+        for block in sorted(self.ciphertexts):
+            yield (
+                block * BLOCK_BYTES,
+                self.ciphertexts[block],
+                self.ecc_fields[block],
+            )
+
+
+__all__ = ["SecureMemory", "ReadResult", "IntegrityError", "EngineCounters"]

@@ -1,0 +1,234 @@
+"""Timing model of the memory-encryption engine.
+
+Implements the same two-method backend interface as
+:class:`repro.memsim.cpu.system.PlainMemoryBackend`, but every LLC miss
+additionally generates the metadata traffic the paper's evaluation is
+about:
+
+Read path (demand miss):
+
+1. the data block is fetched from DRAM;
+2. in parallel, the block's counter is obtained: metadata-cache hit (a
+   handful of cycles) or a DRAM fetch of the counter block plus a
+   Bonsai-tree walk that stops at the first cached (already-verified)
+   ancestor -- each missing node is another DRAM transaction;
+3. the MAC is obtained: *free* on MAC-in-ECC configurations (it rides the
+   ECC side-band of the data burst, Section 3.1); on the separate-MAC
+   baseline it is a metadata-cache lookup and possibly one more DRAM
+   transaction;
+4. fixed on-chip latencies are added: AES-CTR keystream (overlapped with
+   the fetch, tail cost only), the GF-multiply MAC check, and -- for
+   encoded counter schemes -- the 2-cycle delta decode unit
+   (Section 5.3).
+
+The read latency returned to the core is ``max(data, counter-chain, mac
+fetch) + fixed tail`` -- the three DRAM activities proceed concurrently on
+different addresses, while the tail is serial.
+
+Write path (dirty eviction): counter increment (read-modify-write of the
+counter block through the metadata cache, including a verify walk on
+miss), data write, separate-MAC write if configured.  Writes are posted,
+so the returned latency only matters as DRAM occupancy.  Counter-scheme
+events (resets, re-encodes, re-encryptions) are recorded; re-encryption
+*traffic* is optionally modelled (off by default, matching the paper's
+"our simulation models do not include the separate re-encryption logic").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine.config import EngineConfig
+from repro.memsim.cache.cache import AccessType, Cache
+from repro.memsim.dram.system import DramSystem
+
+BLOCK_BYTES = 64
+_META_CACHE_HIT_CYCLES = 3
+
+
+@dataclass
+class TimingStats:
+    """Traffic breakdown accumulated over a run."""
+
+    demand_reads: int = 0
+    demand_writes: int = 0
+    counter_fetches: int = 0  # counter-block DRAM reads
+    tree_fetches: int = 0  # interior-node DRAM reads
+    mac_fetches: int = 0  # separate-MAC DRAM reads
+    metadata_writebacks: int = 0
+    reencryption_blocks: int = 0  # blocks rewritten by re-encryption traffic
+
+    @property
+    def extra_transactions(self) -> int:
+        """Metadata DRAM transactions beyond the demand accesses."""
+        return (
+            self.counter_fetches
+            + self.tree_fetches
+            + self.mac_fetches
+            + self.metadata_writebacks
+        )
+
+
+class EncryptionTimingBackend:
+    """Memory backend with authenticated-encryption metadata traffic."""
+
+    def __init__(self, config: EngineConfig, dram: DramSystem | None = None):
+        self.config = config
+        self.dram = dram or DramSystem()
+        self.scheme = config.build_scheme()
+        self.layout = config.build_layout()
+        self.metadata_cache = Cache(config.metadata_cache, "metadata")
+        self.stats = TimingStats()
+        self._decode_cycles = config.effective_decode_cycles
+        self._crypto_cycles = config.crypto_cycles
+
+    # -- internals ----------------------------------------------------------
+
+    def _writeback(self, cycle: int, victim_address: int) -> None:
+        self.stats.metadata_writebacks += 1
+        self.dram.access(int(cycle), victim_address, is_write=True)
+
+    def _metadata_read(self, cycle: int, address: int, kind: str) -> float:
+        """One metadata block through the cache; DRAM on miss."""
+        result = self.metadata_cache.access(address, AccessType.READ)
+        if result.writeback_address is not None:
+            self._writeback(cycle, result.writeback_address)
+        if result.hit:
+            return _META_CACHE_HIT_CYCLES
+        if kind == "counter":
+            self.stats.counter_fetches += 1
+        elif kind == "tree":
+            self.stats.tree_fetches += 1
+        else:
+            self.stats.mac_fetches += 1
+        return self.dram.access(int(cycle), address, is_write=False)
+
+    def _counter_chain(self, cycle: int, address: int) -> float:
+        """Fetch + verify the counter of a data block.
+
+        The counter block and any uncached tree ancestors are independent
+        DRAM reads issued concurrently; verification is pipelined behind
+        them, so the chain cost is the max of the fetches plus a small
+        check tail per level actually fetched.
+        """
+        counter_address = self.layout.counter_block_address(address)
+        result = self.metadata_cache.access(counter_address, AccessType.READ)
+        if result.writeback_address is not None:
+            self._writeback(cycle, result.writeback_address)
+        if result.hit:
+            return _META_CACHE_HIT_CYCLES
+        self.stats.counter_fetches += 1
+        latency = self.dram.access(int(cycle), counter_address, is_write=False)
+        speculative = self.config.speculative_verification
+        levels_fetched = 1
+        for node_address in self.layout.tree_path_addresses(address):
+            node_result = self.metadata_cache.access(
+                node_address, AccessType.READ
+            )
+            if node_result.writeback_address is not None:
+                self._writeback(cycle, node_result.writeback_address)
+            if node_result.hit:
+                break  # cached ancestor == already verified, walk ends
+            self.stats.tree_fetches += 1
+            node_latency = self.dram.access(
+                int(cycle), node_address, is_write=False
+            )
+            if not speculative:
+                latency = max(latency, node_latency)
+            levels_fetched += 1
+        if speculative:
+            # Background verification: only the counter fetch + its own
+            # check gate the read; the walk consumes bandwidth only.
+            return latency + self.config.mac_check_cycles
+        # Strict engine: one MAC-check-class verification per level.
+        return latency + levels_fetched * self.config.mac_check_cycles
+
+    # -- backend interface -------------------------------------------------------
+
+    def read_block(self, cycle: int, address: int) -> float:
+        """Latency of an authenticated read reaching DRAM.
+
+        Dependency graph: the counter becomes usable after its fetch chain
+        plus the delta decode; the AES keystream pipeline then runs,
+        overlapping the data fetch; decryption is the XOR once both are
+        ready; verification needs data + counter + (separate mode) the
+        stored MAC, plus the GF-multiply check.
+        """
+        self.stats.demand_reads += 1
+        data_ready = self.dram.access(int(cycle), address, is_write=False)
+        counter_ready = self._counter_chain(cycle, address) + self._decode_cycles
+        mac_ready = 0.0
+        if not self.config.mac_in_ecc:
+            mac_ready = self._metadata_read(
+                cycle, self.layout.mac_block_address(address), "mac"
+            )
+        keystream_ready = counter_ready + self._crypto_cycles
+        plaintext_ready = max(data_ready, keystream_ready)
+        verify_ready = (
+            max(data_ready, counter_ready, mac_ready)
+            + self.config.mac_check_cycles
+        )
+        return max(plaintext_ready, verify_ready)
+
+    def write_block(self, cycle: int, address: int) -> float:
+        """Occupancy of a dirty-line eviction (posted write)."""
+        self.stats.demand_writes += 1
+        block = address // BLOCK_BYTES
+        outcome = self.scheme.on_write(block)
+
+        # Counter read-modify-write through the metadata cache.  A miss
+        # fetches the counter block and kicks off its (background)
+        # verification walk, same as the read path.
+        counter_address = self.layout.counter_block_address(address)
+        result = self.metadata_cache.access(counter_address, AccessType.WRITE)
+        if result.writeback_address is not None:
+            self._writeback(cycle, result.writeback_address)
+        latency = float(_META_CACHE_HIT_CYCLES)
+        if not result.hit:
+            self.stats.counter_fetches += 1
+            latency = self.dram.access(
+                int(cycle), counter_address, is_write=False
+            )
+            for node_address in self.layout.tree_path_addresses(address):
+                node_result = self.metadata_cache.access(
+                    node_address, AccessType.READ
+                )
+                if node_result.writeback_address is not None:
+                    self._writeback(cycle, node_result.writeback_address)
+                if node_result.hit:
+                    break
+                self.stats.tree_fetches += 1
+                self.dram.access(int(cycle), node_address, is_write=False)
+
+        # The data write itself (MAC rides along on MAC-in-ECC).
+        latency = max(
+            latency, self.dram.access(int(cycle), address, is_write=True)
+        )
+        if not self.config.mac_in_ecc:
+            mac_address = self.layout.mac_block_address(address)
+            mac_result = self.metadata_cache.access(
+                mac_address, AccessType.WRITE
+            )
+            if mac_result.writeback_address is not None:
+                self._writeback(cycle, mac_result.writeback_address)
+            if not mac_result.hit:
+                self.stats.mac_fetches += 1
+                self.dram.access(int(cycle), mac_address, is_write=False)
+
+        if (
+            outcome.reencrypted_group is not None
+            and self.config.model_reencryption_traffic
+        ):
+            self._issue_reencryption_traffic(cycle, outcome.reencrypted_group)
+        return latency
+
+    def _issue_reencryption_traffic(self, cycle: int, group: int) -> None:
+        """Stream the whole block-group through DRAM (read + write each)."""
+        for block in self.scheme.blocks_in_group(group):
+            block_address = block * BLOCK_BYTES
+            self.dram.access(int(cycle), block_address, is_write=False)
+            self.dram.access(int(cycle), block_address, is_write=True)
+            self.stats.reencryption_blocks += 1
+
+
+__all__ = ["EncryptionTimingBackend", "TimingStats"]

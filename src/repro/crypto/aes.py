@@ -1,0 +1,209 @@
+"""AES-128 block cipher, implemented from scratch (FIPS-197).
+
+Counter-mode memory encryption generates its keystream by encrypting
+``counter || physical_address`` with AES (paper Section 2.1).  This module
+provides the block cipher itself; :mod:`repro.crypto.ctr` builds the
+keystream construction on top of it.
+
+The implementation is a straightforward table-based AES-128: S-box /
+inverse S-box lookups, byte-wise MixColumns over GF(2^8), and the standard
+key schedule.  It is validated against the FIPS-197 Appendix B/C known
+answer vectors in the test suite.  No constant-time claims are made -- the
+simulator needs functional correctness, not side-channel resistance.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+ROUNDS = 10
+
+
+def _build_sbox() -> tuple:
+    """Construct the AES S-box from first principles (GF(2^8) inversion
+    followed by the affine map), rather than embedding a magic table."""
+    # Multiplicative inverse table in GF(2^8) mod x^8+x^4+x^3+x+1 (0x11B).
+    def gf256_mul(a: int, b: int) -> int:
+        result = 0
+        for _ in range(8):
+            if b & 1:
+                result ^= a
+            carry = a & 0x80
+            a = (a << 1) & 0xFF
+            if carry:
+                a ^= 0x1B
+            b >>= 1
+        return result
+
+    inverse = [0] * 256
+    for x in range(1, 256):
+        if inverse[x]:
+            continue
+        for y in range(1, 256):
+            if gf256_mul(x, y) == 1:
+                inverse[x] = y
+                inverse[y] = x
+                break
+
+    sbox = [0] * 256
+    for x in range(256):
+        b = inverse[x]
+        # Affine transformation: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3)
+        # ^ rotl(b,4) ^ 0x63.
+        value = b
+        for shift in (1, 2, 3, 4):
+            value ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[x] = value ^ 0x63
+    inv_sbox = [0] * 256
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return tuple(sbox), tuple(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """General GF(2^8) multiply used by (Inv)MixColumns."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES128:
+    """AES-128 with pre-expanded round keys.
+
+    >>> cipher = AES128(bytes(range(16)))
+    >>> pt = bytes(16)
+    >>> cipher.decrypt_block(cipher.encrypt_block(pt)) == pt
+    True
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) != KEY_SIZE:
+            raise ValueError(f"AES-128 key must be {KEY_SIZE} bytes")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list:
+        """FIPS-197 key expansion: 44 32-bit words as 11 round-key blocks."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        rcon = 1
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= rcon
+                rcon = _xtime(rcon)
+            words.append([t ^ w for t, w in zip(temp, words[i - 4])])
+        round_keys = []
+        for r in range(11):
+            block = []
+            for w in words[4 * r : 4 * r + 4]:
+                block.extend(w)
+            round_keys.append(bytes(block))
+        return round_keys
+
+    # -- state helpers: state is a flat list of 16 bytes in column-major
+    #    order, matching the FIPS-197 byte-to-state mapping. ---------------
+
+    @staticmethod
+    def _add_round_key(state: list, round_key: bytes) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: list, box: tuple) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list) -> None:
+        # Row r (bytes r, r+4, r+8, r+12) rotates left by r.
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: list) -> None:
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: list) -> None:
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _gmul(col[0], 2) ^ _gmul(col[1], 3) ^ col[2] ^ col[3]
+            state[4 * c + 1] = col[0] ^ _gmul(col[1], 2) ^ _gmul(col[2], 3) ^ col[3]
+            state[4 * c + 2] = col[0] ^ col[1] ^ _gmul(col[2], 2) ^ _gmul(col[3], 3)
+            state[4 * c + 3] = _gmul(col[0], 3) ^ col[1] ^ col[2] ^ _gmul(col[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: list) -> None:
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = (
+                _gmul(col[0], 14) ^ _gmul(col[1], 11) ^ _gmul(col[2], 13) ^ _gmul(col[3], 9)
+            )
+            state[4 * c + 1] = (
+                _gmul(col[0], 9) ^ _gmul(col[1], 14) ^ _gmul(col[2], 11) ^ _gmul(col[3], 13)
+            )
+            state[4 * c + 2] = (
+                _gmul(col[0], 13) ^ _gmul(col[1], 9) ^ _gmul(col[2], 14) ^ _gmul(col[3], 11)
+            )
+            state[4 * c + 3] = (
+                _gmul(col[0], 11) ^ _gmul(col[1], 13) ^ _gmul(col[2], 9) ^ _gmul(col[3], 14)
+            )
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(plaintext) != BLOCK_SIZE:
+            raise ValueError(f"plaintext block must be {BLOCK_SIZE} bytes")
+        state = list(plaintext)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, ROUNDS):
+            self._sub_bytes(state, SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state, SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(ciphertext) != BLOCK_SIZE:
+            raise ValueError(f"ciphertext block must be {BLOCK_SIZE} bytes")
+        state = list(ciphertext)
+        self._add_round_key(state, self._round_keys[ROUNDS])
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, INV_SBOX)
+        for r in range(ROUNDS - 1, 0, -1):
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+
+__all__ = ["AES128", "BLOCK_SIZE", "KEY_SIZE", "SBOX", "INV_SBOX"]

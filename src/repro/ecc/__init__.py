@@ -1,0 +1,30 @@
+"""Error-correcting-code substrate.
+
+Implements the coding-theory pieces the paper builds on:
+
+* :mod:`repro.ecc.hamming` -- a parametric extended-Hamming SEC-DED codec
+  (single-error-correcting, double-error-detecting) for any data width.
+  Instantiated at 64 data bits it is the standard per-8-byte-word DIMM
+  code; at 56 data bits it is the 7-bit code the paper wraps around the
+  MAC tag (Section 3.3).
+* :mod:`repro.ecc.secded` -- the conventional ECC-DIMM view: (72,64) per
+  word, and a whole-64-byte-block wrapper used as the comparator scheme in
+  the Figure 3 fault matrix.
+* :mod:`repro.ecc.parity` -- single-parity helpers used by the scrub bit.
+"""
+
+from repro.ecc.hamming import DecodeStatus, HammingResult, HammingSecDed
+from repro.ecc.parity import parity_bit, parity_of_bytes
+from repro.ecc.secded import BlockSecDed, Secded7264, WORD_BYTES, WORDS_PER_BLOCK
+
+__all__ = [
+    "DecodeStatus",
+    "HammingResult",
+    "HammingSecDed",
+    "parity_bit",
+    "parity_of_bytes",
+    "BlockSecDed",
+    "Secded7264",
+    "WORD_BYTES",
+    "WORDS_PER_BLOCK",
+]

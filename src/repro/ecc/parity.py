@@ -1,0 +1,27 @@
+"""Single-bit parity helpers.
+
+The MAC-in-ECC layout keeps one spare bit per 64-byte block and fills it
+with a parity bit over the ciphertext (Section 3.3, "Enabling Efficient
+Scrubbing"): a scrubber can sweep memory for single-bit upsets with a
+cheap parity check instead of recomputing MACs.
+"""
+
+from __future__ import annotations
+
+
+def parity_bit(value: int) -> int:
+    """Even-parity bit of an integer: 1 iff the popcount is odd."""
+    if value < 0:
+        raise ValueError("parity is defined for non-negative integers")
+    return bin(value).count("1") & 1
+
+
+def parity_of_bytes(data: bytes) -> int:
+    """Even-parity bit over a byte string (e.g. a 64-byte ciphertext)."""
+    acc = 0
+    for byte in data:
+        acc ^= byte
+    return parity_bit(acc)
+
+
+__all__ = ["parity_bit", "parity_of_bytes"]

@@ -1,0 +1,112 @@
+"""Conventional ECC-DIMM codecs: (72,64) per word and per 64-byte block.
+
+This is the *comparator* scheme for the paper's Figure 3: mainstream ECC
+DIMMs store 8 check bits per 8-byte word (12.5% overhead) and correct one
+flip / detect two flips independently in each word.  A 64-byte block
+therefore carries 64 check bits and can ride out up to 16 flips -- but only
+if no word sees more than two, and it *miscorrects* silently beyond that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecc.hamming import DecodeStatus, HammingSecDed
+
+WORD_BYTES = 8
+WORDS_PER_BLOCK = 8
+BLOCK_BYTES = WORD_BYTES * WORDS_PER_BLOCK
+
+
+class Secded7264:
+    """The standard DIMM code: 64 data bits + 8 check bits per word."""
+
+    def __init__(self):
+        self._codec = HammingSecDed(64)
+        assert self._codec.check_bits == 8
+
+    def encode_word(self, word: bytes) -> int:
+        """8-bit check field for one 8-byte word."""
+        if len(word) != WORD_BYTES:
+            raise ValueError(f"word must be {WORD_BYTES} bytes")
+        return self._codec.encode(int.from_bytes(word, "little"))
+
+    def decode_word(self, word: bytes, check: int):
+        """Decode one word; returns (corrected_word_bytes, HammingResult)."""
+        if len(word) != WORD_BYTES:
+            raise ValueError(f"word must be {WORD_BYTES} bytes")
+        result = self._codec.decode(int.from_bytes(word, "little"), check)
+        return result.data.to_bytes(WORD_BYTES, "little"), result
+
+
+@dataclass(frozen=True)
+class BlockDecodeResult:
+    """Outcome of decoding a 64-byte block under conventional ECC.
+
+    ``statuses`` has one :class:`DecodeStatus` per 8-byte word.  ``ok`` is
+    true when no word reported an uncorrectable error.  Note that ``ok``
+    can be *wrong* under >2 flips per word (silent miscorrection) -- the
+    property the Figure 3 experiments probe.
+    """
+
+    data: bytes
+    statuses: tuple
+    corrected_bits: int
+
+    @property
+    def ok(self) -> bool:
+        return all(s is not DecodeStatus.DETECTED for s in self.statuses)
+
+    @property
+    def detected(self) -> bool:
+        return any(s is DecodeStatus.DETECTED for s in self.statuses)
+
+
+class BlockSecDed:
+    """Apply (72,64) SEC-DED independently to each word of a 64-byte block.
+
+    The 8 per-word check bytes concatenate into the 8-byte ECC field that a
+    conventional DIMM stores per 64-byte burst -- the same 64 bits the
+    paper's scheme repurposes as MAC + parity.
+    """
+
+    def __init__(self):
+        self._word_codec = Secded7264()
+
+    def encode_block(self, data: bytes) -> bytes:
+        """Compute the 8-byte ECC field for a 64-byte block."""
+        if len(data) != BLOCK_BYTES:
+            raise ValueError(f"block must be {BLOCK_BYTES} bytes")
+        checks = bytearray()
+        for i in range(WORDS_PER_BLOCK):
+            word = data[i * WORD_BYTES : (i + 1) * WORD_BYTES]
+            checks.append(self._word_codec.encode_word(word))
+        return bytes(checks)
+
+    def decode_block(self, data: bytes, checks: bytes) -> BlockDecodeResult:
+        """Decode a block, correcting up to one flip per word."""
+        if len(data) != BLOCK_BYTES:
+            raise ValueError(f"block must be {BLOCK_BYTES} bytes")
+        if len(checks) != WORDS_PER_BLOCK:
+            raise ValueError(f"checks must be {WORDS_PER_BLOCK} bytes")
+        out = bytearray()
+        statuses = []
+        corrected = 0
+        for i in range(WORDS_PER_BLOCK):
+            word = data[i * WORD_BYTES : (i + 1) * WORD_BYTES]
+            fixed, result = self._word_codec.decode_word(word, checks[i])
+            out.extend(fixed)
+            statuses.append(result.status)
+            if result.status is DecodeStatus.CORRECTED:
+                corrected += 1
+        return BlockDecodeResult(bytes(out), tuple(statuses), corrected)
+
+
+__all__ = [
+    "Secded7264",
+    "BlockSecDed",
+    "BlockDecodeResult",
+    "WORD_BYTES",
+    "WORDS_PER_BLOCK",
+    "BLOCK_BYTES",
+]

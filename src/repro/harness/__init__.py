@@ -1,0 +1,24 @@
+"""Experiment orchestration and paper-style reporting."""
+
+from repro.harness.runner import (
+    Figure8Run,
+    PerformanceExperiment,
+    ReencryptionExperiment,
+    Table2Row,
+    WritebackFilter,
+)
+from repro.harness.charts import bar, bar_chart, grouped_bar_chart
+from repro.harness.reporting import format_table, format_series
+
+__all__ = [
+    "ReencryptionExperiment",
+    "Table2Row",
+    "PerformanceExperiment",
+    "Figure8Run",
+    "WritebackFilter",
+    "format_table",
+    "format_series",
+    "bar",
+    "bar_chart",
+    "grouped_bar_chart",
+]

@@ -1,0 +1,83 @@
+"""ASCII bar charts for figure-style exhibits.
+
+Figure 8 is a grouped bar chart in the paper; rendering the reproduction
+the same way (in plain text, so it lives in terminals, logs and
+EXPERIMENTS.md) makes the comparison legible at a glance.  No plotting
+dependency required.
+"""
+
+from __future__ import annotations
+
+FULL = "#"
+EMPTY = " "
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    """One horizontal bar scaled to ``maximum``."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    clamped = max(0.0, min(value, maximum))
+    filled = round(width * clamped / maximum)
+    return FULL * filled + EMPTY * (width - filled)
+
+
+def bar_chart(
+    title: str,
+    series: dict,
+    maximum: float | None = None,
+    width: int = 40,
+    value_format: str = "{:.3f}",
+) -> str:
+    """A labelled horizontal bar chart from {label: value}."""
+    if not series:
+        raise ValueError("series must not be empty")
+    peak = maximum if maximum is not None else max(series.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(label)) for label in series)
+    lines = [title, "=" * max(len(title), 1)]
+    for label, value in series.items():
+        rendered = value_format.format(value)
+        lines.append(
+            f"{str(label).ljust(label_width)} |{bar(value, peak, width)}| "
+            f"{rendered}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: dict,
+    maximum: float | None = None,
+    width: int = 32,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Grouped bars: {group: {series: value}} -- the Figure 8 shape."""
+    if not groups:
+        raise ValueError("groups must not be empty")
+    all_values = [
+        value for series in groups.values() for value in series.values()
+    ]
+    peak = maximum if maximum is not None else max(all_values)
+    if peak <= 0:
+        peak = 1.0
+    series_width = max(
+        len(str(name))
+        for series in groups.values()
+        for name in series
+    )
+    lines = [title, "=" * max(len(title), 1)]
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            rendered = value_format.format(value)
+            lines.append(
+                f"  {str(name).ljust(series_width)} "
+                f"|{bar(value, peak, width)}| {rendered}"
+            )
+    return "\n".join(lines)
+
+
+__all__ = ["bar", "bar_chart", "grouped_bar_chart"]

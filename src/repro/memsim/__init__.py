@@ -1,0 +1,11 @@
+"""Memory-system simulation substrate.
+
+Stands in for the paper's MARSSx86 + DRAMSim2 stack (Table 1):
+
+* :mod:`repro.memsim.cache` -- set-associative caches and the
+  L1/L2/L3 hierarchy,
+* :mod:`repro.memsim.dram` -- DDR3-1600 bank/row-buffer timing model with
+  channel interleaving,
+* :mod:`repro.memsim.cpu` -- trace format and the trace-driven multicore
+  timing model that produces the IPC numbers for Figure 8.
+"""

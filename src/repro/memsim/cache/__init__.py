@@ -1,0 +1,13 @@
+"""Set-associative cache models."""
+
+from repro.memsim.cache.cache import AccessType, Cache, CacheConfig, CacheStats
+from repro.memsim.cache.hierarchy import CacheHierarchy, HierarchyConfig
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "AccessType",
+    "CacheHierarchy",
+    "HierarchyConfig",
+]

@@ -1,0 +1,150 @@
+"""Set-associative write-back cache with true-LRU replacement.
+
+Used three ways in the reproduction: as the L1/L2/L3 data caches of the
+trace-driven CPU model, and -- with a 32 KB / 8-way configuration -- as the
+memory-encryption engine's counter/MAC metadata cache (Table 1).
+
+The model tracks tags only (no data payloads); the functional engine keeps
+payloads separately.  Each access returns whether it hit and, on a miss,
+which dirty victim (if any) was written back -- enough for both the timing
+model and the write-back traffic accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+class AccessType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache dimensions must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError(
+                "size must be a multiple of ways * line_bytes"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write-back counters for one cache."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return (
+            self.read_hits + self.read_misses + self.write_hits + self.write_misses
+        )
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return 1.0 - self.misses / total if total else 0.0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    writeback_address: int | None = None  # dirty victim line address, if any
+
+
+class Cache:
+    """Tag-array model of one set-associative write-back cache."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # One OrderedDict per set: tag -> dirty flag; order = LRU (front
+        # is least recently used).  Set index is line % num_sets, which
+        # supports the non-power-of-two set counts of real L3s (10 MB /
+        # 16-way / 64 B = 10240 sets, Table 1).
+        self._sets = [OrderedDict() for _ in range(config.num_sets)]
+        self._num_sets = config.num_sets
+        self._line_shift = config.line_bytes.bit_length() - 1
+
+    def _locate(self, address: int) -> tuple:
+        line = address >> self._line_shift
+        return self._sets[line % self._num_sets], line
+
+    def access(self, address: int, access_type: AccessType) -> AccessResult:
+        """Access one address; allocate on miss (write-allocate policy)."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        cache_set, line = self._locate(address)
+        is_write = access_type is AccessType.WRITE
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            if is_write:
+                cache_set[line] = True
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            return AccessResult(hit=True)
+
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        writeback = None
+        if len(cache_set) >= self.config.ways:
+            victim_line, dirty = cache_set.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+                writeback = victim_line << self._line_shift
+        cache_set[line] = is_write
+        return AccessResult(hit=False, writeback_address=writeback)
+
+    def probe(self, address: int) -> bool:
+        """Check residency without touching LRU state or statistics."""
+        cache_set, line = self._locate(address)
+        return line in cache_set
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present (returns whether it was resident)."""
+        cache_set, line = self._locate(address)
+        return cache_set.pop(line, None) is not None
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of dirty lines dropped."""
+        dirty = 0
+        for cache_set in self._sets:
+            dirty += sum(1 for flag in cache_set.values() if flag)
+            cache_set.clear()
+        return dirty
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+__all__ = ["Cache", "CacheConfig", "CacheStats", "AccessResult", "AccessType"]

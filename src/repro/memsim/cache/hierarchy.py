@@ -1,0 +1,114 @@
+"""Three-level cache hierarchy matching the paper's Table 1.
+
+L1 32 KB 8-way and L2 256 KB 8-way are private per core; L3 10 MB 16-way
+is shared.  The hierarchy is inclusive-enough for a trace-driven model: an
+access walks down until it hits, allocating in every level it missed, and
+only L3 misses reach the encryption engine / DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.cache.cache import AccessType, Cache, CacheConfig
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Sizes/associativities of the three levels (Table 1 defaults)."""
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=32 * 1024, ways=8)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=256 * 1024, ways=8)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=10 * 1024 * 1024, ways=16)
+    )
+    num_cores: int = 4
+    #: load-to-use latencies in cycles (typical for the 3.2 GHz class
+    #: machine of Table 1)
+    l1_latency: int = 4
+    l2_latency: int = 12
+    l3_latency: int = 38
+
+
+@dataclass
+class HierarchyAccess:
+    """Where an access was satisfied and what it cost on-chip."""
+
+    level: str  # "l1" | "l2" | "l3" | "memory"
+    latency: int  # on-chip cycles up to (not including) DRAM
+    writebacks: tuple = ()  # dirty victim line addresses evicted to DRAM
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core, shared L3."""
+
+    def __init__(self, config: HierarchyConfig | None = None):
+        self.config = config or HierarchyConfig()
+        cores = self.config.num_cores
+        if cores <= 0:
+            raise ValueError("num_cores must be positive")
+        self.l1 = [Cache(self.config.l1, f"l1.{i}") for i in range(cores)]
+        self.l2 = [Cache(self.config.l2, f"l2.{i}") for i in range(cores)]
+        self.l3 = Cache(self.config.l3, "l3")
+
+    def access(
+        self, core: int, address: int, access_type: AccessType
+    ) -> HierarchyAccess:
+        """Walk the hierarchy; returns the level that satisfied the access.
+
+        Dirty L3 victims are reported as write-back traffic to DRAM; dirty
+        L1/L2 victims are absorbed by the next level (modelled as hits
+        there, cost folded into the allocate).
+        """
+        if not 0 <= core < self.config.num_cores:
+            raise IndexError(f"core {core} out of range")
+        cfg = self.config
+        writebacks = []
+
+        result = self.l1[core].access(address, access_type)
+        if result.hit:
+            return HierarchyAccess("l1", cfg.l1_latency)
+        if result.writeback_address is not None:
+            # L1 victim lands in L2 (write-back, write-allocate).
+            l2_wb = self.l2[core].access(
+                result.writeback_address, AccessType.WRITE
+            )
+            if l2_wb.writeback_address is not None:
+                l3_wb = self.l3.access(l2_wb.writeback_address, AccessType.WRITE)
+                if l3_wb.writeback_address is not None:
+                    writebacks.append(l3_wb.writeback_address)
+
+        result = self.l2[core].access(address, access_type)
+        if result.hit:
+            return HierarchyAccess("l2", cfg.l2_latency, tuple(writebacks))
+        if result.writeback_address is not None:
+            l3_wb = self.l3.access(result.writeback_address, AccessType.WRITE)
+            if l3_wb.writeback_address is not None:
+                writebacks.append(l3_wb.writeback_address)
+
+        result = self.l3.access(address, access_type)
+        if result.hit:
+            return HierarchyAccess("l3", cfg.l3_latency, tuple(writebacks))
+        if result.writeback_address is not None:
+            writebacks.append(result.writeback_address)
+        return HierarchyAccess("memory", cfg.l3_latency, tuple(writebacks))
+
+    def miss_rates(self) -> dict:
+        """Per-level aggregate miss rates (reporting helper)."""
+        def aggregate(caches):
+            accesses = sum(c.stats.accesses for c in caches)
+            misses = sum(c.stats.misses for c in caches)
+            return misses / accesses if accesses else 0.0
+
+        return {
+            "l1": aggregate(self.l1),
+            "l2": aggregate(self.l2),
+            "l3": aggregate([self.l3]),
+        }
+
+
+__all__ = ["CacheHierarchy", "HierarchyConfig", "HierarchyAccess"]

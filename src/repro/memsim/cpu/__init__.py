@@ -1,0 +1,29 @@
+"""Trace-driven multicore CPU timing model (the MARSSx86 stand-in)."""
+
+from repro.memsim.cpu.trace import (
+    TraceRecord,
+    TraceStats,
+    load_trace,
+    save_trace,
+    trace_from_tuples,
+)
+from repro.memsim.cpu.system import (
+    CoreConfig,
+    CoreResult,
+    PlainMemoryBackend,
+    SimulationResult,
+    TraceDrivenSystem,
+)
+
+__all__ = [
+    "TraceRecord",
+    "TraceStats",
+    "trace_from_tuples",
+    "save_trace",
+    "load_trace",
+    "CoreConfig",
+    "CoreResult",
+    "SimulationResult",
+    "TraceDrivenSystem",
+    "PlainMemoryBackend",
+]

@@ -1,0 +1,179 @@
+"""Trace-driven multicore timing simulator.
+
+Each core replays its own memory trace.  Between memory accesses a core
+retires ``gap`` instructions at its base IPC (the out-of-order width the
+paper's 4-wide OoO cores achieve on cache-resident code); a load that
+misses all the way to memory stalls the core for the access latency
+divided by a memory-level-parallelism factor (an OoO core overlaps
+several outstanding misses); stores are posted and do not stall.
+
+Cores share the L3 and the DRAM channels, so metadata traffic injected by
+the encryption engine slows everyone -- the effect Figure 8 measures.
+
+The memory backend is pluggable: :class:`PlainMemoryBackend` is raw DRAM
+(the "no encryption" baseline); the encryption timing engines in
+:mod:`repro.core.engine` implement the same two-method interface and add
+their counter/MAC/tree transactions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.memsim.cache.cache import AccessType
+from repro.memsim.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.memsim.dram.system import DramSystem
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Per-core timing parameters."""
+
+    base_ipc: float = 2.0  # retire rate on cache-resident code (4-wide OoO)
+    mlp: float = 4.0  # overlapped outstanding misses on stalls
+
+    def __post_init__(self):
+        if self.base_ipc <= 0 or self.mlp < 1:
+            raise ValueError("base_ipc must be > 0 and mlp >= 1")
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome of a simulation."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    loads: int = 0
+    stores: int = 0
+    llc_misses: int = 0
+    stall_cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Whole-system outcome."""
+
+    cores: list
+    total_cycles: float
+
+    @property
+    def instructions(self) -> int:
+        return sum(c.instructions for c in self.cores)
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate IPC: total instructions over the longest core's time."""
+        return self.instructions / self.total_cycles if self.total_cycles else 0.0
+
+
+class PlainMemoryBackend:
+    """Unencrypted memory: every LLC miss is exactly one DRAM transaction."""
+
+    def __init__(self, dram: DramSystem | None = None):
+        self.dram = dram or DramSystem()
+
+    def read_block(self, cycle: int, address: int) -> float:
+        """Latency of a demand read reaching DRAM."""
+        return self.dram.access(int(cycle), address, is_write=False)
+
+    def write_block(self, cycle: int, address: int) -> float:
+        """Latency/occupancy of a write-back reaching DRAM."""
+        return self.dram.access(int(cycle), address, is_write=True)
+
+
+class TraceDrivenSystem:
+    """N cores x private L1/L2 x shared L3 x pluggable memory backend."""
+
+    def __init__(
+        self,
+        backend,
+        hierarchy: CacheHierarchy | None = None,
+        core_config: CoreConfig | None = None,
+    ):
+        self.backend = backend
+        self.hierarchy = hierarchy or CacheHierarchy()
+        self.core_config = core_config or CoreConfig()
+        self.num_cores = self.hierarchy.config.num_cores
+
+    def run(self, traces: Iterable) -> SimulationResult:
+        """Replay one trace per core to completion.
+
+        ``traces`` is a sequence of per-core iterables of
+        ``(gap, is_write, address)`` tuples.  Cores advance in global
+        timestamp order so contention on the shared L3/DRAM is causally
+        consistent.
+        """
+        traces = list(traces)
+        if len(traces) > self.num_cores:
+            raise ValueError(
+                f"{len(traces)} traces for {self.num_cores} cores"
+            )
+        cfg = self.core_config
+        cpi = 1.0 / cfg.base_ipc
+        iterators = [iter(t) for t in traces]
+        results = [CoreResult() for _ in traces]
+
+        # Min-heap of (next_event_cycle, core_id); cores whose traces are
+        # exhausted drop out.
+        heap = []
+        for core_id, it in enumerate(iterators):
+            record = next(it, None)
+            if record is not None:
+                heap.append((0.0, core_id, record))
+        heapq.heapify(heap)
+
+        while heap:
+            cycle, core_id, (gap, is_write, address) = heapq.heappop(heap)
+            result = results[core_id]
+            # Retire the compute gap, then perform the access.
+            cycle += gap * cpi
+            result.instructions += gap + 1
+            if is_write:
+                result.stores += 1
+            else:
+                result.loads += 1
+
+            access = self.hierarchy.access(
+                core_id,
+                address,
+                AccessType.WRITE if is_write else AccessType.READ,
+            )
+            if access.level != "l1":
+                # L1 hits are fully pipelined by an OoO core; deeper
+                # levels expose their latency (writes mostly posted).
+                cycle += access.latency * (0.25 if is_write else 1.0)
+            if access.level == "memory":
+                result.llc_misses += 1
+                latency = self.backend.read_block(cycle, address)
+                if not is_write:
+                    stall = latency / cfg.mlp
+                    cycle += stall
+                    result.stall_cycles += stall
+                # A write miss allocates (fetch-on-write) but the store is
+                # posted: traffic yes, stall no.
+            for victim in access.writebacks:
+                # Dirty L3 victims stream out in the background.
+                self.backend.write_block(cycle, victim)
+
+            result.cycles = cycle
+            record = next(iterators[core_id], None)
+            if record is not None:
+                heapq.heappush(heap, (cycle, core_id, record))
+
+        total = max((r.cycles for r in results), default=0.0)
+        return SimulationResult(cores=results, total_cycles=total)
+
+
+__all__ = [
+    "CoreConfig",
+    "CoreResult",
+    "SimulationResult",
+    "PlainMemoryBackend",
+    "TraceDrivenSystem",
+]

@@ -1,0 +1,29 @@
+"""DDR3 DRAM timing model (the DRAMSim2 stand-in).
+
+The paper attaches MARSSx86 to DRAMSim2 configured as 4 channels of
+DDR3-1600 (Table 1).  This package reproduces the abstraction level the
+results depend on: per-bank row-buffer state (open-row hits vs closed-row
+activations vs conflicts), shared per-channel data-bus occupancy, and an
+ECC side-band that carries the MAC "for free" alongside each burst.
+"""
+
+from repro.memsim.dram.timing import DDR3_1600, DramTiming
+from repro.memsim.dram.system import AddressMapping, DramSystem, DramStats
+from repro.memsim.dram.controller import (
+    ControllerStats,
+    FrFcfsController,
+    Request,
+    ServicedRequest,
+)
+
+__all__ = [
+    "DramTiming",
+    "DDR3_1600",
+    "DramSystem",
+    "DramStats",
+    "AddressMapping",
+    "FrFcfsController",
+    "Request",
+    "ServicedRequest",
+    "ControllerStats",
+]

@@ -1,0 +1,179 @@
+"""Multi-channel DRAM system: banks, row buffers, bus occupancy.
+
+Requests arrive with a CPU-cycle timestamp and return a completion time;
+the model accounts for
+
+* row-buffer state per bank (hit / closed / conflict latencies),
+* serialization on the per-channel data bus (``tBURST`` occupancy),
+* bank busy time (a bank cannot start a new column access while its
+  previous activate/precharge sequence is in flight),
+* an ECC side-band: an "ecc payload" rides along with any burst for free,
+  which is how the MAC-in-ECC scheme gets its MACs without extra
+  transactions (Section 3.1).
+
+The scheduler is FCFS per request with open-page policy -- simpler than
+DRAMSim2's FR-FCFS, but it preserves the first-order effects the paper's
+numbers are built from (locality-dependent latency and bandwidth
+contention from extra metadata transactions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.dram.timing import DDR3_1600, DramTiming
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Physical-address -> (channel, bank, row) decomposition.
+
+    Consecutive 64-byte blocks interleave across channels first (maximizing
+    channel parallelism for streams), then fill columns of a row, then
+    banks, then rows -- the usual open-page-friendly mapping.
+    """
+
+    channels: int = 4
+    banks_per_channel: int = 8
+    row_bytes: int = 8192
+    block_bytes: int = 64
+
+    def __post_init__(self):
+        for name in ("channels", "banks_per_channel"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+
+    @property
+    def _channel_bits(self) -> int:
+        return self.channels.bit_length() - 1
+
+    @property
+    def _bank_bits(self) -> int:
+        return self.banks_per_channel.bit_length() - 1
+
+    @property
+    def _column_bits(self) -> int:
+        columns = self.row_bytes // self.block_bytes
+        return columns.bit_length() - 1
+
+    def decompose(self, address: int) -> tuple:
+        """Return (channel, bank, row) for a block-aligned address."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        block = address // self.block_bytes
+        channel = block & (self.channels - 1)
+        rest = block >> self._channel_bits
+        rest >>= self._column_bits  # column index -- not needed beyond row id
+        bank = rest & (self.banks_per_channel - 1)
+        row = rest >> self._bank_bits
+        return channel, bank, row
+
+
+@dataclass
+class DramStats:
+    """Aggregate DRAM traffic statistics."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_closed: int = 0
+    row_conflicts: int = 0
+    total_latency: int = 0
+    busy_cycles: int = 0
+    refresh_stalls: int = 0  # accesses delayed by a refresh window
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+
+class _Bank:
+    __slots__ = ("open_row", "ready_at")
+
+    def __init__(self):
+        self.open_row = None
+        self.ready_at = 0
+
+
+class DramSystem:
+    """The 4-channel DDR3-1600 memory system of Table 1."""
+
+    def __init__(
+        self,
+        mapping: AddressMapping | None = None,
+        timing: DramTiming | None = None,
+    ):
+        self.mapping = mapping or AddressMapping()
+        self.timing = timing or DDR3_1600
+        self.stats = DramStats()
+        self._banks = [
+            [_Bank() for _ in range(self.mapping.banks_per_channel)]
+            for _ in range(self.mapping.channels)
+        ]
+        self._bus_free_at = [0] * self.mapping.channels
+
+    def access(self, cycle: int, address: int, is_write: bool = False) -> int:
+        """Issue one 64-byte transaction at CPU ``cycle``.
+
+        Returns the *latency* in CPU cycles from ``cycle`` to data
+        completion.  Any ECC side-band payload (the MAC) arrives at the
+        same time at no extra cost.
+        """
+        if cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        timing = self.timing
+        channel, bank_index, row = self.mapping.decompose(address)
+        bank = self._banks[channel][bank_index]
+
+        start = max(cycle, bank.ready_at, self._bus_free_at[channel])
+        if timing.tREFI:
+            # Periodic refresh: at every multiple of tREFI (k >= 1) the
+            # rank is unavailable for tRFC and all row buffers close
+            # (refresh ends with a precharge).
+            interval = start // timing.tREFI
+            window_end = interval * timing.tREFI + timing.tRFC
+            if interval >= 1 and start < window_end:
+                start = window_end
+                bank.open_row = None
+                self.stats.refresh_stalls += 1
+        if bank.open_row == row:
+            access_latency = timing.row_hit_latency
+            self.stats.row_hits += 1
+        elif bank.open_row is None:
+            access_latency = timing.row_closed_latency
+            self.stats.row_closed += 1
+        else:
+            access_latency = timing.row_conflict_latency
+            self.stats.row_conflicts += 1
+        bank.open_row = row
+
+        done = start + access_latency
+        # The data bus is busy for the burst at the tail of the access;
+        # the bank must honour tRAS before it can precharge again.
+        self._bus_free_at[channel] = done
+        bank.ready_at = max(done, start + timing.tRAS)
+
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        latency = done - cycle + timing.controller_overhead
+        self.stats.total_latency += latency
+        self.stats.busy_cycles += access_latency
+        return latency
+
+    def completion_time(self, cycle: int, address: int, is_write: bool = False) -> int:
+        """Convenience: absolute completion cycle of an access."""
+        return cycle + self.access(cycle, address, is_write)
+
+
+__all__ = ["DramSystem", "DramStats", "AddressMapping"]

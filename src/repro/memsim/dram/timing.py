@@ -1,0 +1,73 @@
+"""DDR3 timing parameters, expressed in CPU cycles.
+
+The simulated CPU runs at 3.2 GHz and DDR3-1600 runs its command clock at
+800 MHz (1.25 ns), so one DRAM clock is four CPU cycles.  Storing the
+parameters pre-scaled keeps the hot simulation path in integer CPU cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Core DDR3 timing set, in CPU cycles.
+
+    ``tCL``   column access (CAS) latency
+    ``tRCD``  activate-to-read
+    ``tRP``   precharge
+    ``tRAS``  activate-to-precharge minimum
+    ``tBURST`` data-bus occupancy of one 64-byte burst (BL8)
+    ``controller_overhead`` fixed queuing/PHY cycles added per request
+    """
+
+    tCL: int
+    tRCD: int
+    tRP: int
+    tRAS: int
+    tBURST: int
+    controller_overhead: int = 20
+    #: average refresh interval and refresh cycle time; 0 disables the
+    #: refresh model (JEDEC: tREFI 7.8 us, tRFC ~160 ns for 2 Gb parts)
+    tREFI: int = 0
+    tRFC: int = 0
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Open-row access: CAS + burst."""
+        return self.tCL + self.tBURST
+
+    @property
+    def row_closed_latency(self) -> int:
+        """Bank idle (precharged): activate + CAS + burst."""
+        return self.tRCD + self.tCL + self.tBURST
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Different row open: precharge + activate + CAS + burst."""
+        return self.tRP + self.tRCD + self.tCL + self.tBURST
+
+
+def _ddr3_1600(cpu_per_dram_clock: int = 4,
+               with_refresh: bool = False) -> DramTiming:
+    # JEDEC DDR3-1600K: CL=11, tRCD=11, tRP=11, tRAS=28 (DRAM clocks),
+    # BL8 occupies 4 clocks of the data bus.  Refresh: tREFI = 7.8 us
+    # (6240 DRAM clocks), tRFC = 128 clocks (160 ns, 2 Gb parts).
+    scale = cpu_per_dram_clock
+    return DramTiming(
+        tCL=11 * scale,
+        tRCD=11 * scale,
+        tRP=11 * scale,
+        tRAS=28 * scale,
+        tBURST=4 * scale,
+        tREFI=6240 * scale if with_refresh else 0,
+        tRFC=128 * scale if with_refresh else 0,
+    )
+
+
+DDR3_1600 = _ddr3_1600()
+#: the same part with the periodic-refresh model enabled
+DDR3_1600_REFRESH = _ddr3_1600(with_refresh=True)
+
+__all__ = ["DramTiming", "DDR3_1600", "DDR3_1600_REFRESH"]

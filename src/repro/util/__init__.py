@@ -1,0 +1,5 @@
+"""Small shared utilities (bit packing, deterministic RNG helpers)."""
+
+from repro.util.bits import BitReader, BitWriter
+
+__all__ = ["BitReader", "BitWriter"]

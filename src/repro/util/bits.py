@@ -1,0 +1,67 @@
+"""Bit-level packing used to serialize counter metadata into memory blocks.
+
+The counter schemes pack odd-sized fields (56-bit references, 7- and 6-bit
+deltas, 2-bit group indices) into 64-byte metadata blocks exactly as the
+hardware layouts in the paper's Figures 2 and 6 do.  Bits are written
+LSB-first into a little-endian byte stream, so field boundaries are
+deterministic and independent of host endianness.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append integer fields of arbitrary bit width to a bit stream."""
+
+    def __init__(self):
+        self._value = 0
+        self._bits = 0
+
+    def write(self, value: int, width: int) -> "BitWriter":
+        """Append ``width`` bits of ``value`` (must fit)."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if not 0 <= value < (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._value |= value << self._bits
+        self._bits += width
+        return self
+
+    @property
+    def bit_length(self) -> int:
+        return self._bits
+
+    def to_bytes(self, length: int | None = None) -> bytes:
+        """Render the stream; pad with zero bits up to ``length`` bytes."""
+        needed = (self._bits + 7) // 8
+        if length is None:
+            length = needed
+        if length < needed:
+            raise ValueError(f"{self._bits} bits do not fit in {length} bytes")
+        return self._value.to_bytes(length, "little")
+
+
+class BitReader:
+    """Consume integer fields of arbitrary bit width from a byte string."""
+
+    def __init__(self, data: bytes):
+        self._value = int.from_bytes(data, "little")
+        self._offset = 0
+        self._limit = len(data) * 8
+
+    def read(self, width: int) -> int:
+        """Read the next ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if self._offset + width > self._limit:
+            raise ValueError("read past end of bit stream")
+        value = (self._value >> self._offset) & ((1 << width) - 1)
+        self._offset += width
+        return value
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._limit - self._offset
+
+
+__all__ = ["BitWriter", "BitReader"]

@@ -1,0 +1,114 @@
+"""Classic memory microbenchmarks as workload profiles.
+
+Alongside the PARSEC stand-ins, the library ships the standard
+memory-system microbenchmarks.  They serve two purposes:
+
+* *calibration* -- each one pins a single behaviour (pure streaming,
+  pure random, strided, dependent chasing), so simulator changes show up
+  as clean, interpretable shifts;
+* *worst/best-case probing* -- STREAM's copy kernel is the best case for
+  delta resets; GUPS is the worst case for every counter scheme at once
+  (uniform random updates defeat caching, convergence and widening).
+
+Each factory returns a :class:`~repro.workloads.parsec.ParsecProfile`,
+so micro workloads drop into the same harness as the PARSEC profiles::
+
+    from repro.workloads.micro import MICRO_PROFILES
+    ReencryptionExperiment().run_app(MICRO_PROFILES["gups"])
+"""
+
+from __future__ import annotations
+
+from repro.workloads.parsec import ParsecProfile
+from repro.workloads.patterns import (
+    sequential_stream,
+    strided_sweep,
+    uniform_scatter,
+    zipf_hot_set,
+)
+
+_KB = 16  # blocks per KiB
+
+
+def _clamp(blocks: int, region_blocks: int) -> int:
+    return max(1, min(blocks, region_blocks))
+
+
+def _stream(region_blocks: int, core: int) -> list:
+    """STREAM copy: read stream a, write stream b, lock-step."""
+    size = _clamp(4096, region_blocks // 8)
+    return [
+        (sequential_stream(size, write_fraction=0.0,
+                           base_block=2 * core * size), 0.50),
+        (sequential_stream(size, write_fraction=1.0,
+                           base_block=(2 * core + 1) * size), 0.50),
+    ]
+
+
+def _gups(region_blocks: int, core: int) -> list:
+    """Giga-updates-per-second: read-modify-write at random addresses."""
+    return [
+        (uniform_scatter(region_blocks, write_fraction=0.5), 1.0),
+    ]
+
+
+def _stencil(region_blocks: int, core: int) -> list:
+    """2D 5-point stencil: read sweeps over three rows, write one."""
+    plane = _clamp(8192, region_blocks // 4)
+    base = core * plane
+    return [
+        (sequential_stream(plane, write_fraction=0.0, base_block=base), 0.72),
+        (sequential_stream(plane, write_fraction=1.0, base_block=base), 0.28),
+    ]
+
+
+def _pointer_chase(region_blocks: int, core: int) -> list:
+    """Dependent random reads over a large pool (latency-bound)."""
+    pool = _clamp(region_blocks // 2, region_blocks)
+    return [
+        (zipf_hot_set(pool, write_fraction=0.0, s=1.0), 0.95),
+        (uniform_scatter(pool, write_fraction=0.05), 0.05),
+    ]
+
+
+def _strided_write(region_blocks: int, core: int) -> list:
+    """One delta-group-aligned write run per block-group (the widening
+    best case in pure form)."""
+    buffer_blocks = _clamp(4096, region_blocks)
+    return [
+        (strided_sweep(buffer_blocks, stride=64, run=16,
+                       write_fraction=1.0), 0.60),
+        (sequential_stream(buffer_blocks, write_fraction=0.0), 0.40),
+    ]
+
+
+MICRO_PROFILES = {
+    profile.name: profile
+    for profile in [
+        ParsecProfile("stream", gap_mean=12, base_ipc=1.8,
+                      write_fraction_hint=0.50, pattern_builder=_stream),
+        ParsecProfile("gups", gap_mean=10, base_ipc=0.8,
+                      write_fraction_hint=0.50, pattern_builder=_gups),
+        ParsecProfile("stencil", gap_mean=16, base_ipc=1.6,
+                      write_fraction_hint=0.28, pattern_builder=_stencil),
+        ParsecProfile("pointer_chase", gap_mean=20, base_ipc=0.9,
+                      write_fraction_hint=0.0, pattern_builder=_pointer_chase),
+        ParsecProfile("strided_write", gap_mean=14, base_ipc=1.6,
+                      write_fraction_hint=0.60,
+                      pattern_builder=_strided_write),
+    ]
+}
+
+
+def micro_profile(name: str) -> ParsecProfile:
+    """Fetch a microbenchmark profile by name."""
+    try:
+        return MICRO_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown microbenchmark {name!r}; choose from "
+            f"{sorted(MICRO_PROFILES)}"
+        ) from None
+
+
+__all__ = ["MICRO_PROFILES", "micro_profile"]

@@ -1,0 +1,89 @@
+"""Energy model: arithmetic and the configuration ordering it implies."""
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    measure_backend_energy,
+)
+from repro.core.engine.config import preset
+from repro.core.engine.timing import EncryptionTimingBackend
+from repro.memsim.cpu.system import TraceDrivenSystem
+from repro.memsim.dram.system import DramStats
+from repro.workloads.parsec import profile
+
+REGION = 16 * 1024 * 1024
+
+
+class TestModelArithmetic:
+    def test_dram_energy_components(self):
+        model = EnergyModel()
+        stats = DramStats(reads=10, writes=5, row_hits=8, row_closed=4,
+                          row_conflicts=3)
+        expected = (
+            7 * model.activate_pj
+            + 10 * model.burst_read_pj
+            + 5 * model.burst_write_pj
+        )
+        assert model.dram_energy(stats) == pytest.approx(expected)
+
+    def test_row_hits_cost_no_activation(self):
+        model = EnergyModel()
+        hits = DramStats(reads=10, row_hits=10)
+        misses = DramStats(reads=10, row_closed=10)
+        assert model.dram_energy(hits) < model.dram_energy(misses)
+
+    def test_crypto_energy(self):
+        model = EnergyModel()
+        assert model.crypto_energy(1) == pytest.approx(
+            4 * model.aes_block_pj + model.gf_mac_pj
+        )
+
+    def test_reencryption_energy_positive(self):
+        model = EnergyModel()
+        assert model.reencryption_energy(64) > 64 * model.burst_read_pj
+
+    def test_breakdown_totals(self):
+        breakdown = EnergyBreakdown("x", dram_pj=100.0, crypto_pj=50.0,
+                                    reencryption_pj=25.0)
+        assert breakdown.total_pj == 175.0
+        assert breakdown.per_access_nj(100) == pytest.approx(0.00175)
+        with pytest.raises(ValueError):
+            breakdown.per_access_nj(0)
+
+
+class TestConfigurationOrdering:
+    """The paper's qualitative claim: the optimized system does less
+    DRAM work per access, hence less energy."""
+
+    @pytest.fixture(scope="class")
+    def breakdowns(self):
+        traces = profile("canneal").traces(
+            10_000, REGION // 64, cores=4, seed=2
+        )
+        out = {}
+        for name in ("bmt_baseline", "mac_in_ecc", "combined"):
+            backend = EncryptionTimingBackend(
+                preset(name, protected_bytes=REGION)
+            )
+            TraceDrivenSystem(backend).run([list(t) for t in traces])
+            out[name] = measure_backend_energy(name, backend)
+        return out
+
+    def test_mac_in_ecc_saves_dram_energy(self, breakdowns):
+        assert (
+            breakdowns["mac_in_ecc"].dram_pj
+            < breakdowns["bmt_baseline"].dram_pj
+        )
+
+    def test_combined_is_cheapest(self, breakdowns):
+        assert breakdowns["combined"].total_pj == min(
+            b.total_pj for b in breakdowns.values()
+        )
+
+    def test_crypto_energy_is_minor(self, breakdowns):
+        """DRAM dominates: crypto is a small fraction of the total (the
+        reason the paper's optimizations target transactions, not AES)."""
+        for breakdown in breakdowns.values():
+            assert breakdown.crypto_pj < 0.25 * breakdown.dram_pj

@@ -1,0 +1,101 @@
+"""Figure 3 fault matrix: each scheme's dominant outcome per pattern."""
+
+import pytest
+
+from repro.analysis.faults import (
+    FaultOutcome,
+    figure3_scenarios,
+    run_fault_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_fault_matrix(trials=12, seed=3)
+
+
+class TestScenarioSet:
+    def test_six_scenarios(self):
+        names = [s.name for s in figure3_scenarios()]
+        assert names == [
+            "single-bit",
+            "double-bit-same-word",
+            "double-bit-two-words",
+            "sixteen-bit-spread",
+            "triple-bit-same-word",
+            "mac-bit-flip",
+        ]
+
+    def test_draws_are_in_range(self, rng):
+        for scenario in figure3_scenarios():
+            data_flips, ecc_flips = scenario.draw(rng)
+            assert all(0 <= p < 512 for p in data_flips)
+            assert all(0 <= p < 64 for p in ecc_flips)
+
+
+class TestFigure3Outcomes:
+    """The qualitative matrix the paper's Figure 3 illustrates."""
+
+    def test_single_bit_both_correct(self, matrix):
+        assert matrix.dominant("single-bit", "secded") is FaultOutcome.CORRECTED
+        assert matrix.dominant("single-bit", "mac_ecc") is FaultOutcome.CORRECTED
+
+    def test_double_same_word_only_mac_corrects(self, matrix):
+        """SEC-DED's per-word limit vs flip-and-check's 2-bit reach."""
+        assert (
+            matrix.dominant("double-bit-same-word", "secded")
+            is FaultOutcome.DETECTED
+        )
+        assert (
+            matrix.dominant("double-bit-same-word", "mac_ecc")
+            is FaultOutcome.CORRECTED
+        )
+
+    def test_double_two_words_both_correct(self, matrix):
+        assert (
+            matrix.dominant("double-bit-two-words", "secded")
+            is FaultOutcome.CORRECTED
+        )
+        assert (
+            matrix.dominant("double-bit-two-words", "mac_ecc")
+            is FaultOutcome.CORRECTED
+        )
+
+    def test_sixteen_spread_both_detect(self, matrix):
+        """2 flips per word everywhere: SEC-DED detects (its limit);
+        MAC detects but 16 > 2 flips is beyond flip-and-check."""
+        assert (
+            matrix.dominant("sixteen-bit-spread", "secded")
+            is FaultOutcome.DETECTED
+        )
+        assert (
+            matrix.dominant("sixteen-bit-spread", "mac_ecc")
+            is FaultOutcome.DETECTED
+        )
+
+    def test_triple_same_word_secded_miscorrects(self, matrix):
+        """The headline asymmetry: >2 flips per word silently corrupt
+        SEC-DED, while the MAC always detects."""
+        assert (
+            matrix.dominant("triple-bit-same-word", "secded")
+            is FaultOutcome.MISCORRECTED
+        )
+        assert (
+            matrix.dominant("triple-bit-same-word", "mac_ecc")
+            is FaultOutcome.DETECTED
+        )
+
+    def test_mac_bit_flip_self_corrected(self, matrix):
+        assert (
+            matrix.dominant("mac-bit-flip", "mac_ecc")
+            is FaultOutcome.CORRECTED
+        )
+
+    def test_mac_never_miscorrects_or_misses(self, matrix):
+        """Across every scenario, the MAC scheme must show zero
+        miscorrected/undetected outcomes (up to the 2^-56 bound, which
+        12 trials cannot hit)."""
+        for scenario, schemes in matrix.results.items():
+            outcomes = schemes["mac_ecc"]
+            assert outcomes.get(FaultOutcome.MISCORRECTED, 0) == 0, scenario
+            assert outcomes.get(FaultOutcome.UNDETECTED, 0) == 0, scenario

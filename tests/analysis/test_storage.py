@@ -1,0 +1,92 @@
+"""Storage-overhead arithmetic: the paper's Figure 1 / Section 1 numbers."""
+
+import pytest
+
+from repro.analysis.storage import (
+    counter_compaction_factor,
+    figure1_breakdowns,
+    scheme_breakdown,
+)
+
+
+class TestPaperArithmetic:
+    def test_raw_counter_overhead_is_eleven_percent(self):
+        """56 bits per 512-bit block = 10.9% (Section 2.1)."""
+        assert 56 / 512 == pytest.approx(0.109, abs=0.001)
+
+    def test_compaction_factor(self):
+        """Delta encoding: 3584 -> 504 bits per group, ~7x raw (the paper
+        rounds its packed-block comparison to 6x)."""
+        factor = counter_compaction_factor()
+        assert 6.0 <= factor <= 7.5
+
+    def test_baseline_metadata_over_22_percent(self):
+        breakdown = figure1_breakdowns()["baseline"]
+        assert breakdown.encryption_metadata > 0.22
+
+    def test_optimized_metadata_around_2_percent(self):
+        breakdown = figure1_breakdowns()["optimized"]
+        assert breakdown.encryption_metadata < 0.02
+
+    def test_headline_reduction_factor(self):
+        """'reduce the encryption metadata storage overhead from ~22% to
+        just ~2%' -- at least 10x."""
+        b = figure1_breakdowns()
+        ratio = (
+            b["baseline"].encryption_metadata
+            / b["optimized"].encryption_metadata
+        )
+        assert ratio > 10
+
+    def test_tree_depth_reduction(self):
+        """Section 5.2: 'the depth of the tree is reduced from 5 to 4'."""
+        b = figure1_breakdowns()
+        assert b["baseline"].offchip_tree_levels == 5
+        assert b["optimized"].offchip_tree_levels == 4
+
+    def test_baseline_with_ecc_approaches_one_quarter(self):
+        """Section 3.1: ECC + MACs + counters 'add up to around 1/4 of
+        the protected DRAM space'."""
+        breakdown = figure1_breakdowns()["baseline"]
+        assert 0.25 < breakdown.total_with_ecc < 0.45
+
+    def test_optimized_with_ecc_is_just_ecc(self):
+        """Merging drops the total to ~12.5% + delta counters."""
+        breakdown = figure1_breakdowns()["optimized"]
+        assert breakdown.total_with_ecc < 0.16
+
+
+class TestSchemeBreakdown:
+    def test_mac_in_ecc_zeroes_mac_component(self):
+        breakdown = scheme_breakdown(
+            "x", counters_per_block=64, mac_separate=False
+        )
+        assert breakdown.mac_overhead == 0.0
+
+    def test_separate_macs_cost_an_eighth(self):
+        breakdown = scheme_breakdown(
+            "x", counters_per_block=8, mac_separate=True
+        )
+        assert breakdown.mac_overhead == pytest.approx(0.125)
+
+    def test_without_ecc(self):
+        breakdown = scheme_breakdown(
+            "x", counters_per_block=8, mac_separate=True, with_ecc=False
+        )
+        assert breakdown.ecc_overhead == 0.0
+
+    def test_scales_with_region(self):
+        small = scheme_breakdown(
+            "x", counters_per_block=64, mac_separate=False,
+            protected_bytes=64 * 1024 * 1024,
+        )
+        large = scheme_breakdown(
+            "x", counters_per_block=64, mac_separate=False,
+            protected_bytes=1024 * 1024 * 1024,
+        )
+        # Relative counter overhead is size-independent...
+        assert small.counter_overhead == pytest.approx(
+            large.counter_overhead
+        )
+        # ...but the bigger region needs a deeper tree.
+        assert large.offchip_tree_levels >= small.offchip_tree_levels

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG so failures reproduce."""
+    return random.Random(0xDAC2018)
+
+
+@pytest.fixture
+def key48():
+    """48 bytes of key material: 16 data-encryption + 24 MAC + 8 tree."""
+    return bytes(range(48))
+
+
+@pytest.fixture
+def key24():
+    """24-byte MAC key."""
+    return bytes(range(24))
+
+
+def random_block(rng, length=64):
+    """One random memory block."""
+    return bytes(rng.randrange(256) for _ in range(length))

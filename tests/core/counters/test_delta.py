@@ -1,0 +1,177 @@
+"""Frame-of-reference delta counters: the Figure 5 semantics."""
+
+import pytest
+
+from repro.core.counters import CounterEvent, DeltaCounters
+
+
+def write_n(scheme, block, n):
+    last = None
+    for _ in range(n):
+        last = scheme.on_write(block)
+    return last
+
+
+class TestEncoding:
+    def test_counter_is_reference_plus_delta(self):
+        scheme = DeltaCounters(64)
+        write_n(scheme, 9, 3)
+        assert scheme.reference(0) == 0
+        assert scheme.deltas(0)[9] == 3
+        assert scheme.counter(9) == 3
+
+    def test_storage_fits_one_block(self):
+        """56 + 64x7 = 504 bits <= 512: one metadata block per 4 KB group
+        (Section 4.2), a 7x raw-bit compaction vs 56-bit counters."""
+        scheme = DeltaCounters(64)
+        assert scheme.bits_per_group == 504
+        assert scheme.metadata_blocks == 1
+        assert len(scheme.group_metadata(0)) == 64
+
+
+class TestReset:
+    def test_figure5b_convergence_reset(self):
+        """All deltas converge to the same value -> fold into reference,
+        zero the deltas, re-encrypt nothing."""
+        scheme = DeltaCounters(4, blocks_per_group=4, delta_bits=7)
+        # Bring every block to delta 8, in lock-step laps.
+        outcome = None
+        for lap in range(8):
+            for block in range(4):
+                outcome = scheme.on_write(block)
+        assert outcome.has(CounterEvent.RESET)
+        assert scheme.reference(0) == 8
+        assert scheme.deltas(0) == [0, 0, 0, 0]
+        # Logical counters unchanged by the reset (pure re-labelling).
+        assert all(scheme.counter(b) == 8 for b in range(4))
+        assert scheme.stats.re_encryptions == 0
+
+    def test_reset_requires_all_equal(self):
+        scheme = DeltaCounters(4, blocks_per_group=4)
+        scheme.on_write(0)
+        scheme.on_write(1)
+        assert scheme.stats.resets == 0
+        assert scheme.reference(0) == 0
+
+    def test_reset_not_at_zero(self):
+        scheme = DeltaCounters(4, blocks_per_group=4)
+        assert scheme.stats.resets == 0  # initial all-zero must not loop
+
+    def test_reset_disabled(self):
+        scheme = DeltaCounters(4, blocks_per_group=4, enable_reset=False)
+        for lap in range(8):
+            for block in range(4):
+                scheme.on_write(block)
+        assert scheme.stats.resets == 0
+        assert scheme.reference(0) == 0
+        assert scheme.deltas(0) == [8, 8, 8, 8]
+
+
+class TestReencode:
+    def test_figure5c_reencode_on_overflow(self):
+        """Overflowing delta with delta_min > 0: subtract delta_min from
+        all deltas, add it to the reference, no re-encryption."""
+        scheme = DeltaCounters(
+            4, blocks_per_group=4, delta_bits=4, enable_reset=False
+        )
+        # deltas: [11, 12, 13, 15]; next write to block 3 would overflow.
+        write_n(scheme, 0, 11)
+        write_n(scheme, 1, 12)
+        write_n(scheme, 2, 13)
+        write_n(scheme, 3, 15)
+        counters_before = [scheme.counter(b) for b in range(4)]
+        outcome = scheme.on_write(3)
+        assert outcome.has(CounterEvent.RE_ENCODE)
+        assert not outcome.has(CounterEvent.RE_ENCRYPT)
+        assert scheme.reference(0) == 11
+        assert scheme.deltas(0) == [0, 1, 2, 5]
+        # All other counters unchanged; the written one advanced by 1.
+        assert [scheme.counter(b) for b in range(4)] == [
+            counters_before[0],
+            counters_before[1],
+            counters_before[2],
+            counters_before[3] + 1,
+        ]
+
+    def test_reencode_impossible_when_min_zero(self):
+        scheme = DeltaCounters(
+            4, blocks_per_group=4, delta_bits=4, enable_reset=False
+        )
+        write_n(scheme, 3, 15)  # block 0..2 stay at 0
+        outcome = scheme.on_write(3)
+        assert outcome.has(CounterEvent.RE_ENCRYPT)
+        assert not outcome.has(CounterEvent.RE_ENCODE)
+
+    def test_reencode_disabled_forces_reencrypt(self):
+        scheme = DeltaCounters(
+            4, blocks_per_group=4, delta_bits=4,
+            enable_reset=False, enable_reencode=False,
+        )
+        for block in range(4):
+            write_n(scheme, block, 10)
+        outcome = write_n(scheme, 3, 6)
+        assert outcome.has(CounterEvent.RE_ENCRYPT)
+        assert scheme.stats.re_encodes == 0
+
+
+class TestReencrypt:
+    def test_figure5a_reencrypt_uses_largest_counter(self):
+        """On unavoidable overflow the group re-encrypts under the
+        overflowing (largest) counter, which becomes the new reference."""
+        scheme = DeltaCounters(4, blocks_per_group=4, delta_bits=7,
+                               enable_reset=False)
+        write_n(scheme, 0, 127)
+        outcome = scheme.on_write(0)
+        assert outcome.has(CounterEvent.RE_ENCRYPT)
+        assert outcome.reencrypted_group == 0
+        assert outcome.group_counter == 128
+        assert scheme.reference(0) == 128
+        assert scheme.deltas(0) == [0, 0, 0, 0]
+        # Freshness: 128 > any previously used counter (max was 127).
+        assert all(scheme.counter(b) == 128 for b in range(4))
+
+    def test_sequential_workload_never_reencrypts(self):
+        """The paper's headline dynamics: lock-step sequential writes are
+        fully absorbed by resets."""
+        scheme = DeltaCounters(64, delta_bits=7)
+        for lap in range(500):
+            for block in range(64):
+                scheme.on_write(block)
+        assert scheme.stats.re_encryptions == 0
+        assert scheme.stats.resets == 500
+
+
+class TestAggregates:
+    def test_internal_min_max_stay_consistent(self, rng):
+        """The O(1) aggregate tracking must always match a recomputation."""
+        scheme = DeltaCounters(128, delta_bits=4)
+        for _ in range(20000):
+            scheme.on_write(rng.randrange(128))
+            if rng.random() < 0.001:
+                for group in range(scheme.num_groups):
+                    deltas = scheme.deltas(group)
+                    assert scheme._min[group] == min(deltas)
+                    assert scheme._max[group] == max(deltas)
+                    assert scheme._min_count[group] == deltas.count(
+                        min(deltas)
+                    )
+        for group in range(scheme.num_groups):
+            deltas = scheme.deltas(group)
+            assert scheme._min[group] == min(deltas)
+            assert scheme._max[group] == max(deltas)
+
+    def test_metadata_roundtrip(self, rng):
+        scheme = DeltaCounters(128, delta_bits=5)
+        for _ in range(10000):
+            scheme.on_write(rng.randrange(128))
+        for group in range(scheme.num_groups):
+            decoded = scheme.decode_metadata(scheme.group_metadata(group))
+            assert decoded == [
+                scheme.counter(b) for b in scheme.blocks_in_group(group)
+            ]
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            DeltaCounters(64, delta_bits=0)
+        with pytest.raises(ValueError):
+            DeltaCounters(64, reference_bits=0)

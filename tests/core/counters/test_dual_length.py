@@ -1,0 +1,164 @@
+"""Dual-length delta encoding: widening, release, and the Figure 6 layout."""
+
+import pytest
+
+from repro.core.counters import CounterEvent, DualLengthDeltaCounters
+
+
+def write_n(scheme, block, n):
+    last = None
+    for _ in range(n):
+        last = scheme.on_write(block)
+    return last
+
+
+class TestGeometry:
+    def test_figure6_bit_budget(self):
+        """56 + 64x6 + 16x4 + index + valid = 507 <= 512 bits."""
+        scheme = DualLengthDeltaCounters(64)
+        assert scheme.bits_per_group == 56 + 384 + 64 + 2 + 1
+        assert scheme.metadata_blocks == 1
+
+    def test_delta_group_mapping(self):
+        scheme = DualLengthDeltaCounters(128)
+        assert scheme.delta_group_of(0) == 0
+        assert scheme.delta_group_of(15) == 0
+        assert scheme.delta_group_of(16) == 1
+        assert scheme.delta_group_of(63) == 3
+        assert scheme.delta_group_of(64) == 0  # next block-group
+
+    def test_group_size_must_split_in_four(self):
+        with pytest.raises(ValueError):
+            DualLengthDeltaCounters(62, blocks_per_group=62)
+
+
+class TestWidening:
+    def test_first_overflow_widens_not_reencrypts(self):
+        scheme = DualLengthDeltaCounters(64, base_delta_bits=6,
+                                         enable_reset=False)
+        outcome = write_n(scheme, 0, 64)  # 6-bit capacity is 63
+        assert outcome.has(CounterEvent.WIDEN)
+        assert not outcome.has(CounterEvent.RE_ENCRYPT)
+        assert scheme.widened_delta_group(0) == 0
+        assert scheme.counter(0) == 64
+        assert scheme.stats.widens == 1
+
+    def test_widened_group_runs_to_ten_bits(self):
+        scheme = DualLengthDeltaCounters(64, base_delta_bits=6,
+                                         extension_bits=4,
+                                         enable_reset=False)
+        write_n(scheme, 0, 1023)
+        assert scheme.counter(0) == 1023
+        assert scheme.stats.re_encryptions == 0
+        # The 1024th write exceeds even the widened capacity.
+        outcome = scheme.on_write(0)
+        assert outcome.has(CounterEvent.RE_ENCRYPT)
+
+    def test_second_group_overflow_reencrypts(self):
+        """Only one delta-group can hold the extension; with re-encode
+        impossible (zeros present) the second overflow re-encrypts."""
+        scheme = DualLengthDeltaCounters(64, enable_reset=False)
+        write_n(scheme, 0, 64)  # widen delta-group 0
+        outcome = write_n(scheme, 16, 64)  # delta-group 1 overflows
+        assert outcome.has(CounterEvent.RE_ENCRYPT)
+        assert scheme.widened_delta_group(0) is None  # cleared by re-enc
+
+    def test_reencrypt_reference_exceeds_widened_max(self):
+        """Freshness: the new reference must clear the *widened* group's
+        large deltas, not just the overflowing block's value."""
+        scheme = DualLengthDeltaCounters(64, enable_reset=False)
+        write_n(scheme, 0, 500)  # widened delta-group 0 at 500
+        counters_before = {b: scheme.counter(b) for b in range(64)}
+        outcome = write_n(scheme, 16, 64)  # forces re-encryption
+        assert outcome.has(CounterEvent.RE_ENCRYPT)
+        for block in range(64):
+            assert scheme.counter(block) > counters_before[block] - 1
+            assert scheme.counter(block) == outcome.group_counter
+        assert outcome.group_counter > 500
+
+
+class TestRelease:
+    def test_reset_releases_widening(self):
+        """White-box: reaching all-equal deltas while a widening is
+        active almost always routes through a re-encode first (which has
+        its own release), so construct the converged-while-widened state
+        directly and confirm the reset path also releases."""
+        scheme = DualLengthDeltaCounters(4, blocks_per_group=4,
+                                         base_delta_bits=2,
+                                         extension_bits=2)
+        write_n(scheme, 0, 4)  # widen delta-group 0 (delta 4 > cap 3)
+        assert scheme.widened_delta_group(0) == 0
+        # Force deltas to [4, 4, 4, 3]: one increment from convergence.
+        scheme._deltas[1] = 4
+        scheme._deltas[2] = 4
+        scheme._deltas[3] = 3
+        scheme._recompute_aggregates(0)
+        scheme._widened[0] = 0  # pretend hardware widened all (white-box)
+        outcome = scheme.on_write(3)
+        assert outcome.has(CounterEvent.RESET)
+        assert scheme.widened_delta_group(0) is None
+        assert scheme.deltas(0) == [0, 0, 0, 0]
+        assert scheme.reference(0) == 4
+
+    def test_reencode_can_release_and_rewiden(self):
+        """After a re-encode shrinks the widened group's deltas below the
+        base capacity, the extension bits are free for the next hot
+        group."""
+        scheme = DualLengthDeltaCounters(64, enable_reset=False)
+        write_n(scheme, 0, 64)  # widen group 0
+        # Give every block some history so delta_min > 0.
+        for block in range(64):
+            if block != 0:
+                write_n(scheme, block, 40)
+        # Now overflow delta-group 1's hottest block: re-encode shifts all
+        # deltas down by 40, releasing the widening if group 0 fits again.
+        outcome = write_n(scheme, 16, 24)
+        assert not outcome.has(CounterEvent.RE_ENCRYPT)
+        assert scheme.stats.re_encryptions == 0
+
+
+class TestCounterValues:
+    def test_counter_is_reference_plus_delta(self):
+        scheme = DualLengthDeltaCounters(64)
+        write_n(scheme, 20, 7)
+        assert scheme.counter(20) == 7
+        assert scheme.reference(0) == 0
+
+    def test_nonce_freshness_random(self, rng):
+        scheme = DualLengthDeltaCounters(
+            128, base_delta_bits=3, extension_bits=2
+        )
+        seen = {}
+        for _ in range(20000):
+            block = rng.randrange(128)
+            outcome = scheme.on_write(block)
+            affected = {block: outcome.counter}
+            if outcome.reencrypted_group is not None:
+                for member in scheme.blocks_in_group(
+                    outcome.reencrypted_group
+                ):
+                    affected[member] = outcome.group_counter
+            for member, counter in affected.items():
+                assert counter not in seen.setdefault(member, set())
+                seen[member].add(counter)
+
+
+class TestSerialization:
+    def test_roundtrip_with_widening(self, rng):
+        scheme = DualLengthDeltaCounters(128, base_delta_bits=4,
+                                         extension_bits=3)
+        for _ in range(15000):
+            scheme.on_write(rng.randrange(128))
+        for group in range(scheme.num_groups):
+            decoded = scheme.decode_metadata(scheme.group_metadata(group))
+            assert decoded == [
+                scheme.counter(b) for b in scheme.blocks_in_group(group)
+            ]
+
+    def test_roundtrip_explicit_widened_state(self):
+        scheme = DualLengthDeltaCounters(64, enable_reset=False)
+        write_n(scheme, 17, 100)  # widen delta-group 1
+        assert scheme.widened_delta_group(0) == 1
+        decoded = scheme.decode_metadata(scheme.group_metadata(0))
+        assert decoded[17] == 100
+        assert decoded[0] == 0

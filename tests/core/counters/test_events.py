@@ -1,0 +1,53 @@
+"""Event records and statistics aggregation."""
+
+from repro.core.counters.events import (
+    CounterEvent,
+    CounterStats,
+    WriteOutcome,
+)
+
+
+class TestWriteOutcome:
+    def test_has(self):
+        outcome = WriteOutcome(
+            counter=5, events=(CounterEvent.INCREMENT, CounterEvent.RESET)
+        )
+        assert outcome.has(CounterEvent.RESET)
+        assert not outcome.has(CounterEvent.RE_ENCRYPT)
+
+    def test_defaults(self):
+        outcome = WriteOutcome(counter=1)
+        assert outcome.events == ()
+        assert outcome.reencrypted_group is None
+
+
+class TestCounterStats:
+    def test_record_counts_each_event(self):
+        stats = CounterStats()
+        stats.record(
+            WriteOutcome(
+                counter=1,
+                events=(CounterEvent.RE_ENCODE, CounterEvent.INCREMENT),
+            )
+        )
+        stats.record(
+            WriteOutcome(counter=2, events=(CounterEvent.RE_ENCRYPT,)),
+            group=3,
+        )
+        assert stats.writes == 2
+        assert stats.increments == 1
+        assert stats.re_encodes == 1
+        assert stats.re_encryptions == 1
+        assert stats.per_group_re_encryptions == {3: 1}
+
+    def test_merge(self):
+        a = CounterStats(writes=5, resets=2)
+        a.per_group_re_encryptions[1] = 4
+        b = CounterStats(writes=3, resets=1, re_encryptions=7)
+        b.per_group_re_encryptions[1] = 1
+        b.per_group_re_encryptions[2] = 2
+        a.merge(b)
+        assert a.writes == 8
+        assert a.resets == 3
+        assert a.re_encryptions == 7
+        assert a.per_group_re_encryptions == {1: 5, 2: 2}

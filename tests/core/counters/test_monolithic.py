@@ -1,0 +1,84 @@
+"""Monolithic (SGX-style) counters."""
+
+import pytest
+
+from repro.core.counters import CounterEvent, MonolithicCounters
+
+
+class TestBasics:
+    def test_counters_start_at_zero(self):
+        scheme = MonolithicCounters(128)
+        assert all(scheme.counter(b) == 0 for b in range(128))
+
+    def test_write_increments_only_target(self):
+        scheme = MonolithicCounters(128)
+        outcome = scheme.on_write(5)
+        assert outcome.counter == 1
+        assert outcome.has(CounterEvent.INCREMENT)
+        assert scheme.counter(5) == 1
+        assert scheme.counter(4) == 0
+
+    def test_counters_independent(self):
+        scheme = MonolithicCounters(64)
+        for _ in range(10):
+            scheme.on_write(3)
+        scheme.on_write(4)
+        assert scheme.counter(3) == 10
+        assert scheme.counter(4) == 1
+
+    def test_out_of_range_block(self):
+        scheme = MonolithicCounters(64)
+        with pytest.raises(IndexError):
+            scheme.counter(64)
+        with pytest.raises(IndexError):
+            scheme.on_write(-1)
+
+
+class TestOverflow:
+    def test_wrap_triggers_global_reencryption(self):
+        scheme = MonolithicCounters(64, counter_bits=4)
+        for _ in range(15):
+            scheme.on_write(0)
+        assert scheme.counter(0) == 15
+        outcome = scheme.on_write(0)
+        assert outcome.has(CounterEvent.GLOBAL_RE_ENCRYPT)
+        assert scheme.epoch == 1
+        # All counters restart in the new epoch.
+        assert all(scheme.counter(b) == 0 for b in range(64))
+        assert scheme.stats.global_re_encryptions == 1
+
+    def test_56_bit_default_never_overflows_in_practice(self):
+        scheme = MonolithicCounters(64)
+        assert scheme.counter_bits == 56
+        for _ in range(1000):
+            assert not scheme.on_write(1).has(
+                CounterEvent.GLOBAL_RE_ENCRYPT
+            )
+
+
+class TestStorage:
+    def test_56bit_overhead_is_ten_ish_percent(self):
+        """448 metadata bytes per 4 KB group: the ~11% of Section 2.1."""
+        scheme = MonolithicCounters(64 * 16)
+        assert scheme.bits_per_group == 56 * 64
+        assert scheme.metadata_blocks == 7 * 16
+        assert abs(scheme.storage_overhead - 7 / 64) < 1e-9
+
+    def test_metadata_roundtrip(self, rng):
+        scheme = MonolithicCounters(128)
+        for _ in range(500):
+            scheme.on_write(rng.randrange(128))
+        for group in range(scheme.num_groups):
+            decoded = scheme.decode_metadata(scheme.group_metadata(group))
+            expected = [
+                scheme.counter(b) for b in scheme.blocks_in_group(group)
+            ]
+            assert decoded == expected
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MonolithicCounters(0)
+        with pytest.raises(ValueError):
+            MonolithicCounters(100, blocks_per_group=64)  # not a multiple
+        with pytest.raises(ValueError):
+            MonolithicCounters(64, counter_bits=0)

@@ -1,0 +1,96 @@
+"""Split counters (Yan et al.): concatenation semantics and group
+re-encryption on minor overflow."""
+
+import pytest
+
+from repro.core.counters import CounterEvent, SplitCounters
+
+
+class TestConcatenation:
+    def test_counter_is_major_concat_minor(self):
+        scheme = SplitCounters(64, minor_bits=7)
+        for i in range(5):
+            scheme.on_write(3)
+        assert scheme.counter(3) == (0 << 7) | 5
+
+    def test_counter_after_major_bump(self):
+        scheme = SplitCounters(64, minor_bits=3)
+        for _ in range(7):
+            scheme.on_write(0)
+        outcome = scheme.on_write(0)  # minor wraps at 8
+        assert outcome.has(CounterEvent.RE_ENCRYPT)
+        assert scheme.major(0) == 1
+        assert scheme.counter(0) == 1 << 3
+
+
+class TestReencryption:
+    def test_overflow_reencrypts_whole_group(self):
+        scheme = SplitCounters(128, blocks_per_group=64, minor_bits=3)
+        scheme.on_write(1)  # give a neighbour some history
+        for _ in range(7):
+            scheme.on_write(0)
+        outcome = scheme.on_write(0)
+        assert outcome.reencrypted_group == 0
+        assert outcome.group_counter == 1 << 3
+        # Every block of the group jumps to the fresh shared counter.
+        for block in scheme.blocks_in_group(0):
+            assert scheme.counter(block) == 1 << 3
+        # The other group is untouched.
+        assert scheme.counter(64) == 0
+
+    def test_no_escape_hatch(self):
+        """Unlike delta encoding, lock-step writes still re-encrypt:
+        the concatenation cannot absorb a common offset."""
+        scheme = SplitCounters(64, minor_bits=3)
+        for lap in range(8):
+            for block in range(64):
+                scheme.on_write(block)
+        assert scheme.stats.re_encryptions >= 1
+        assert scheme.stats.resets == 0
+        assert scheme.stats.re_encodes == 0
+
+    def test_counter_freshness_across_reencryptions(self):
+        """No (block, counter) pair may repeat."""
+        scheme = SplitCounters(64, minor_bits=3)
+        seen = {block: set() for block in range(64)}
+        import random
+
+        rng = random.Random(5)
+        for _ in range(5000):
+            block = rng.randrange(64)
+            outcome = scheme.on_write(block)
+            affected = {block: outcome.counter}
+            if outcome.reencrypted_group is not None:
+                for member in scheme.blocks_in_group(
+                    outcome.reencrypted_group
+                ):
+                    affected[member] = outcome.group_counter
+            for member, counter in affected.items():
+                assert counter not in seen[member]
+                seen[member].add(counter)
+
+
+class TestStorage:
+    def test_one_block_per_group(self):
+        """64 + 64x7 = 512 bits: exactly one metadata block per 4 KB
+        group -- the 8x compaction of Section 2.2."""
+        scheme = SplitCounters(64)
+        assert scheme.bits_per_group == 512
+        assert scheme.metadata_blocks == 1
+
+    def test_metadata_roundtrip(self, rng):
+        scheme = SplitCounters(128, minor_bits=5)
+        for _ in range(3000):
+            scheme.on_write(rng.randrange(128))
+        for group in range(scheme.num_groups):
+            decoded = scheme.decode_metadata(scheme.group_metadata(group))
+            expected = [
+                scheme.counter(b) for b in scheme.blocks_in_group(group)
+            ]
+            assert decoded == expected
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            SplitCounters(64, minor_bits=0)
+        with pytest.raises(ValueError):
+            SplitCounters(64, major_bits=-1)

@@ -1,0 +1,119 @@
+"""Metadata address map and the storage arithmetic it encodes."""
+
+import pytest
+
+from repro.core.engine.layout import BLOCK_BYTES, MetadataLayout
+
+
+@pytest.fixture
+def baseline():
+    """Table 1 baseline: 512 MB, SGX-style counters, separate MACs."""
+    return MetadataLayout(
+        protected_bytes=512 * 1024 * 1024,
+        counters_per_block=8,
+        mac_separate=True,
+    )
+
+
+@pytest.fixture
+def optimized():
+    """Delta counters + MAC-in-ECC."""
+    return MetadataLayout(
+        protected_bytes=512 * 1024 * 1024,
+        counters_per_block=64,
+        mac_separate=False,
+    )
+
+
+class TestSizes:
+    def test_baseline_counts(self, baseline):
+        assert baseline.data_blocks == 8 * 1024 * 1024
+        assert baseline.counter_blocks == 1024 * 1024
+        assert baseline.mac_blocks == 1024 * 1024
+        assert baseline.offchip_tree_levels == 5
+
+    def test_optimized_counts(self, optimized):
+        assert optimized.counter_blocks == 128 * 1024
+        assert optimized.mac_blocks == 0
+        assert optimized.offchip_tree_levels == 4
+
+    def test_overhead_ordering(self, baseline, optimized):
+        """The headline: ~25% metadata becomes ~2%."""
+        assert baseline.storage_overhead > 0.25
+        assert optimized.storage_overhead < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetadataLayout(protected_bytes=100, counters_per_block=8,
+                           mac_separate=True)
+        with pytest.raises(ValueError):
+            MetadataLayout(protected_bytes=4096, counters_per_block=0,
+                           mac_separate=True)
+
+
+class TestAddresses:
+    def test_regions_are_disjoint_and_ordered(self, baseline):
+        assert baseline.counter_base == baseline.protected_bytes
+        assert baseline.mac_base == (
+            baseline.counter_base + baseline.counter_blocks * BLOCK_BYTES
+        )
+        assert baseline.tree_base == (
+            baseline.mac_base + baseline.mac_blocks * BLOCK_BYTES
+        )
+
+    def test_counter_block_address_sharing(self, baseline):
+        """8 consecutive data blocks share one counter block -- the
+        metadata-cache locality the paper's caches exploit."""
+        first = baseline.counter_block_address(0)
+        assert all(
+            baseline.counter_block_address(i * BLOCK_BYTES) == first
+            for i in range(8)
+        )
+        assert baseline.counter_block_address(8 * BLOCK_BYTES) == (
+            first + BLOCK_BYTES
+        )
+
+    def test_mac_block_address_sharing(self, baseline):
+        first = baseline.mac_block_address(0)
+        assert baseline.mac_block_address(7 * BLOCK_BYTES) == first
+        assert baseline.mac_block_address(8 * BLOCK_BYTES) == (
+            first + BLOCK_BYTES
+        )
+
+    def test_mac_address_rejected_without_separate_macs(self, optimized):
+        with pytest.raises(ValueError):
+            optimized.mac_block_address(0)
+
+    def test_tree_path_lengths_match_levels(self, baseline, optimized):
+        # Interior off-chip levels = offchip_levels - 1 (the counter level
+        # itself is addressed separately).
+        assert len(baseline.tree_path_addresses(0)) == 4
+        assert len(optimized.tree_path_addresses(0)) == 3
+
+    def test_tree_paths_within_tree_region(self, baseline):
+        for address in (0, 64 * 12345, baseline.protected_bytes - 64):
+            for node in baseline.tree_path_addresses(address):
+                assert node >= baseline.tree_base
+                assert node < baseline.total_bytes
+
+    def test_neighbours_share_low_tree_nodes(self, baseline):
+        a = baseline.tree_path_addresses(0)
+        b = baseline.tree_path_addresses(64)
+        assert a == b  # same counter block -> same path
+
+    def test_distant_blocks_share_only_top(self, baseline):
+        a = baseline.tree_path_addresses(0)
+        b = baseline.tree_path_addresses(baseline.protected_bytes - 64)
+        assert a[-1] != b[-1] or a[0] != b[0]
+
+    def test_out_of_region_rejected(self, baseline):
+        with pytest.raises(ValueError):
+            baseline.counter_block_address(baseline.protected_bytes)
+        with pytest.raises(ValueError):
+            baseline.tree_path_addresses(-64)
+
+    def test_tree_node_address_validation(self, baseline):
+        with pytest.raises(ValueError):
+            baseline.tree_node_address(0, 0)  # counter level, not interior
+        with pytest.raises(IndexError):
+            baseline.tree_node_address(1, 10**9)

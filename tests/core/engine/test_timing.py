@@ -1,0 +1,134 @@
+"""Timing backend: transaction accounting and the effects the paper's
+performance results rest on."""
+
+import pytest
+
+from repro.core.engine.config import preset
+from repro.core.engine.timing import EncryptionTimingBackend
+
+REGION = 16 * 1024 * 1024
+
+
+def backend(name, **overrides):
+    overrides.setdefault("protected_bytes", REGION)
+    return EncryptionTimingBackend(preset(name, **overrides))
+
+
+class TestReadPath:
+    def test_cold_read_issues_counter_fetch(self):
+        b = backend("bmt_baseline")
+        b.read_block(0, 0)
+        assert b.stats.demand_reads == 1
+        assert b.stats.counter_fetches == 1
+        assert b.stats.mac_fetches == 1  # separate-MAC baseline
+        assert b.stats.tree_fetches >= 1
+
+    def test_mac_in_ecc_eliminates_mac_fetches(self):
+        """Section 3.1: the MAC rides the ECC side-band for free."""
+        b = backend("mac_in_ecc")
+        for i in range(200):
+            b.read_block(i * 50, (i * 8 * 64) % REGION)
+        assert b.stats.mac_fetches == 0
+        assert b.stats.counter_fetches > 0
+
+    def test_metadata_cache_hit_avoids_traffic(self):
+        b = backend("combined")
+        b.read_block(0, 0)
+        fetches = b.stats.counter_fetches + b.stats.tree_fetches
+        # Same counter block again: pure cache hit, no new metadata reads.
+        b.read_block(1000, 64)
+        assert b.stats.counter_fetches + b.stats.tree_fetches == fetches
+
+    def test_second_read_is_faster(self):
+        b = backend("combined")
+        cold = b.read_block(0, 0)
+        warm = b.read_block(100000, 64)
+        assert warm < cold
+
+    def test_delta_decode_cycles_on_read_path(self):
+        plain_cfg = preset("mac_in_ecc", protected_bytes=REGION)
+        delta_cfg = preset("combined", protected_bytes=REGION)
+        assert delta_cfg.effective_decode_cycles == 2
+        assert plain_cfg.effective_decode_cycles == 0
+
+    def test_counter_density_improves_hit_rate(self):
+        """64 counters per metadata block (delta) vs 8 (monolithic):
+        a sequential sweep sees 8x fewer counter fetches."""
+        mono = backend("mac_in_ecc")
+        delta = backend("combined")
+        for i in range(512):
+            mono.read_block(i * 30, i * 64)
+            delta.read_block(i * 30, i * 64)
+        assert delta.stats.counter_fetches < mono.stats.counter_fetches / 4
+
+    def test_fewer_tree_levels_for_delta(self):
+        mono = backend("bmt_baseline")
+        delta = backend("combined")
+        assert (
+            delta.layout.offchip_tree_levels
+            < mono.layout.offchip_tree_levels
+        )
+
+
+class TestWritePath:
+    def test_write_bumps_scheme_counter(self):
+        b = backend("combined")
+        b.write_block(0, 0)
+        assert b.scheme.counter(0) == 1
+        assert b.stats.demand_writes == 1
+
+    def test_write_miss_fetches_counter_block(self):
+        b = backend("combined")
+        b.write_block(0, 0)
+        assert b.stats.counter_fetches == 1
+
+    def test_separate_mac_write_traffic(self):
+        base = backend("bmt_baseline")
+        ecc = backend("mac_in_ecc")
+        for i in range(100):
+            base.write_block(i * 40, (i * 64 * 64) % REGION)
+            ecc.write_block(i * 40, (i * 64 * 64) % REGION)
+        assert base.stats.mac_fetches > 0
+        assert ecc.stats.mac_fetches == 0
+
+    def test_reencryption_traffic_off_by_default(self):
+        """The paper: 'our simulation models do not include the separate
+        re-encryption logic'."""
+        b = backend("combined", scheme_kwargs={"delta_bits": 2})
+        for _ in range(200):
+            b.write_block(0, 0)
+        assert b.scheme.stats.re_encryptions > 0
+        assert b.stats.reencryption_blocks == 0
+
+    def test_reencryption_traffic_opt_in(self):
+        b = backend("combined", scheme_kwargs={"delta_bits": 2},
+                    model_reencryption_traffic=True)
+        for _ in range(200):
+            b.write_block(0, 0)
+        assert b.stats.reencryption_blocks > 0
+
+
+class TestSpeculation:
+    def test_strict_mode_is_slower_on_cold_misses(self):
+        fast = backend("bmt_baseline")
+        strict = backend("bmt_baseline", speculative_verification=False)
+        total_fast = sum(
+            fast.read_block(i * 500, (i * 997 * 64) % REGION)
+            for i in range(100)
+        )
+        total_strict = sum(
+            strict.read_block(i * 500, (i * 997 * 64) % REGION)
+            for i in range(100)
+        )
+        assert total_strict > total_fast
+
+
+class TestStats:
+    def test_extra_transactions_aggregates(self):
+        b = backend("bmt_baseline")
+        b.read_block(0, 0)
+        s = b.stats
+        assert s.extra_transactions == (
+            s.counter_fetches + s.tree_fetches + s.mac_fetches
+            + s.metadata_writebacks
+        )

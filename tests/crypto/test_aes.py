@@ -1,0 +1,82 @@
+"""AES-128: FIPS-197 known-answer tests and structural properties."""
+
+import pytest
+
+from repro.crypto.aes import AES128, INV_SBOX, SBOX
+
+
+class TestKnownAnswers:
+    def test_fips197_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+
+class TestSbox:
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_no_fixed_points(self):
+        # AES S-box has no fixed points and no "anti-fixed" points.
+        assert all(SBOX[x] != x for x in range(256))
+        assert all(SBOX[x] != (x ^ 0xFF) for x in range(256))
+
+
+class TestRoundtrip:
+    def test_decrypt_inverts_encrypt(self, rng):
+        cipher = AES128(bytes(range(16)))
+        for _ in range(20):
+            block = bytes(rng.randrange(256) for _ in range(16))
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = bytes(16)
+        a = AES128(b"A" * 16).encrypt_block(block)
+        b = AES128(b"B" * 16).encrypt_block(block)
+        assert a != b
+
+    def test_avalanche(self):
+        """Flipping one plaintext bit flips ~half the ciphertext bits."""
+        cipher = AES128(bytes(range(16)))
+        base = cipher.encrypt_block(bytes(16))
+        flipped = cipher.encrypt_block(bytes([1]) + bytes(15))
+        differing = sum(
+            bin(x ^ y).count("1") for x, y in zip(base, flipped)
+        )
+        assert 40 <= differing <= 88  # 128 bits, expect ~64
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_bad_block_length(self):
+        cipher = AES128(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"not 16 bytes")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"x" * 15)

@@ -1,0 +1,136 @@
+"""GF(2^n) arithmetic: field axioms, identities, and known values."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gf import GF64, GF128, BinaryField
+
+elements64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestBasics:
+    def test_identity_element(self):
+        assert GF64.mul(1, 0xDEADBEEF) == 0xDEADBEEF
+
+    def test_zero_annihilates(self):
+        assert GF64.mul(0, 0xDEADBEEF) == 0
+
+    def test_addition_is_xor(self):
+        assert GF64.add(0b1100, 0b1010) == 0b0110
+
+    def test_addition_self_inverse(self):
+        a = 0x123456789ABCDEF0
+        assert GF64.add(a, a) == 0
+
+    def test_small_clmul(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2) (cross terms cancel).
+        assert GF64.clmul(0b11, 0b11) == 0b101
+
+    def test_mul_stays_in_field(self):
+        value = GF64.mul((1 << 64) - 1, (1 << 64) - 1)
+        assert 0 <= value < (1 << 64)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GF64.mul(1 << 64, 1)
+        with pytest.raises(ValueError):
+            GF64.add(-1, 0)
+
+    def test_order_and_mask(self):
+        assert GF64.order == 1 << 64
+        assert GF64.mask == (1 << 64) - 1
+        assert GF128.degree == 128
+
+
+class TestFieldAxioms:
+    @given(a=elements64, b=elements64)
+    @settings(max_examples=50, deadline=None)
+    def test_commutative(self, a, b):
+        assert GF64.mul(a, b) == GF64.mul(b, a)
+
+    @given(a=elements64, b=elements64, c=elements64)
+    @settings(max_examples=30, deadline=None)
+    def test_associative(self, a, b, c):
+        assert GF64.mul(a, GF64.mul(b, c)) == GF64.mul(GF64.mul(a, b), c)
+
+    @given(a=elements64, b=elements64, c=elements64)
+    @settings(max_examples=30, deadline=None)
+    def test_distributive(self, a, b, c):
+        assert GF64.mul(a, b ^ c) == GF64.mul(a, b) ^ GF64.mul(a, c)
+
+    @given(a=st.integers(min_value=1, max_value=(1 << 64) - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_inverse(self, a):
+        assert GF64.mul(a, GF64.inverse(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            GF64.inverse(0)
+
+
+class TestPow:
+    def test_pow_zero_is_one(self):
+        assert GF64.pow(0xABCD, 0) == 1
+
+    def test_pow_one_is_identity(self):
+        assert GF64.pow(0xABCD, 1) == 0xABCD
+
+    def test_pow_matches_repeated_mul(self):
+        a = 0x1234567890
+        expected = 1
+        for exponent in range(8):
+            assert GF64.pow(a, exponent) == expected
+            expected = GF64.mul(expected, a)
+
+    def test_fermat(self):
+        # a^(2^64 - 1) == 1 for a != 0 (multiplicative group order).
+        assert GF64.pow(0xDEADBEEF, GF64.order - 1) == 1
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            GF64.pow(2, -1)
+
+
+class TestHornerHash:
+    def test_empty_is_zero(self):
+        assert GF64.horner_hash([], 0x1234) == 0
+
+    def test_single_word(self):
+        key = 0x87654321
+        assert GF64.horner_hash([0xABCD], key) == GF64.mul(0xABCD, key)
+
+    def test_two_words_expansion(self):
+        key = 0x1F2E3D4C
+        w0, w1 = 0x1111, 0x2222
+        # Horner: ((0 ^ w0)*k ^ w1)*k = w0*k^2 + w1*k
+        expected = GF64.mul(w0, GF64.pow(key, 2)) ^ GF64.mul(w1, key)
+        assert GF64.horner_hash([w0, w1], key) == expected
+
+    @given(
+        words=st.lists(elements64, min_size=1, max_size=8),
+        error=st.lists(elements64, min_size=1, max_size=8),
+        key=elements64,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, words, error, key):
+        """hash(m ^ e) == hash(m) ^ hash(e) -- the property flip-and-check
+        acceleration rests on."""
+        error = (error + [0] * len(words))[: len(words)]
+        mixed = [w ^ e for w, e in zip(words, error)]
+        assert GF64.horner_hash(mixed, key) == GF64.horner_hash(
+            words, key
+        ) ^ GF64.horner_hash(error, key)
+
+
+class TestGF128:
+    def test_independent_field_consistency(self):
+        a = (1 << 100) | 0xFFFF
+        b = (1 << 127) | 1
+        assert GF128.mul(a, b) == GF128.mul(b, a)
+        assert GF128.mul(a, GF128.inverse(a)) == 1
+
+    def test_custom_field(self):
+        # GF(2^8) with the AES polynomial: known value 0x57 * 0x83 = 0xc1.
+        gf8 = BinaryField(degree=8, poly=0x1B)
+        assert gf8.mul(0x57, 0x83) == 0xC1

@@ -1,0 +1,65 @@
+"""Fast PRF stand-ins: determinism, keying, and stream quality basics."""
+
+import pytest
+
+from repro.crypto.prf import SplitMix64, XorShiftKeystream, splitmix64
+
+
+class TestSplitmixFunction:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_64_bit_range(self):
+        for x in (0, 1, (1 << 64) - 1, 0xDEADBEEF):
+            assert 0 <= splitmix64(x) < (1 << 64)
+
+    def test_distinct_inputs_distinct_outputs(self):
+        outputs = {splitmix64(x) for x in range(1000)}
+        assert len(outputs) == 1000
+
+    def test_bit_dispersion(self):
+        """Adjacent inputs should differ in roughly half their bits."""
+        diff = bin(splitmix64(1000) ^ splitmix64(1001)).count("1")
+        assert 16 <= diff <= 48
+
+
+class TestSplitMix64Prf:
+    def test_keyed(self):
+        a = SplitMix64(b"A" * 16)
+        b = SplitMix64(b"B" * 16)
+        assert a.value(7) != b.value(7)
+
+    def test_deterministic(self):
+        prf = SplitMix64(bytes(range(16)))
+        assert prf.value(99) == prf.value(99)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            SplitMix64(b"short")
+
+
+class TestXorShiftKeystream:
+    def test_length(self):
+        ks = XorShiftKeystream(bytes(range(16)))
+        for length in (1, 8, 9, 64, 100):
+            assert len(ks.keystream(42, length)) == length
+
+    def test_prefix_stability(self):
+        ks = XorShiftKeystream(bytes(range(16)))
+        assert ks.keystream(42, 128)[:32] == ks.keystream(42, 32)
+
+    def test_seed_sensitivity_low_half(self):
+        ks = XorShiftKeystream(bytes(range(16)))
+        assert ks.keystream(1, 64) != ks.keystream(2, 64)
+
+    def test_seed_sensitivity_high_half(self):
+        """The high 64 bits of the 128-bit seed must matter too (they
+        carry the counter in fast-mode CTR)."""
+        ks = XorShiftKeystream(bytes(range(16)))
+        assert ks.keystream(1, 64) != ks.keystream(1 | (1 << 64), 64)
+
+    def test_balanced_bits(self):
+        ks = XorShiftKeystream(bytes(range(16)))
+        stream = ks.keystream(7, 4096)
+        ones = sum(bin(b).count("1") for b in stream)
+        assert 0.45 < ones / (4096 * 8) < 0.55

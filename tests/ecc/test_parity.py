@@ -1,0 +1,42 @@
+"""Parity helpers (the scrub bit)."""
+
+import pytest
+
+from repro.ecc.parity import parity_bit, parity_of_bytes
+
+
+class TestParityBit:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 0), (1, 1), (0b11, 0), (0b111, 1), (0xFF, 0), (1 << 63, 1)],
+    )
+    def test_known_values(self, value, expected):
+        assert parity_bit(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parity_bit(-1)
+
+
+class TestParityOfBytes:
+    def test_empty(self):
+        assert parity_of_bytes(b"") == 0
+
+    def test_single_flip_always_trips(self, rng):
+        """The scrubbing property: any single bit flip flips the parity."""
+        data = bytes(rng.randrange(256) for _ in range(64))
+        base = parity_of_bytes(data)
+        for _ in range(32):
+            position = rng.randrange(512)
+            mutated = bytearray(data)
+            mutated[position >> 3] ^= 1 << (position & 7)
+            assert parity_of_bytes(bytes(mutated)) == base ^ 1
+
+    def test_double_flip_invisible(self, rng):
+        """Parity's inherent blind spot: even flip counts pass."""
+        data = bytes(rng.randrange(256) for _ in range(64))
+        base = parity_of_bytes(data)
+        mutated = bytearray(data)
+        mutated[0] ^= 1
+        mutated[63] ^= 0x80
+        assert parity_of_bytes(bytes(mutated)) == base

@@ -1,0 +1,100 @@
+"""(72,64) DIMM codec and the whole-block conventional-ECC comparator."""
+
+import pytest
+
+from repro.ecc.hamming import DecodeStatus
+from repro.ecc.secded import BLOCK_BYTES, BlockSecDed, Secded7264
+from tests.conftest import random_block
+
+
+class TestWordCodec:
+    def test_clean_word(self, rng):
+        codec = Secded7264()
+        word = random_block(rng, 8)
+        check = codec.encode_word(word)
+        assert 0 <= check < 256  # exactly one check byte per word
+        fixed, result = codec.decode_word(word, check)
+        assert fixed == word and result.status is DecodeStatus.CLEAN
+
+    def test_single_flip_corrected(self, rng):
+        codec = Secded7264()
+        word = random_block(rng, 8)
+        check = codec.encode_word(word)
+        for bit in range(64):
+            corrupted = bytearray(word)
+            corrupted[bit >> 3] ^= 1 << (bit & 7)
+            fixed, result = codec.decode_word(bytes(corrupted), check)
+            assert result.status is DecodeStatus.CORRECTED
+            assert fixed == word
+
+    def test_wrong_length_rejected(self):
+        codec = Secded7264()
+        with pytest.raises(ValueError):
+            codec.encode_word(b"short")
+        with pytest.raises(ValueError):
+            codec.decode_word(b"toolongword", 0)
+
+
+class TestBlockCodec:
+    def test_checks_are_8_bytes(self, rng):
+        """One check byte per word: the 64 ECC bits a DIMM stores per
+        64-byte burst -- the field the paper repurposes."""
+        codec = BlockSecDed()
+        assert len(codec.encode_block(random_block(rng))) == 8
+
+    def test_clean_block(self, rng):
+        codec = BlockSecDed()
+        data = random_block(rng)
+        result = codec.decode_block(data, codec.encode_block(data))
+        assert result.ok and result.data == data
+        assert result.corrected_bits == 0
+
+    def test_one_flip_per_word_all_corrected(self, rng):
+        """Conventional ECC's strength: up to 8 single flips, one per
+        word, all corrected independently."""
+        codec = BlockSecDed()
+        data = random_block(rng)
+        checks = codec.encode_block(data)
+        corrupted = bytearray(data)
+        for word in range(8):
+            corrupted[word * 8] ^= 0x10
+        result = codec.decode_block(bytes(corrupted), checks)
+        assert result.ok
+        assert result.data == data
+        assert result.corrected_bits == 8
+
+    def test_double_flip_in_word_detected(self, rng):
+        codec = BlockSecDed()
+        data = random_block(rng)
+        checks = codec.encode_block(data)
+        corrupted = bytearray(data)
+        corrupted[0] ^= 0b11
+        result = codec.decode_block(bytes(corrupted), checks)
+        assert result.detected and not result.ok
+
+    def test_triple_flip_in_word_can_miscorrect(self, rng):
+        """The SEC-DED failure mode Figure 3 highlights: >2 flips in a
+        word can silently 'correct' into wrong data.  Assert that over
+        many trials we observe at least one wrong-but-ok outcome."""
+        codec = BlockSecDed()
+        silent_wrong = 0
+        for _ in range(40):
+            data = random_block(rng)
+            checks = codec.encode_block(data)
+            corrupted = bytearray(data)
+            for bit in rng.sample(range(64), 3):
+                corrupted[bit >> 3] ^= 1 << (bit & 7)
+            result = codec.decode_block(bytes(corrupted), checks)
+            if result.ok and result.data != data:
+                silent_wrong += 1
+        assert silent_wrong > 0
+
+    def test_length_validation(self, rng):
+        codec = BlockSecDed()
+        with pytest.raises(ValueError):
+            codec.encode_block(b"x" * 63)
+        with pytest.raises(ValueError):
+            codec.decode_block(random_block(rng), b"x" * 7)
+
+    def test_block_constant(self):
+        assert BLOCK_BYTES == 64

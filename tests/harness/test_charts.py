@@ -1,0 +1,58 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.harness.charts import bar, bar_chart, grouped_bar_chart
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(1.0, 1.0, width=10) == "#" * 10
+        assert bar(0.0, 1.0, width=10) == " " * 10
+
+    def test_half(self):
+        assert bar(0.5, 1.0, width=10) == "#" * 5 + " " * 5
+
+    def test_clamping(self):
+        assert bar(2.0, 1.0, width=4) == "####"
+        assert bar(-1.0, 1.0, width=4) == "    "
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar(1, 0)
+        with pytest.raises(ValueError):
+            bar(1, 1, width=0)
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        text = bar_chart("T", {"alpha": 0.5, "b": 1.0})
+        assert "alpha" in text and "0.500" in text and "1.000" in text
+        # Bars aligned: every bar line has the pipes in the same columns.
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert len({l.index("|") for l in lines}) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("T", {})
+
+    def test_custom_max(self):
+        text = bar_chart("T", {"x": 1.0}, maximum=2.0, width=10)
+        assert "#" * 5 + " " * 5 in text
+
+
+class TestGroupedBarChart:
+    def test_figure8_shape(self):
+        text = grouped_bar_chart(
+            "Figure 8",
+            {
+                "canneal": {"bmt": 0.5, "combined": 0.72},
+                "dedup": {"bmt": 0.83, "combined": 0.96},
+            },
+        )
+        assert "canneal:" in text and "dedup:" in text
+        assert text.count("|") == 8  # 4 bars x 2 pipes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart("T", {})

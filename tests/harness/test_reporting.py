@@ -1,0 +1,41 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.harness.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table(
+            "Table 2", ["app", "split", "delta"], [["dedup", 725, 51]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "app" in lines[2] and "split" in lines[2]
+        assert "dedup" in lines[-1] and "725" in lines[-1]
+
+    def test_float_formatting(self):
+        text = format_table("t", ["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table("t", ["a", "b"], [["only one"]])
+
+    def test_alignment(self):
+        text = format_table("t", ["name", "v"], [["a", 1], ["bb", 22]])
+        rows = text.splitlines()[-2:]
+        # Numeric column right-aligned: both rows end at the same column.
+        assert len(rows[0]) == len(rows[1])
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series("Figure 8: dedup", {"bmt": 0.84, "comb": 0.96})
+        assert "Figure 8: dedup" in text
+        assert "0.840" in text and "0.960" in text
+
+    def test_unit_suffix(self):
+        text = format_series("t", {"a": 5}, unit="%")
+        assert "5%" in text

@@ -1,0 +1,114 @@
+"""Experiment runners: write-back filtering and small end-to-end runs."""
+
+import pytest
+
+from repro.harness.runner import (
+    Figure8Run,
+    PerformanceExperiment,
+    ReencryptionExperiment,
+    Table2Row,
+    WritebackFilter,
+)
+from repro.memsim.cache.cache import CacheConfig
+
+
+class TestWritebackFilter:
+    def test_resident_writes_coalesce(self):
+        """Many writes to one hot block while resident produce at most
+        one write-back (on eviction)."""
+        filt = WritebackFilter(CacheConfig(size_bytes=4096, ways=4))
+        trace = [(0, True, 0)] * 50
+        writebacks, instructions = filt.filter([trace])
+        assert instructions == 50
+        assert len(writebacks) == 0  # never evicted
+
+    def test_streaming_writes_all_come_back(self):
+        filt = WritebackFilter(CacheConfig(size_bytes=4096, ways=4))
+        # Stream 4x the cache capacity of distinct dirty lines.
+        trace = [(0, True, i * 64) for i in range(256)]
+        writebacks, _ = filt.filter([trace])
+        assert len(writebacks) >= 256 - 64  # all but the resident tail
+
+    def test_reads_create_eviction_pressure(self):
+        filt = WritebackFilter(CacheConfig(size_bytes=4096, ways=4))
+        trace = [(0, True, 0)]
+        trace += [(0, False, i * 64) for i in range(1, 200)]
+        writebacks, _ = filt.filter([trace])
+        assert 0 in writebacks
+
+    def test_cores_interleave(self):
+        filt = WritebackFilter(CacheConfig(size_bytes=4096, ways=4))
+        writebacks, instructions = filt.filter(
+            [[(1, True, 0)], [(2, True, 64)], [(3, True, 128)]]
+        )
+        assert instructions == 1 + 1 + 2 + 1 + 3 + 1
+
+
+class TestReencryptionExperiment:
+    def test_small_run_produces_row(self):
+        experiment = ReencryptionExperiment(
+            region_bytes=4 * 1024 * 1024,
+            accesses_per_core=20_000,
+            filter_config=CacheConfig(size_bytes=32 * 1024, ways=8),
+        )
+        row = experiment.run_app("dedup")
+        assert isinstance(row, Table2Row)
+        assert row.app == "dedup"
+        assert row.simulated_cycles > 0
+        assert set(row.raw_counts) == {"split", "delta7", "dual_length"}
+        assert row.as_row()[0] == "dedup"
+
+    def test_delta_never_worse_than_split_on_dedup(self):
+        """The qualitative Table 2 relation, at any scale."""
+        experiment = ReencryptionExperiment(
+            region_bytes=4 * 1024 * 1024,
+            accesses_per_core=40_000,
+            filter_config=CacheConfig(size_bytes=16 * 1024, ways=8),
+        )
+        row = experiment.run_app("dedup")
+        assert row.delta7 <= row.split
+
+    def test_canneal_delta_equals_split(self):
+        experiment = ReencryptionExperiment(
+            region_bytes=4 * 1024 * 1024,
+            accesses_per_core=60_000,
+            filter_config=CacheConfig(size_bytes=16 * 1024, ways=8),
+        )
+        row = experiment.run_app("canneal")
+        assert row.delta7 == pytest.approx(row.split, rel=0.05)
+
+
+class TestPerformanceExperiment:
+    def test_small_run_shape(self):
+        experiment = PerformanceExperiment(
+            region_bytes=8 * 1024 * 1024,
+            accesses_per_core=4_000,
+        )
+        run = experiment.run_app("dedup")
+        assert isinstance(run, Figure8Run)
+        assert run.plain_ipc > 0
+        assert set(run.ipc) == set(experiment.configs)
+        normalized = run.normalized()
+        # Encryption never speeds things up.
+        assert all(0 < v <= 1.02 for v in normalized.values())
+
+    def test_optimizations_ordering(self):
+        """combined >= {mac_in_ecc, delta_only} >= bmt_baseline."""
+        experiment = PerformanceExperiment(
+            region_bytes=8 * 1024 * 1024,
+            accesses_per_core=8_000,
+        )
+        run = experiment.run_app("canneal")
+        assert run.ipc["combined"] >= run.ipc["bmt_baseline"]
+        assert run.ipc["mac_in_ecc"] >= run.ipc["bmt_baseline"]
+        assert run.ipc["delta_only"] >= run.ipc["bmt_baseline"]
+        assert run.improvement_over_baseline() >= 0
+
+    def test_zero_division_guards(self):
+        run = Figure8Run(app="x", plain_ipc=0.0, ipc={"a": 1.0})
+        assert run.normalized() == {"a": 0.0}
+        assert (
+            Figure8Run(app="x", plain_ipc=1.0, ipc={"combined": 1.0})
+            .improvement_over_baseline()
+            == 0.0
+        )

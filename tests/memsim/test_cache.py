@@ -1,0 +1,141 @@
+"""Set-associative cache model: LRU, write-back, and a reference-model
+equivalence check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.cache.cache import AccessType, Cache, CacheConfig
+
+
+def tiny_cache(ways=2, sets=2, line=64):
+    return Cache(CacheConfig(size_bytes=ways * sets * line, ways=ways,
+                             line_bytes=line))
+
+
+class TestConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size_bytes=32 * 1024, ways=8)
+        assert config.num_sets == 64
+
+    def test_non_power_of_two_sets_allowed(self):
+        # Table 1's L3: 10 MB / 16-way -> 10240 sets.
+        config = CacheConfig(size_bytes=10 * 1024 * 1024, ways=16)
+        assert config.num_sets == 10240
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, ways=8)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=8)  # not a multiple
+
+
+class TestBasicBehaviour:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert not cache.access(0, AccessType.READ).hit
+        assert cache.access(0, AccessType.READ).hit
+        assert cache.stats.read_misses == 1
+        assert cache.stats.read_hits == 1
+
+    def test_same_line_different_offsets(self):
+        cache = tiny_cache()
+        cache.access(0, AccessType.READ)
+        assert cache.access(63, AccessType.READ).hit
+        assert not cache.access(64, AccessType.READ).hit
+
+    def test_lru_eviction_order(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.access(0 * 64, AccessType.READ)
+        cache.access(1 * 64, AccessType.READ)
+        cache.access(0 * 64, AccessType.READ)  # refresh line 0
+        cache.access(2 * 64, AccessType.READ)  # evicts line 1 (LRU)
+        assert cache.probe(0)
+        assert not cache.probe(64)
+        assert cache.probe(128)
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.access(0, AccessType.WRITE)
+        result = cache.access(64, AccessType.READ)
+        assert result.writeback_address == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.access(0, AccessType.READ)
+        result = cache.access(64, AccessType.READ)
+        assert result.writeback_address is None
+
+    def test_write_hit_sets_dirty(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.access(0, AccessType.READ)
+        cache.access(0, AccessType.WRITE)
+        result = cache.access(64, AccessType.READ)
+        assert result.writeback_address == 0
+
+    def test_invalidate_and_flush(self):
+        cache = tiny_cache()
+        cache.access(0, AccessType.WRITE)
+        assert cache.invalidate(0)
+        assert not cache.invalidate(0)
+        cache.access(0, AccessType.WRITE)
+        cache.access(64, AccessType.READ)
+        assert cache.flush() == 1
+        assert cache.resident_lines == 0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_cache().access(-1, AccessType.READ)
+
+    def test_hit_rate(self):
+        cache = tiny_cache()
+        cache.access(0, AccessType.READ)
+        cache.access(0, AccessType.READ)
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestReferenceModel:
+    """Compare against a brutally simple reference implementation."""
+
+    @given(
+        accesses=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference(self, accesses):
+        ways, sets = 2, 4
+        cache = Cache(CacheConfig(size_bytes=ways * sets * 64, ways=ways))
+        # Reference: per-set list of [line, dirty], front = LRU.
+        reference = [[] for _ in range(sets)]
+        for line, is_write in accesses:
+            address = line * 64
+            cache_set = reference[line % sets]
+            entry = next((e for e in cache_set if e[0] == line), None)
+            expected_wb = None
+            if entry:
+                expected_hit = True
+                cache_set.remove(entry)
+                cache_set.append(entry)
+                if is_write:
+                    entry[1] = True
+            else:
+                expected_hit = False
+                if len(cache_set) >= ways:
+                    victim = cache_set.pop(0)
+                    if victim[1]:
+                        expected_wb = victim[0] * 64
+                cache_set.append([line, is_write])
+            result = cache.access(
+                address, AccessType.WRITE if is_write else AccessType.READ
+            )
+            assert result.hit == expected_hit
+            assert result.writeback_address == expected_wb

@@ -1,0 +1,118 @@
+"""Trace-driven CPU model and its integration with memory backends."""
+
+import pytest
+
+from repro.memsim.cpu.system import (
+    CoreConfig,
+    PlainMemoryBackend,
+    TraceDrivenSystem,
+)
+from repro.memsim.cpu.trace import TraceRecord, summarize, trace_from_tuples
+
+
+class TestTraceFormat:
+    def test_record_fields(self):
+        record = TraceRecord(10, True, 0x1000)
+        assert record.gap == 10 and record.is_write and record.address == 0x1000
+
+    def test_normalization(self):
+        records = list(trace_from_tuples([(1, 0, 64), (2, 1, 128)]))
+        assert records[0] == TraceRecord(1, False, 64)
+        assert records[1] == TraceRecord(2, True, 128)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(trace_from_tuples([(-1, False, 0)]))
+
+    def test_summarize(self):
+        stats = summarize([(9, True, 0), (9, False, 64), (9, True, 0)])
+        assert stats.accesses == 3
+        assert stats.writes == 2
+        assert stats.instructions == 30
+        assert stats.unique_blocks == 2
+        assert stats.write_fraction == pytest.approx(2 / 3)
+        assert stats.accesses_per_kilo_instruction == pytest.approx(100.0)
+
+
+class TestCoreConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(base_ipc=0)
+        with pytest.raises(ValueError):
+            CoreConfig(mlp=0.5)
+
+
+class TestSystem:
+    def _trace(self, n, gap=20, stride=64, write_every=4):
+        return [
+            (gap, i % write_every == 0, i * stride) for i in range(n)
+        ]
+
+    def test_ipc_bounded_by_base(self):
+        system = TraceDrivenSystem(PlainMemoryBackend())
+        result = system.run([self._trace(2000)])
+        assert 0 < result.ipc <= system.core_config.base_ipc
+
+    def test_cache_friendly_trace_runs_near_base_ipc(self):
+        system = TraceDrivenSystem(PlainMemoryBackend())
+        # 64 hot blocks, everything L1-resident after warmup.
+        trace = [(20, False, (i % 64) * 64) for i in range(5000)]
+        result = system.run([trace])
+        assert result.ipc > 0.9 * system.core_config.base_ipc
+
+    def test_memory_bound_trace_is_slower(self):
+        system_hot = TraceDrivenSystem(PlainMemoryBackend())
+        hot = system_hot.run([[(10, False, (i % 64) * 64)
+                               for i in range(3000)]])
+        system_cold = TraceDrivenSystem(PlainMemoryBackend())
+        cold = system_cold.run([[(10, False, i * 64 * 1024)
+                                 for i in range(3000)]])
+        assert cold.ipc < hot.ipc
+
+    def test_multicore_contention(self):
+        """Four cores sharing DRAM finish later than one core running
+        the same per-core trace alone."""
+        def traces(n_cores):
+            return [
+                [(10, False, (core * (1 << 24)) + i * 64 * 512)
+                 for i in range(1500)]
+                for core in range(n_cores)
+            ]
+
+        single = TraceDrivenSystem(PlainMemoryBackend()).run(traces(1))
+        quad = TraceDrivenSystem(PlainMemoryBackend()).run(traces(4))
+        per_core_single = single.cores[0].cycles
+        slowest_quad = max(core.cycles for core in quad.cores)
+        assert slowest_quad > per_core_single
+
+    def test_too_many_traces_rejected(self):
+        system = TraceDrivenSystem(PlainMemoryBackend())
+        with pytest.raises(ValueError):
+            system.run([[(1, False, 0)]] * 5)
+
+    def test_per_core_results(self):
+        system = TraceDrivenSystem(PlainMemoryBackend())
+        result = system.run([self._trace(500), self._trace(300)])
+        assert result.cores[0].loads + result.cores[0].stores == 500
+        assert result.cores[1].loads + result.cores[1].stores == 300
+        assert result.instructions == sum(
+            c.instructions for c in result.cores
+        )
+
+    def test_stores_do_not_stall(self):
+        """Posted writes: a write-heavy cold trace stalls less than the
+        equivalent read trace."""
+        reads = TraceDrivenSystem(PlainMemoryBackend()).run(
+            [[(10, False, i * 64 * 1024) for i in range(2000)]]
+        )
+        writes = TraceDrivenSystem(PlainMemoryBackend()).run(
+            [[(10, True, i * 64 * 1024) for i in range(2000)]]
+        )
+        assert writes.cores[0].stall_cycles < reads.cores[0].stall_cycles
+        assert writes.ipc > reads.ipc
+
+    def test_empty_traces(self):
+        system = TraceDrivenSystem(PlainMemoryBackend())
+        result = system.run([[]])
+        assert result.total_cycles == 0
+        assert result.ipc == 0

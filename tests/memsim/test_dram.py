@@ -1,0 +1,156 @@
+"""DDR3 DRAM model: address mapping, row-buffer states, contention."""
+
+import pytest
+
+from repro.memsim.dram.system import AddressMapping, DramSystem
+from repro.memsim.dram.timing import DDR3_1600, DramTiming
+
+
+class TestTiming:
+    def test_latency_ordering(self):
+        """hit < closed < conflict -- the defining open-page relation."""
+        t = DDR3_1600
+        assert t.row_hit_latency < t.row_closed_latency
+        assert t.row_closed_latency < t.row_conflict_latency
+
+    def test_ddr3_1600_scaling(self):
+        """CL11 at 4 CPU cycles per DRAM clock."""
+        assert DDR3_1600.tCL == 44
+        assert DDR3_1600.tRCD == 44
+        assert DDR3_1600.tRP == 44
+        assert DDR3_1600.tBURST == 16
+
+
+class TestAddressMapping:
+    def test_channel_interleave_on_blocks(self):
+        mapping = AddressMapping()
+        channels = [mapping.decompose(i * 64)[0] for i in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_row_for_nearby_same_channel_blocks(self):
+        mapping = AddressMapping()
+        _, bank_a, row_a = mapping.decompose(0)
+        _, bank_b, row_b = mapping.decompose(4 * 64)  # next block, chan 0
+        assert (bank_a, row_a) == (bank_b, row_b)
+
+    def test_rows_change_across_row_span(self):
+        mapping = AddressMapping()
+        span = mapping.channels * mapping.row_bytes * mapping.banks_per_channel
+        _, _, row_a = mapping.decompose(0)
+        _, _, row_b = mapping.decompose(span)
+        assert row_a != row_b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressMapping(channels=3)
+        mapping = AddressMapping()
+        with pytest.raises(ValueError):
+            mapping.decompose(-1)
+
+
+class TestRowBuffer:
+    def test_first_access_activates(self):
+        dram = DramSystem()
+        latency = dram.access(0, 0)
+        assert latency >= dram.timing.row_closed_latency
+        assert dram.stats.row_closed == 1
+
+    def test_second_access_same_row_hits(self):
+        dram = DramSystem()
+        done = dram.access(0, 0)
+        dram.access(done + 100, 4 * 64)  # same channel/bank/row
+        assert dram.stats.row_hits == 1
+
+    def test_conflict_when_row_differs(self):
+        dram = DramSystem()
+        mapping = dram.mapping
+        span = mapping.channels * mapping.row_bytes * mapping.banks_per_channel
+        done = dram.access(0, 0)
+        dram.access(done + 1000, span)  # same bank, different row
+        assert dram.stats.row_conflicts == 1
+
+    def test_conflict_costs_more(self):
+        hit_dram = DramSystem()
+        first_done = hit_dram.access(0, 0)
+        hit_latency = hit_dram.access(first_done + 2000, 4 * 64)
+
+        conflict_dram = DramSystem()
+        mapping = conflict_dram.mapping
+        span = mapping.channels * mapping.row_bytes * mapping.banks_per_channel
+        first_done = conflict_dram.access(0, 0)
+        conflict_latency = conflict_dram.access(first_done + 2000, span)
+        assert conflict_latency > hit_latency
+
+
+class TestContention:
+    def test_same_cycle_requests_serialize_on_channel(self):
+        """Two simultaneous transactions to one channel share its data
+        bus: the second finishes later."""
+        dram = DramSystem()
+        first = dram.access(0, 0)
+        second = dram.access(0, 8 * 64)  # same channel (block % 4 == 0)
+        assert second > first
+
+    def test_different_channels_proceed_in_parallel(self):
+        dram = DramSystem()
+        first = dram.access(0, 0)  # channel 0
+        second = dram.access(0, 64)  # channel 1
+        assert second == first  # identical cold-access latency, no queuing
+
+    def test_stats_accumulate(self):
+        dram = DramSystem()
+        for i in range(20):
+            dram.access(i * 10, i * 64, is_write=(i % 2 == 0))
+        stats = dram.stats
+        assert stats.reads == 10 and stats.writes == 10
+        assert stats.accesses == 20
+        assert stats.average_latency > 0
+        assert 0 <= stats.row_hit_rate <= 1
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            DramSystem().access(-1, 0)
+
+    def test_completion_time_helper(self):
+        dram = DramSystem()
+        done = dram.completion_time(100, 0)
+        assert done > 100
+
+
+class TestRefresh:
+    def test_refresh_disabled_by_default(self):
+        from repro.memsim.dram.timing import DDR3_1600
+        assert DDR3_1600.tREFI == 0
+
+    def test_access_in_refresh_window_is_delayed(self):
+        from repro.memsim.dram.timing import DDR3_1600_REFRESH
+        dram = DramSystem(timing=DDR3_1600_REFRESH)
+        t = DDR3_1600_REFRESH
+        # Land exactly on the first refresh boundary.
+        latency = dram.access(t.tREFI, 0)
+        assert dram.stats.refresh_stalls == 1
+        assert latency >= t.tRFC
+
+    def test_access_outside_window_unaffected(self):
+        from repro.memsim.dram.timing import DDR3_1600, DDR3_1600_REFRESH
+        plain = DramSystem()
+        refreshed = DramSystem(timing=DDR3_1600_REFRESH)
+        mid = DDR3_1600_REFRESH.tREFI // 2
+        assert refreshed.access(mid, 0) == plain.access(mid, 0)
+        assert refreshed.stats.refresh_stalls == 0
+
+    def test_refresh_closes_row_buffer(self):
+        from repro.memsim.dram.timing import DDR3_1600_REFRESH
+        dram = DramSystem(timing=DDR3_1600_REFRESH)
+        t = DDR3_1600_REFRESH
+        done = dram.access(t.tREFI // 2, 0)  # open a row mid-interval
+        assert dram.stats.row_closed == 1
+        # Next access lands on the refresh boundary: row was precharged.
+        dram.access(t.tREFI, 4 * 64)
+        assert dram.stats.row_hits == 0
+
+    def test_no_refresh_stall_before_first_interval(self):
+        from repro.memsim.dram.timing import DDR3_1600_REFRESH
+        dram = DramSystem(timing=DDR3_1600_REFRESH)
+        dram.access(0, 0)
+        assert dram.stats.refresh_stalls == 0

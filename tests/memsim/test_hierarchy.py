@@ -1,0 +1,80 @@
+"""L1/L2/L3 hierarchy behaviour."""
+
+import pytest
+
+from repro.memsim.cache.cache import AccessType, CacheConfig
+from repro.memsim.cache.hierarchy import CacheHierarchy, HierarchyConfig
+
+
+def small_hierarchy(cores=2):
+    return CacheHierarchy(
+        HierarchyConfig(
+            l1=CacheConfig(size_bytes=1024, ways=2),
+            l2=CacheConfig(size_bytes=4096, ways=4),
+            l3=CacheConfig(size_bytes=16384, ways=4),
+            num_cores=cores,
+        )
+    )
+
+
+class TestWalk:
+    def test_cold_access_reaches_memory(self):
+        h = small_hierarchy()
+        access = h.access(0, 0, AccessType.READ)
+        assert access.level == "memory"
+
+    def test_second_access_hits_l1(self):
+        h = small_hierarchy()
+        h.access(0, 0, AccessType.READ)
+        access = h.access(0, 0, AccessType.READ)
+        assert access.level == "l1"
+        assert access.latency == h.config.l1_latency
+
+    def test_l1_evicted_line_hits_lower_level(self):
+        h = small_hierarchy()
+        h.access(0, 0, AccessType.READ)
+        # Fill the 16-line L1 with fresh sequential lines; line 0 falls
+        # out of L1 but stays resident in the 64-line L2.
+        for i in range(1, 25):
+            h.access(0, i * 64, AccessType.READ)
+        access = h.access(0, 0, AccessType.READ)
+        assert access.level in ("l2", "l3")
+
+    def test_private_l1_per_core(self):
+        h = small_hierarchy()
+        h.access(0, 0, AccessType.READ)
+        access = h.access(1, 0, AccessType.READ)
+        # Core 1 misses its private L1/L2 but hits the shared L3.
+        assert access.level == "l3"
+
+    def test_dirty_l3_victims_surface_as_writebacks(self):
+        h = small_hierarchy(cores=1)
+        seen = []
+        for i in range(600):
+            access = h.access(0, i * 64, AccessType.WRITE)
+            seen.extend(access.writebacks)
+        assert seen, "L3 evictions of dirty lines must escalate to DRAM"
+
+    def test_core_bounds(self):
+        h = small_hierarchy()
+        with pytest.raises(IndexError):
+            h.access(2, 0, AccessType.READ)
+
+
+class TestDefaults:
+    def test_table1_geometry(self):
+        h = CacheHierarchy()
+        assert h.config.l1.size_bytes == 32 * 1024 and h.config.l1.ways == 8
+        assert h.config.l2.size_bytes == 256 * 1024 and h.config.l2.ways == 8
+        assert h.config.l3.size_bytes == 10 * 1024 * 1024
+        assert h.config.l3.ways == 16
+        assert h.config.num_cores == 4
+        assert len(h.l1) == 4 and len(h.l2) == 4
+
+    def test_miss_rates_reporting(self):
+        h = small_hierarchy()
+        for i in range(50):
+            h.access(0, i * 64, AccessType.READ)
+        rates = h.miss_rates()
+        assert 0 < rates["l1"] <= 1
+        assert set(rates) == {"l1", "l2", "l3"}

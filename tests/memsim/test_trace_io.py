@@ -1,0 +1,60 @@
+"""Trace file persistence."""
+
+import gzip
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.cpu.trace import load_trace, save_trace
+
+records_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.booleans(),
+        st.integers(min_value=0, max_value=2**48),
+    ),
+    max_size=200,
+)
+
+
+class TestRoundtrip:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "t.trc.gz"
+        records = [(10, True, 64), (0, False, 0), (99, True, 2**40)]
+        assert save_trace(path, records) == 3
+        assert load_trace(path) == records
+
+    @given(records=records_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_any_records_roundtrip(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("traces") / "t.trc.gz"
+        save_trace(path, records)
+        assert load_trace(path) == records
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trc.gz"
+        assert save_trace(path, []) == 0
+        assert load_trace(path) == []
+
+
+class TestValidation:
+    def test_negative_fields_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "x.trc.gz", [(-1, False, 0)])
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.trc.gz"
+        with gzip.open(path, "wb") as stream:
+            stream.write(b"NOPE!")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trunc.trc.gz"
+        save_trace(path, [(1, False, 0)])
+        payload = gzip.open(path, "rb").read()
+        with gzip.open(path, "wb") as stream:
+            stream.write(payload[:-3])
+        with pytest.raises(ValueError):
+            load_trace(path)

@@ -1,0 +1,87 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.memsim.cpu.trace import load_trace
+
+
+class TestFigure1:
+    def test_prints_breakdowns(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "optimized" in out
+        assert "counter compaction" in out
+
+
+class TestFigure3:
+    def test_prints_matrix(self, capsys):
+        assert main(["figure3", "--trials", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "3 flips inside one 8-byte word" in out
+        assert "MAC-based ECC" in out
+
+
+class TestTable2:
+    def test_subset_run(self, capsys):
+        code = main(
+            ["table2", "--apps", "swaptions", "--accesses", "5000",
+             "--region-mb", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "swaptions" in out
+
+    def test_rejects_unknown_app(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", "--apps", "doom"])
+
+
+class TestFigure8:
+    def test_subset_run(self, capsys):
+        code = main(
+            ["figure8", "--apps", "dedup", "--accesses", "2000",
+             "--region-mb", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dedup" in out and "combined" in out
+
+
+class TestAttacks:
+    def test_all_defended_exit_zero(self, capsys):
+        assert main(["attacks", "--region-mb", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "DEFENDED" in out and "BREACHED" not in out
+
+
+class TestTrace:
+    def test_generates_loadable_file(self, tmp_path, capsys):
+        path = tmp_path / "dedup.trc.gz"
+        code = main(
+            ["trace", "dedup", str(path), "--accesses", "500",
+             "--region-mb", "4"]
+        )
+        assert code == 0
+        records = load_trace(path)
+        assert len(records) == 500
+        assert all(len(r) == 3 for r in records)
+
+
+class TestMicroWorkloads:
+    def test_table2_accepts_micro_names(self, capsys):
+        code = main(
+            ["table2", "--apps", "gups", "--accesses", "3000",
+             "--region-mb", "4"]
+        )
+        assert code == 0
+        assert "gups" in capsys.readouterr().out
+
+    def test_trace_accepts_micro_names(self, tmp_path, capsys):
+        path = tmp_path / "stream.trc.gz"
+        code = main(
+            ["trace", "stream", str(path), "--accesses", "300",
+             "--region-mb", "4"]
+        )
+        assert code == 0
+        assert len(load_trace(path)) == 300

@@ -1,0 +1,73 @@
+"""Bit-packing utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bits import BitReader, BitWriter
+
+
+class TestWriter:
+    def test_simple_roundtrip(self):
+        data = BitWriter().write(5, 3).write(0, 2).write(127, 7).to_bytes()
+        reader = BitReader(data)
+        assert reader.read(3) == 5
+        assert reader.read(2) == 0
+        assert reader.read(7) == 127
+
+    def test_value_must_fit(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(8, 3)
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 3)
+
+    def test_padding(self):
+        data = BitWriter().write(1, 1).to_bytes(64)
+        assert len(data) == 64
+        assert data[0] == 1 and data[1:] == bytes(63)
+
+    def test_overflow_rejected(self):
+        writer = BitWriter()
+        writer.write(0xFFFF, 16)
+        with pytest.raises(ValueError):
+            writer.to_bytes(1)
+
+    def test_bit_length(self):
+        writer = BitWriter().write(0, 7).write(0, 56)
+        assert writer.bit_length == 63
+
+
+class TestReader:
+    def test_reads_past_end_rejected(self):
+        reader = BitReader(b"\x01")
+        reader.read(8)
+        with pytest.raises(ValueError):
+            reader.read(1)
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read(5)
+        assert reader.bits_remaining == 11
+
+
+class TestRoundtripProperty:
+    @given(
+        fields=st.lists(
+            st.integers(min_value=1, max_value=60).flatmap(
+                lambda width: st.tuples(
+                    st.integers(min_value=0, max_value=(1 << width) - 1),
+                    st.just(width),
+                )
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_field_sequence_roundtrips(self, fields):
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write(value, width)
+        reader = BitReader(writer.to_bytes())
+        for value, width in fields:
+            assert reader.read(width) == value

@@ -1,0 +1,111 @@
+"""Microbenchmark profiles: each pins one memory behaviour."""
+
+import pytest
+
+from repro.core.counters import make_scheme
+from repro.harness.runner import ReencryptionExperiment, WritebackFilter
+from repro.memsim.cache.cache import CacheConfig
+from repro.memsim.cpu.trace import summarize
+from repro.workloads.micro import MICRO_PROFILES, micro_profile
+
+REGION_BLOCKS = 16 * 1024 * 1024 // 64
+
+
+class TestRegistry:
+    def test_five_micros(self):
+        assert set(MICRO_PROFILES) == {
+            "stream", "gups", "stencil", "pointer_chase", "strided_write"
+        }
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            micro_profile("linpack")
+
+
+@pytest.mark.parametrize("name", sorted(MICRO_PROFILES))
+class TestGeneration:
+    def test_traces_well_formed(self, name):
+        profile = micro_profile(name)
+        trace = profile.trace(2000, REGION_BLOCKS, core=1, seed=5)
+        assert len(trace) == 2000
+        for gap, is_write, address in trace:
+            assert gap >= 0 and address % 64 == 0
+            assert 0 <= address < REGION_BLOCKS * 64
+
+    def test_write_fraction_matches_hint(self, name):
+        profile = micro_profile(name)
+        stats = summarize(profile.trace(6000, REGION_BLOCKS, seed=2))
+        assert abs(stats.write_fraction - profile.write_fraction_hint) < 0.08
+
+
+class TestBehaviours:
+    def _writebacks(self, name, accesses=150_000):
+        traces = micro_profile(name).traces(
+            accesses, REGION_BLOCKS, cores=4, seed=1
+        )
+        stream, _ = WritebackFilter(
+            CacheConfig(size_bytes=64 * 1024, ways=8)
+        ).filter(traces)
+        return stream
+
+    def test_stream_is_delta_reset_heaven(self):
+        """Lock-step write streams: split re-encrypts, delta never.
+
+        Scaled so the write stream laps its buffer >128 times (the 7-bit
+        capacity) within a short trace: 512 KiB region -> 1024-block
+        write buffer, single core, 32 KiB coalescing filter.
+        """
+        region_blocks = 512 * 1024 // 64
+        traces = [micro_profile("stream").trace(300_000, region_blocks,
+                                                core=0, seed=1)]
+        writebacks, _ = WritebackFilter(
+            CacheConfig(size_bytes=32 * 1024, ways=8)
+        ).filter(traces)
+        split = make_scheme("split", region_blocks)
+        delta = make_scheme("delta", region_blocks)
+        for block in writebacks:
+            split.on_write(block)
+            delta.on_write(block)
+        assert delta.stats.re_encryptions == 0
+        assert split.stats.re_encryptions > 0
+
+    def test_gups_defeats_every_scheme_equally(self):
+        """Uniform random updates over a huge pool: no convergence, no
+        useful widening -- and with a big enough pool, few per-block
+        accumulations at all (endurance, not overflow, is GUPS's pain)."""
+        writebacks = self._writebacks("gups")
+        delta = make_scheme("delta", REGION_BLOCKS)
+        split = make_scheme("split", REGION_BLOCKS)
+        for block in writebacks:
+            delta.on_write(block)
+            split.on_write(block)
+        assert delta.stats.re_encryptions == split.stats.re_encryptions
+        assert delta.stats.resets == 0
+
+    def test_strided_write_is_the_widening_best_case(self):
+        writebacks = self._writebacks("strided_write", accesses=400_000)
+        delta = make_scheme("delta", REGION_BLOCKS)
+        dual = make_scheme("dual_length", REGION_BLOCKS)
+        for block in writebacks:
+            delta.on_write(block)
+            dual.on_write(block)
+        assert delta.stats.re_encryptions > 0  # zeros pin delta_min
+        assert dual.stats.re_encryptions < delta.stats.re_encryptions
+
+    def test_pointer_chase_produces_no_write_pressure(self):
+        writebacks = self._writebacks("pointer_chase")
+        delta = make_scheme("delta", REGION_BLOCKS)
+        for block in writebacks:
+            delta.on_write(block)
+        assert delta.stats.re_encryptions == 0
+
+    def test_harness_accepts_micro_profiles(self):
+        """Micro profiles drop into the Table 2 harness unchanged."""
+        experiment = ReencryptionExperiment(
+            region_bytes=4 * 1024 * 1024,
+            accesses_per_core=20_000,
+            filter_config=CacheConfig(size_bytes=32 * 1024, ways=8),
+        )
+        row = experiment.run_app(micro_profile("stream"))
+        assert row.app == "stream"
+        assert row.delta7 <= row.split

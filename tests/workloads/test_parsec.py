@@ -1,0 +1,91 @@
+"""PARSEC application profiles: structure and trait sanity."""
+
+import pytest
+
+from repro.memsim.cpu.trace import summarize
+from repro.workloads.parsec import (
+    PARSEC_PROFILES,
+    figure8_apps,
+    profile,
+    table2_apps,
+)
+
+REGION_BLOCKS = 8 * 1024 * 1024 // 64  # 8 MiB test region
+
+
+class TestRegistry:
+    def test_eleven_apps(self):
+        assert len(PARSEC_PROFILES) == 11
+        assert len(table2_apps()) == 11
+
+    def test_table2_order_matches_paper(self):
+        assert table2_apps()[:5] == [
+            "facesim", "dedup", "canneal", "vips", "ferret"
+        ]
+
+    def test_figure8_is_the_impacted_subset(self):
+        shown = set(figure8_apps())
+        assert len(shown) == 7
+        omitted = set(table2_apps()) - shown
+        assert omitted == {"bodytrack", "vips", "blackscholes", "swaptions"}
+
+    def test_unknown_app(self):
+        with pytest.raises(ValueError):
+            profile("doom")
+
+
+@pytest.mark.parametrize("app", sorted(PARSEC_PROFILES))
+class TestProfileGeneration:
+    def test_generates_well_formed_traces(self, app):
+        traces = profile(app).traces(2000, REGION_BLOCKS, cores=4, seed=3)
+        assert len(traces) == 4
+        for trace in traces:
+            assert len(trace) == 2000
+            for gap, is_write, address in trace:
+                assert gap >= 0
+                assert 0 <= address < REGION_BLOCKS * 64
+                assert address % 64 == 0
+
+    def test_deterministic(self, app):
+        a = profile(app).trace(500, REGION_BLOCKS, core=1, seed=9)
+        b = profile(app).trace(500, REGION_BLOCKS, core=1, seed=9)
+        assert a == b
+
+    def test_cores_get_distinct_streams(self, app):
+        p = profile(app)
+        assert p.trace(500, REGION_BLOCKS, core=0) != p.trace(
+            500, REGION_BLOCKS, core=1
+        )
+
+    def test_write_fraction_near_hint(self, app):
+        p = profile(app)
+        stats = summarize(p.trace(8000, REGION_BLOCKS, core=0, seed=2))
+        assert abs(stats.write_fraction - p.write_fraction_hint) < 0.12, (
+            f"{app}: measured {stats.write_fraction:.2f} vs hint "
+            f"{p.write_fraction_hint:.2f}"
+        )
+
+    def test_memory_intensity_tracks_gap_mean(self, app):
+        p = profile(app)
+        stats = summarize(p.trace(5000, REGION_BLOCKS, core=0, seed=2))
+        expected = 1000.0 / (p.gap_mean + 1)
+        assert stats.accesses_per_kilo_instruction == pytest.approx(
+            expected, rel=0.25
+        )
+
+
+class TestCharacterization:
+    def test_compute_bound_apps_have_larger_gaps(self):
+        assert profile("swaptions").gap_mean > profile("canneal").gap_mean
+        assert profile("blackscholes").gap_mean > profile("facesim").gap_mean
+
+    def test_canneal_is_most_memory_bound(self):
+        assert profile("canneal").gap_mean == min(
+            p.gap_mean for p in PARSEC_PROFILES.values()
+        )
+
+    def test_streaming_apps_write_more(self):
+        assert (
+            profile("dedup").write_fraction_hint
+            > profile("raytrace").write_fraction_hint
+        )

@@ -1,0 +1,192 @@
+"""Access-pattern primitives: determinism, ranges, and the spatial
+geometries the counter experiments rely on."""
+
+import random
+
+import pytest
+
+from repro.workloads.patterns import (
+    PatternMix,
+    sequential_stream,
+    strided_sweep,
+    tile_burst,
+    uniform_scatter,
+    zipf_hot_set,
+)
+
+
+@pytest.fixture
+def prng():
+    return random.Random(11)
+
+
+class TestSequentialStream:
+    def test_wraps_and_covers(self, prng):
+        stream = sequential_stream(8, write_fraction=1.0)
+        blocks = [stream.next_block(prng)[0] for _ in range(16)]
+        assert blocks == list(range(8)) * 2
+
+    def test_pure_write_stream(self, prng):
+        stream = sequential_stream(4, write_fraction=1.0)
+        assert all(stream.next_block(prng)[1] for _ in range(8))
+
+    def test_base_offset(self, prng):
+        stream = sequential_stream(4, write_fraction=0.0, base_block=100)
+        assert stream.next_block(prng)[0] == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_stream(0)
+
+
+class TestStridedSweep:
+    def test_runs_and_strides(self, prng):
+        sweep = strided_sweep(buffer_blocks=128, stride=64, run=16)
+        blocks = [sweep.next_block(prng)[0] for _ in range(32)]
+        assert blocks[:16] == list(range(16))
+        assert blocks[16:] == list(range(64, 80))
+
+    def test_skipped_blocks_never_touched(self, prng):
+        sweep = strided_sweep(buffer_blocks=256, stride=64, run=16)
+        blocks = {sweep.next_block(prng)[0] for _ in range(1000)}
+        assert all((b % 64) < 16 for b in blocks)
+
+    def test_wraps(self, prng):
+        sweep = strided_sweep(buffer_blocks=128, stride=64, run=16)
+        for _ in range(32):
+            sweep.next_block(prng)
+        assert sweep.next_block(prng)[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            strided_sweep(64, stride=0)
+        with pytest.raises(ValueError):
+            strided_sweep(64, stride=4, run=8)
+
+
+class TestZipfHotSet:
+    def test_blocks_in_span(self, prng):
+        pattern = zipf_hot_set(64, write_fraction=0.5, span_blocks=1000)
+        for _ in range(500):
+            block, _ = pattern.next_block(prng)
+            assert 0 <= block < 1000
+
+    def test_skew(self, prng):
+        """Rank-0 must dominate a strongly skewed distribution."""
+        pattern = zipf_hot_set(256, write_fraction=0.5, s=1.5)
+        counts = {}
+        for _ in range(20000):
+            block, _ = pattern.next_block(prng)
+            counts[block] = counts.get(block, 0) + 1
+        top = max(counts.values())
+        assert top > 0.15 * 20000
+
+    def test_aligned_cluster_geometry(self, prng):
+        """cluster_blocks=16, stride=1: the 16 hottest ranks fill one
+        16-aligned delta-group."""
+        pattern = zipf_hot_set(
+            64, write_fraction=0.5, s=2.0,
+            cluster_blocks=16, cluster_stride=1, span_blocks=4096,
+        )
+        placement = pattern._placement[:16]
+        base = placement[0]
+        assert base % 16 == 0
+        assert placement == list(range(base, base + 16))
+
+    def test_straddling_pair_geometry(self, prng):
+        """cluster_blocks=2, stride=16: rank pairs land 16 blocks apart
+        -- two delta-groups of one block-group."""
+        pattern = zipf_hot_set(
+            32, write_fraction=0.5,
+            cluster_blocks=2, cluster_stride=16, span_blocks=4096,
+        )
+        first, second = pattern._placement[0], pattern._placement[1]
+        assert second - first == 16
+
+    def test_run_locality(self, prng):
+        pattern = zipf_hot_set(
+            16, write_fraction=0.0, span_blocks=4096, run_blocks=4
+        )
+        blocks = [pattern.next_block(prng)[0] for _ in range(8)]
+        # Each draw is followed by 3 sequential successors.
+        assert blocks[1] == blocks[0] + 1
+        assert blocks[2] == blocks[0] + 2
+        assert blocks[3] == blocks[0] + 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_hot_set(0, write_fraction=0.5)
+        with pytest.raises(ValueError):
+            zipf_hot_set(16, write_fraction=0.5, run_blocks=0)
+
+
+class TestUniformScatter:
+    def test_range(self, prng):
+        pattern = uniform_scatter(100, write_fraction=0.5, base_block=50)
+        for _ in range(200):
+            block, _ = pattern.next_block(prng)
+            assert 50 <= block < 150
+
+    def test_run_locality(self, prng):
+        pattern = uniform_scatter(1000, write_fraction=0.0, run_blocks=8)
+        blocks = [pattern.next_block(prng)[0] for _ in range(8)]
+        assert blocks == list(range(blocks[0], blocks[0] + 8))
+
+
+class TestTileBurst:
+    def test_blocks_within_tiles(self, prng):
+        pattern = tile_burst(
+            footprint_blocks=1024, tile_blocks=16, burst_writes=8,
+            concurrent_tiles=2,
+        )
+        for _ in range(100):
+            block, _ = pattern.next_block(prng)
+            assert 0 <= block < 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tile_burst(0, 16, 8, 2)
+
+
+class TestPatternMix:
+    def test_deterministic_for_seed(self):
+        def build():
+            return PatternMix(
+                [(sequential_stream(64, 0.5), 1.0)],
+                gap_mean=10, seed=42, region_blocks=1024,
+            )
+
+        assert build().generate(200) == build().generate(200)
+
+    def test_different_seeds_differ(self):
+        a = PatternMix([(uniform_scatter(512, 0.5), 1.0)],
+                       gap_mean=10, seed=1, region_blocks=1024).generate(100)
+        b = PatternMix([(uniform_scatter(512, 0.5), 1.0)],
+                       gap_mean=10, seed=2, region_blocks=1024).generate(100)
+        assert a != b
+
+    def test_records_well_formed(self):
+        mix = PatternMix(
+            [(sequential_stream(64, 0.5), 0.5),
+             (uniform_scatter(2048, 0.2), 0.5)],
+            gap_mean=25, seed=3, region_blocks=1024,
+        )
+        for gap, is_write, address in mix.generate(500):
+            assert gap >= 0
+            assert isinstance(is_write, bool)
+            assert 0 <= address < 1024 * 64
+            assert address % 64 == 0
+
+    def test_gap_mean_approximate(self):
+        mix = PatternMix([(sequential_stream(64, 0.5), 1.0)],
+                         gap_mean=40, seed=5, region_blocks=1024)
+        records = mix.generate(4000)
+        mean = sum(r[0] for r in records) / len(records)
+        assert 30 < mean < 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatternMix([], gap_mean=1, seed=1, region_blocks=10)
+        with pytest.raises(ValueError):
+            PatternMix([(sequential_stream(4, 1.0), 0.0)],
+                       gap_mean=1, seed=1, region_blocks=10)
