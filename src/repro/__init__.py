@@ -37,6 +37,7 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.memsim``          caches, DDR3 DRAM model, trace-driven CPU
 ``repro.workloads``       synthetic PARSEC 2.1 application profiles
 ``repro.analysis``        storage model (Fig. 1), fault matrix (Fig. 3)
+``repro.resilience``      fault campaigns, retry recovery, block quarantine
 ``repro.harness``         Table 2 / Figure 8 experiment runners
 ========================  ====================================================
 """
@@ -68,6 +69,11 @@ from repro.core.engine.config import PRESETS, preset
 from repro.crypto import AES128, CarterWegmanMac, CtrModeCipher
 from repro.ecc import BlockSecDed, HammingSecDed
 from repro.harness import PerformanceExperiment, ReencryptionExperiment
+from repro.resilience import (
+    FaultCampaign,
+    ResilientMemory,
+    RetryPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -98,5 +104,8 @@ __all__ = [
     "BlockSecDed",
     "ReencryptionExperiment",
     "PerformanceExperiment",
+    "ResilientMemory",
+    "FaultCampaign",
+    "RetryPolicy",
     "__version__",
 ]

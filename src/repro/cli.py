@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro figure1
     python -m repro figure3 --trials 10
     python -m repro attacks
+    python -m repro resilience --operations 10000 --seed 7
     python -m repro trace dedup out.trc.gz --accesses 100000
 
 Each subcommand prints the same exhibit its pytest benchmark produces,
@@ -19,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import sys
 
 from repro.analysis.attacks import run_all
@@ -32,8 +34,18 @@ from repro.core.engine.secure_memory import SecureMemory
 from repro.harness.reporting import format_table
 from repro.harness.runner import PerformanceExperiment, ReencryptionExperiment
 from repro.memsim.cpu.trace import save_trace
+from repro.resilience.campaign import FaultCampaign, default_models
+from repro.resilience.recovery import RetryPolicy
+from repro.resilience.runtime import ResilientMemory
 from repro.workloads.micro import MICRO_PROFILES, micro_profile
 from repro.workloads.parsec import figure8_apps, profile, table2_apps
+
+
+def _rate(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("rate must be >= 0")
+    return value
 
 
 def _resolve_profile(name):
@@ -167,6 +179,45 @@ def _cmd_attacks(args) -> int:
     return 0 if all(r.defended for r in results) else 1
 
 
+def _cmd_resilience(args) -> int:
+    config = preset(
+        args.preset,
+        protected_bytes=args.region_kb * 1024,
+        keystream_mode="fast",
+    )
+    # Key derived from the seed so the whole run is reproducible.
+    key = bytes(random.Random(args.seed).randrange(256) for _ in range(48))
+    memory = ResilientMemory(
+        config,
+        key,
+        spare_blocks=args.spare_blocks,
+        ce_threshold=args.ce_threshold,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
+    )
+    campaign = FaultCampaign(
+        memory,
+        default_models(
+            transient_rate=args.transient_rate,
+            stuck_rate=args.stuck_rate,
+            burst_rate=args.burst_rate,
+        ),
+        seed=args.seed,
+        write_fraction=args.write_fraction,
+        scrub_interval=args.scrub_interval if config.mac_in_ecc else 0,
+    )
+    report = campaign.run(args.operations)
+    print(report.format())
+    print()
+    print(memory.log.format_summary())
+    # The final sweep re-reads every written block (and may trigger a few
+    # last retirements), so it runs after the summaries are printed.
+    mismatches = campaign.verify_all()
+    print(f"\nfinal ground-truth sweep: {mismatches} mismatches over "
+          f"{len(campaign.shadow)} written blocks")
+    sound = report.reconciles() and report.sdc_total == 0 and not mismatches
+    return 0 if sound else 1
+
+
 def _cmd_trace(args) -> int:
     app = _resolve_profile(args.app)
     records = app.trace(
@@ -227,6 +278,34 @@ def build_parser() -> argparse.ArgumentParser:
     # tree-grafting attack actually runs instead of being skipped.
     p.add_argument("--region-mb", type=int, default=16)
     p.set_defaults(func=_cmd_attacks)
+
+    p = sub.add_parser(
+        "resilience",
+        help="fault campaign with retry recovery and block quarantine",
+    )
+    p.add_argument("--preset", default="combined",
+                   choices=["bmt_baseline", "mac_in_ecc", "delta_only",
+                            "combined", "combined_dual"])
+    p.add_argument("--region-kb", type=int, default=256,
+                   help="protected region size in KiB")
+    p.add_argument("--operations", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--spare-blocks", type=int, default=16,
+                   help="blocks reserved for quarantine remapping")
+    p.add_argument("--ce-threshold", type=int, default=3,
+                   help="correctable errors before a block is retired")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="re-reads before escalating to flip-and-check")
+    p.add_argument("--transient-rate", type=_rate, default=0.02,
+                   help="transient SEUs per operation (Poisson rate)")
+    p.add_argument("--stuck-rate", type=_rate, default=0.002,
+                   help="stuck-at cell faults per operation")
+    p.add_argument("--burst-rate", type=_rate, default=0.0005,
+                   help="row-burst events per operation")
+    p.add_argument("--write-fraction", type=float, default=0.25)
+    p.add_argument("--scrub-interval", type=int, default=1000,
+                   help="operations between scrub sweeps (0 disables)")
+    p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser("trace", help="generate a workload trace file")
     p.add_argument("app", choices=table2_apps() + sorted(MICRO_PROFILES))

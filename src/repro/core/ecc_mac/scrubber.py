@@ -21,9 +21,9 @@ MAC check.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Collection, Iterable
 
-from repro.core.ecc_mac.layout import EccField, MacEccCodec
+from repro.core.ecc_mac.layout import MacEccCodec
 from repro.ecc.hamming import DecodeStatus
 from repro.ecc.parity import parity_of_bytes
 
@@ -33,12 +33,17 @@ class ScrubReport:
     """Result of one scrub sweep."""
 
     blocks_scanned: int = 0
-    data_parity_failures: list = field(default_factory=list)
-    mac_parity_failures: list = field(default_factory=list)
+    blocks_skipped: int = 0
+    data_parity_failures: list[int] = field(default_factory=list)
+    mac_parity_failures: list[int] = field(default_factory=list)
 
     @property
-    def suspicious_blocks(self) -> list:
-        """Addresses needing the full verify/correct path, deduplicated."""
+    def suspicious_blocks(self) -> list[int]:
+        """Addresses needing the full verify/correct path.
+
+        A block that trips both the data-parity and the MAC-parity check
+        appears once: the follow-up MAC pass must not verify it twice.
+        """
         return sorted(
             set(self.data_parity_failures) | set(self.mac_parity_failures)
         )
@@ -50,13 +55,23 @@ class Scrubber:
     def __init__(self, codec: MacEccCodec):
         self._codec = codec
 
-    def scrub(self, blocks: Iterable) -> ScrubReport:
+    def scrub(
+        self, blocks: Iterable, skip: Collection[int] = ()
+    ) -> ScrubReport:
         """Quick-scan blocks; flags parity mismatches only (no MAC work).
 
         ``blocks`` yields ``(address, ciphertext, EccField)`` triples.
+        ``skip`` lists block addresses the sweep must pass over -- the
+        quarantine map feeds retired (remapped-away) blocks here so the
+        scrubber neither wastes bandwidth on them nor re-flags faults
+        that have already been retired out of service.
         """
         report = ScrubReport()
+        skip = frozenset(skip)
         for address, ciphertext, ecc in blocks:
+            if address in skip:
+                report.blocks_skipped += 1
+                continue
             report.blocks_scanned += 1
             if parity_of_bytes(ciphertext) != ecc.ct_parity:
                 report.data_parity_failures.append(address)

@@ -51,12 +51,29 @@ class IntegrityError(Exception):
       (data tamper, or an uncorrectable fault),
     * ``"mac_bits"`` -- the stored MAC itself had an uncorrectable
       multi-bit fault.
+
+    ``outcome`` carries the :class:`CheckOutcome` that tripped (``None``
+    for tree failures, which happen before the block check), and
+    ``correction`` the full flip-and-check statistics when correction was
+    attempted -- so recovery policies and tests can tell *why* a read
+    failed without re-deriving it.
     """
 
-    def __init__(self, kind: str, address: int, message: str):
+    def __init__(
+        self,
+        kind: str,
+        address: int,
+        message: str,
+        *,
+        outcome: CheckOutcome | None = None,
+        correction=None,
+    ):
         super().__init__(message)
         self.kind = kind
         self.address = address
+        self.outcome = outcome
+        #: CorrectionResult when flip-and-check ran (and failed), else None
+        self.correction = correction
 
 
 @dataclass(frozen=True)
@@ -124,6 +141,12 @@ class SecureMemory:
         self.ecc_fields: dict = {}
         self.mac_store: dict = {}
         self.counters = EngineCounters()
+        #: optional in-flight fault hook for resilience harnesses: called
+        #: on every read with ``(address, ciphertext, ecc_field)`` and
+        #: returns the (possibly perturbed) pair the controller *receives*
+        #: -- storage itself is untouched, so a re-read goes through the
+        #: hook again (transient faults clear, stuck-at faults re-assert).
+        self.read_perturb = None
 
     # -- helpers -------------------------------------------------------------
 
@@ -253,6 +276,7 @@ class SecureMemory:
                     "mac_bits",
                     address,
                     "stored MAC uncorrectable during group re-encryption",
+                    outcome=result.outcome,
                 )
             if result.ok:
                 return ciphertext
@@ -269,6 +293,8 @@ class SecureMemory:
                     address,
                     "block failed integrity check during group "
                     "re-encryption",
+                    outcome=result.outcome,
+                    correction=correction,
                 )
             self.counters.corrections += 1
             return correction.data
@@ -278,6 +304,7 @@ class SecureMemory:
                 "mac",
                 address,
                 "block failed integrity check during group re-encryption",
+                outcome=CheckOutcome.DATA_MISMATCH,
             )
         return ciphertext
 
@@ -314,13 +341,18 @@ class SecureMemory:
         for group in range(self.scheme.num_groups):
             self._commit_metadata(group)
 
-    def read(self, address: int) -> ReadResult:
+    def read(self, address: int, *, correct: bool = True) -> ReadResult:
         """Authenticate and decrypt one block.
 
         Raises :class:`IntegrityError` on tamper/replay or uncorrectable
         faults; transparently corrects <=2-bit faults on MAC-in-ECC
         configurations (writing the corrected ciphertext back, as a
         demand-scrub would).
+
+        ``correct=False`` runs the detection flow only: a data-MAC
+        mismatch raises immediately instead of entering flip-and-check.
+        Recovery policies use this to try cheap re-reads (which clear
+        in-flight transients) before paying for correction.
         """
         block = self._block_index(address)
         self.counters.reads += 1
@@ -333,13 +365,21 @@ class SecureMemory:
         counter = self.scheme.decode_metadata(metadata)[self.scheme.slot_of(block)]
         nonce = self._nonce(counter)
         ciphertext = self._stored_ciphertext(block)
+        ecc = self.ecc_fields.get(block) if self.config.mac_in_ecc else None
+        if self.read_perturb is not None:
+            ciphertext, ecc = self.read_perturb(address, ciphertext, ecc)
 
         if self.config.mac_in_ecc:
-            return self._read_with_ecc(block, address, ciphertext, nonce)
+            return self._read_with_ecc(
+                block, address, ciphertext, nonce, ecc, correct=correct
+            )
         stored = self.mac_store.get(block)
         if self._mac.tag(ciphertext, address, nonce) != stored:
             raise IntegrityError(
-                "mac", address, "MAC mismatch on separate-MAC configuration"
+                "mac",
+                address,
+                "MAC mismatch on separate-MAC configuration",
+                outcome=CheckOutcome.DATA_MISMATCH,
             )
         return ReadResult(
             data=self._cipher.decrypt(ciphertext, nonce, address),
@@ -347,13 +387,21 @@ class SecureMemory:
         )
 
     def _read_with_ecc(
-        self, block: int, address: int, ciphertext: bytes, nonce: int
+        self,
+        block: int,
+        address: int,
+        ciphertext: bytes,
+        nonce: int,
+        ecc: EccField,
+        correct: bool = True,
     ) -> ReadResult:
-        ecc = self.ecc_fields.get(block)
         result = check_block(self._codec, ciphertext, ecc, address, nonce)
         if result.outcome is CheckOutcome.MAC_UNCORRECTABLE:
             raise IntegrityError(
-                "mac_bits", address, "stored MAC bits uncorrectable"
+                "mac_bits",
+                address,
+                "stored MAC bits uncorrectable",
+                outcome=result.outcome,
             )
         if result.ok:
             if result.outcome is CheckOutcome.MAC_CORRECTED:
@@ -364,6 +412,13 @@ class SecureMemory:
                 )
             return ReadResult(
                 data=self._cipher.decrypt(ciphertext, nonce, address),
+                outcome=result.outcome,
+            )
+        if not correct:
+            raise IntegrityError(
+                "mac",
+                address,
+                "MAC mismatch on detection-only read",
                 outcome=result.outcome,
             )
         # Data MAC mismatch: attempt flip-and-check before declaring tamper.
@@ -379,6 +434,8 @@ class SecureMemory:
                 "mac",
                 address,
                 "MAC mismatch not explained by <=2 bit flips: tampering",
+                outcome=result.outcome,
+                correction=correction,
             )
         self.counters.corrections += 1
         self.ciphertexts[block] = correction.data

@@ -1,0 +1,455 @@
+"""Fault campaign engine: sustained traffic under pluggable fault models.
+
+``analysis/faults.py`` answers Figure 3's question -- *what does one
+injected pattern do?* -- with one-shot injections into freshly encoded
+blocks.  A reliability argument for a memory system needs the
+longitudinal version: faults arriving as a Poisson process over hours of
+traffic, recovery machinery absorbing them, quarantine retiring the bad
+actors, and an error log that reconciles at the end.  This module drives
+exactly that against :class:`~repro.resilience.runtime.ResilientMemory`.
+
+Fault models are pluggable.  Three built-ins cover the classic DRAM
+failure taxonomy (transient single-event upsets, stuck-at cells, row
+bursts), and :class:`ScenarioFaultModel` adapts any Figure 3
+:class:`~repro.analysis.faults.FaultScenario` so the one-shot patterns
+can be replayed as sustained campaigns.
+
+Every injected fault is followed by a demand read of the faulted block
+(the access that "discovers" the fault), so each fault terminates in
+exactly one primary outcome -- corrected, detected-uncorrectable,
+silently corrupting (never, if the paper is right), or absorbed by an
+earlier recovery on the same block -- and the totals reconcile.
+Background traffic (seeded random reads/writes with a ground-truth
+shadow) then exercises recurrence: stuck-at blocks keep producing CEs
+until the quarantine threshold retires them.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.faults import FaultScenario
+from repro.harness.reporting import format_series, format_table
+from repro.resilience.errlog import EventOutcome
+from repro.resilience.recovery import RecoveryStage
+from repro.resilience.runtime import ResilientMemory
+
+BLOCK_BYTES = 64
+BLOCK_BITS = 512
+ECC_BITS = 64
+
+
+def poisson_draw(rng: random.Random, rate: float) -> int:
+    """Knuth's algorithm; exact for the small per-operation rates here."""
+    if rate <= 0:
+        return 0
+    limit = math.exp(-rate)
+    k = 0
+    product = rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One concrete fault drawn from a model: where, what, how long."""
+
+    block: int  # logical block index to hit
+    data_bits: tuple = ()
+    ecc_bits: tuple = ()
+    persistence: str = "cell"  # inflight | cell | stuck
+
+
+class FaultModel(abc.ABC):
+    """A named fault class arriving as a Poisson process.
+
+    ``rate`` is the expected number of faults per campaign operation;
+    :meth:`arrivals` draws how many strike during one operation and
+    :meth:`draw` materializes each one into concrete :class:`FaultSpec`s
+    (a single arrival may span several blocks, e.g. a row burst).
+    """
+
+    #: machine name used in reports and the error log
+    name: str = "abstract"
+    #: fault-class label recorded on log events
+    fault_class: str = "unknown"
+
+    def __init__(self, rate: float):
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        self.rate = rate
+
+    def arrivals(self, rng: random.Random) -> int:
+        return poisson_draw(rng, self.rate)
+
+    @abc.abstractmethod
+    def draw(self, rng: random.Random, capacity_blocks: int) -> list[FaultSpec]:
+        """Materialize one arrival into concrete fault specs."""
+
+
+class TransientSEU(FaultModel):
+    """In-flight single-event upset: corrupts one transfer, clears on
+    re-read.  The paper's dominant DRAM fault class; retry-with-reread
+    should absorb every one of these without touching flip-and-check."""
+
+    name = "transient_seu"
+    fault_class = "transient"
+
+    def __init__(self, rate: float, max_bits: int = 1):
+        super().__init__(rate)
+        if not 1 <= max_bits <= 2:
+            raise ValueError("transient upsets model 1 or 2 bit flips")
+        self.max_bits = max_bits
+
+    def draw(self, rng, capacity_blocks):
+        block = rng.randrange(capacity_blocks)
+        weight = rng.randint(1, self.max_bits)
+        bits = tuple(rng.sample(range(BLOCK_BITS), weight))
+        return [FaultSpec(block, data_bits=bits, persistence="inflight")]
+
+
+class StuckAtBit(FaultModel):
+    """A cell goes permanently bad: the read value disagrees with the
+    stored bit on every access.  Flip-and-check corrects each read, but
+    only quarantine stops the CE stream -- this is the model that drives
+    block retirement."""
+
+    name = "stuck_at"
+    fault_class = "stuck_at"
+
+    def draw(self, rng, capacity_blocks):
+        block = rng.randrange(capacity_blocks)
+        bit = rng.randrange(BLOCK_BITS)
+        return [FaultSpec(block, data_bits=(bit,), persistence="stuck")]
+
+
+class RowBurst(FaultModel):
+    """A row-level event upsets a run of adjacent blocks at once, with a
+    per-block flip weight of 1..``max_bits_per_block``.  Weights above 2
+    exceed flip-and-check's budget and surface as DUEs -- the campaign's
+    source of detected-uncorrectable events."""
+
+    name = "row_burst"
+    fault_class = "row_burst"
+
+    def __init__(
+        self, rate: float, row_blocks: int = 4, max_bits_per_block: int = 3
+    ):
+        super().__init__(rate)
+        if row_blocks < 1:
+            raise ValueError("row_blocks must be >= 1")
+        if max_bits_per_block < 1:
+            raise ValueError("max_bits_per_block must be >= 1")
+        self.row_blocks = row_blocks
+        self.max_bits_per_block = max_bits_per_block
+
+    def draw(self, rng, capacity_blocks):
+        span = min(self.row_blocks, capacity_blocks)
+        base = rng.randrange(capacity_blocks - span + 1)
+        specs = []
+        for offset in range(span):
+            weight = rng.randint(1, self.max_bits_per_block)
+            bits = tuple(rng.sample(range(BLOCK_BITS), weight))
+            specs.append(
+                FaultSpec(base + offset, data_bits=bits, persistence="cell")
+            )
+        return specs
+
+
+class ScenarioFaultModel(FaultModel):
+    """Adapter: replay a Figure 3 :class:`FaultScenario` as a campaign
+    model, so the one-shot analysis patterns double as sustained fault
+    workloads (e.g. ``figure3_scenarios()[4]`` -- 3 flips in one word --
+    becomes a DUE generator)."""
+
+    def __init__(
+        self,
+        scenario: FaultScenario,
+        rate: float,
+        persistence: str = "cell",
+    ):
+        super().__init__(rate)
+        self.scenario = scenario
+        self.persistence = persistence
+        self.name = f"scenario:{scenario.name}"
+        self.fault_class = scenario.name
+
+    def draw(self, rng, capacity_blocks):
+        data_bits, ecc_bits = self.scenario.draw(rng)
+        block = rng.randrange(capacity_blocks)
+        return [
+            FaultSpec(
+                block,
+                data_bits=data_bits,
+                ecc_bits=ecc_bits,
+                persistence=self.persistence,
+            )
+        ]
+
+
+# -- the campaign itself ----------------------------------------------------
+
+#: primary-outcome labels (per injected fault, decided at its demand read)
+PRIMARY_OUTCOMES = (
+    "ce_retry", "ce_mac_repair", "ce_flip_and_check",
+    "due", "sdc", "absorbed",
+)
+
+_STAGE_TO_PRIMARY = {
+    RecoveryStage.CLEAN: "absorbed",
+    RecoveryStage.RETRY_CLEARED: "ce_retry",
+    RecoveryStage.MAC_REPAIRED: "ce_mac_repair",
+    RecoveryStage.CORRECTED: "ce_flip_and_check",
+    RecoveryStage.FAILED: "due",
+}
+
+
+@dataclass
+class CampaignReport:
+    """Everything a reliability summary needs, reconciled."""
+
+    operations: int
+    seed: int
+    injected: Counter = field(default_factory=Counter)  # model -> faults
+    primary: dict[str, Counter] = field(default_factory=dict)  # model -> outcome
+    due_rewrites: int = 0  # blocks software-repaired after a DUE
+    reads: int = 0
+    writes: int = 0
+    sdc_total: int = 0
+    cycles_spent: int = 0
+    log_events: int = 0
+    ce_total: int = 0
+    due_total: int = 0
+    retired_blocks: int = 0
+    degraded_blocks: int = 0
+    spares_remaining: int = 0
+    capacity_blocks: int = 0
+
+    @property
+    def injected_total(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def primary_total(self) -> int:
+        return sum(sum(c.values()) for c in self.primary.values())
+
+    def reconciles(self) -> bool:
+        """Every injected fault terminated in exactly one primary outcome."""
+        return self.injected_total == self.primary_total
+
+    def format(self) -> str:
+        """Reliability summary tables (harness/reporting style)."""
+        rows = []
+        for model in sorted(self.injected):
+            counts = self.primary.get(model, Counter())
+            rows.append(
+                [model, self.injected[model]]
+                + [counts.get(label, 0) for label in PRIMARY_OUTCOMES]
+            )
+        rows.append(
+            ["TOTAL", self.injected_total]
+            + [
+                sum(c.get(label, 0) for c in self.primary.values())
+                for label in PRIMARY_OUTCOMES
+            ]
+        )
+        matrix = format_table(
+            f"Fault campaign -- primary outcome per injected fault "
+            f"({self.operations} ops, seed {self.seed})",
+            ["fault model", "injected", "CE retry", "CE mac", "CE f&c",
+             "DUE", "SDC", "absorbed"],
+            rows,
+        )
+        summary = format_series(
+            "Reliability summary",
+            {
+                "operations": self.operations,
+                "reads / writes": f"{self.reads} / {self.writes}",
+                "log events": self.log_events,
+                "CE total (incl. recurrences)": self.ce_total,
+                "DUE total": self.due_total,
+                "SDC total": self.sdc_total,
+                "DUE blocks rewritten": self.due_rewrites,
+                "blocks retired": self.retired_blocks,
+                "blocks degraded": self.degraded_blocks,
+                "spares remaining": self.spares_remaining,
+                "recovery cycles spent": self.cycles_spent,
+                "reconciles": "yes" if self.reconciles() else "NO",
+            },
+        )
+        return matrix + "\n\n" + summary
+
+
+class FaultCampaign:
+    """Drive seeded traffic + fault arrivals against a ResilientMemory."""
+
+    def __init__(
+        self,
+        memory: ResilientMemory,
+        models: list[FaultModel],
+        *,
+        seed: int = 1,
+        write_fraction: float = 0.25,
+        scrub_interval: int = 0,
+    ):
+        if not 0 <= write_fraction <= 1:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if scrub_interval < 0:
+            raise ValueError("scrub_interval must be >= 0")
+        self.memory = memory
+        self.models = list(models)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.write_fraction = write_fraction
+        self.scrub_interval = scrub_interval
+        #: ground truth: logical block -> expected plaintext
+        self.shadow: dict[int, bytes] = {}
+        self._next_fault_id = 0
+
+    # -- ground truth -------------------------------------------------------
+
+    def expected(self, block: int) -> bytes:
+        """What a read of a logical block must return (zeros if untouched)."""
+        return self.shadow.get(block, b"\x00" * BLOCK_BYTES)
+
+    def _check_read(self, block: int, rec, report: CampaignReport) -> None:
+        """SDC detection: recovered data must match the shadow copy."""
+        if rec.ok and rec.data != self.expected(block):
+            report.sdc_total += 1
+            self.memory.log.log(
+                cycle=self.memory.cycle,
+                address=self.memory.physical_address(block * BLOCK_BYTES),
+                logical_address=block * BLOCK_BYTES,
+                fault_class="campaign",
+                outcome=EventOutcome.SDC,
+                detail="recovered data disagrees with ground truth",
+            )
+
+    def _repair_due(self, block: int, report: CampaignReport) -> None:
+        """Software repair after a DUE: rewrite the lost block."""
+        self.memory.write(block * BLOCK_BYTES, self.expected(block))
+        report.due_rewrites += 1
+
+    # -- fault handling -----------------------------------------------------
+
+    def _inject_and_observe(
+        self, model: FaultModel, spec: FaultSpec, report: CampaignReport
+    ) -> None:
+        """Inject one fault spec, then issue the demand read that
+        discovers it; classify the primary outcome."""
+        address = spec.block * BLOCK_BYTES
+        fault_id = self._next_fault_id
+        self._next_fault_id += 1
+        self.memory.inject_fault(
+            address,
+            data_bits=spec.data_bits,
+            ecc_bits=spec.ecc_bits,
+            persistence=spec.persistence,
+            fault_class=model.fault_class,
+            fault_id=fault_id,
+        )
+        report.injected[model.name] += 1
+        rec = self.memory.read(address)
+        report.reads += 1
+        primary = _STAGE_TO_PRIMARY[rec.stage]
+        self._check_read(spec.block, rec, report)
+        report.primary.setdefault(model.name, Counter())[primary] += 1
+        if not rec.ok:
+            self._repair_due(spec.block, report)
+
+    # -- traffic ------------------------------------------------------------
+
+    def _background_op(self, report: CampaignReport) -> None:
+        block = self.rng.randrange(self.memory.capacity_blocks)
+        address = block * BLOCK_BYTES
+        if self.rng.random() < self.write_fraction:
+            data = self.rng.getrandbits(BLOCK_BITS).to_bytes(
+                BLOCK_BYTES, "little"
+            )
+            self.memory.write(address, data)
+            self.shadow[block] = data
+            report.writes += 1
+        else:
+            rec = self.memory.read(address)
+            report.reads += 1
+            self._check_read(block, rec, report)
+            if not rec.ok:
+                self._repair_due(block, report)
+
+    def run(self, operations: int) -> CampaignReport:
+        """Run the campaign; fully deterministic for a given seed."""
+        report = CampaignReport(
+            operations=operations,
+            seed=self.seed,
+            capacity_blocks=self.memory.capacity_blocks,
+        )
+        for op in range(operations):
+            for model in self.models:
+                for _ in range(model.arrivals(self.rng)):
+                    for spec in model.draw(
+                        self.rng, self.memory.capacity_blocks
+                    ):
+                        self._inject_and_observe(model, spec, report)
+            self._background_op(report)
+            if (
+                self.scrub_interval
+                and (op + 1) % self.scrub_interval == 0
+                and self.memory.scrubber is not None
+            ):
+                self.memory.scrub(repair=True)
+        log = self.memory.log
+        report.log_events = len(log)
+        report.ce_total = log.ce_total
+        report.due_total = log.due_total
+        report.cycles_spent = self.memory.cycle
+        report.retired_blocks = self.memory.quarantine.retired_count
+        report.degraded_blocks = self.memory.quarantine.degraded_count
+        report.spares_remaining = self.memory.quarantine.spares_remaining
+        return report
+
+    def verify_all(self) -> int:
+        """Final sweep: read every block ever written and count
+        ground-truth mismatches (must be 0 for a sound run)."""
+        mismatches = 0
+        for block in sorted(self.shadow):
+            rec = self.memory.read(block * BLOCK_BYTES)
+            if not rec.ok or rec.data != self.shadow[block]:
+                mismatches += 1
+        return mismatches
+
+
+def default_models(
+    transient_rate: float = 0.02,
+    stuck_rate: float = 0.002,
+    burst_rate: float = 0.0005,
+) -> list[FaultModel]:
+    """The standard three-class campaign mix."""
+    models: list[FaultModel] = []
+    if transient_rate:
+        models.append(TransientSEU(transient_rate))
+    if stuck_rate:
+        models.append(StuckAtBit(stuck_rate))
+    if burst_rate:
+        models.append(RowBurst(burst_rate))
+    return models
+
+
+__all__ = [
+    "FaultCampaign",
+    "CampaignReport",
+    "FaultModel",
+    "FaultSpec",
+    "TransientSEU",
+    "StuckAtBit",
+    "RowBurst",
+    "ScenarioFaultModel",
+    "default_models",
+    "poisson_draw",
+    "PRIMARY_OUTCOMES",
+]

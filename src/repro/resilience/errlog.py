@@ -1,0 +1,176 @@
+"""MCA-style structured error log for the resilient runtime.
+
+Real memory-RAS stacks (machine-check architecture banks, EDAC drivers,
+SecDDR/SCREME-class research frameworks) keep an append-only record of
+every error event with enough context to do post-mortem accounting:
+where, what class of fault, what the hardware did about it, and how much
+it cost.  This module is that record for the simulated engine.
+
+Accounting follows the standard RAS taxonomy:
+
+* **CE** (corrected error) -- the fault was cleared transparently, by a
+  re-read, by the stored-MAC Hamming repair, or by flip-and-check;
+* **DUE** (detected uncorrectable error) -- the read failed
+  authentication and no recovery stage could heal it; data is lost but
+  *flagged*;
+* **SDC** (silent data corruption) -- wrong data escaped undetected.
+  The campaign engine can detect these because it keeps a ground-truth
+  shadow of every block; the paper's whole argument is that the 56-bit
+  MAC makes this row stay at zero.
+
+Lifecycle events (``RETIRED``, ``DEGRADED``) record quarantine actions so
+the log reconciles end to end: every injected fault terminates in exactly
+one primary outcome, and every retirement is traceable to the CE history
+that triggered it.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.harness.reporting import format_table
+
+
+class EventOutcome(enum.Enum):
+    """What the runtime did about one error event."""
+
+    CE_RETRY = "ce_retry"  # cleared by re-read (in-flight transient)
+    CE_MAC_REPAIR = "ce_mac_repair"  # stored-MAC Hamming self-correction
+    CE_CORRECTED = "ce_flip_and_check"  # data healed by flip-and-check
+    DUE = "due"  # detected, uncorrectable
+    SDC = "sdc"  # silent corruption (ground-truth mismatch)
+    RETIRED = "retired"  # block quarantined and remapped to a spare
+    DEGRADED = "degraded"  # retirement wanted but spare pool exhausted
+
+    @property
+    def is_ce(self) -> bool:
+        return self in (
+            EventOutcome.CE_RETRY,
+            EventOutcome.CE_MAC_REPAIR,
+            EventOutcome.CE_CORRECTED,
+        )
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One logged event (one line of the MCA bank, so to speak)."""
+
+    seq: int  # monotonically increasing event number
+    cycle: int  # simulated-cycle timestamp
+    address: int  # physical byte address of the block involved
+    logical_address: int  # logical byte address it was serving
+    fault_class: str  # e.g. "transient", "stuck_at", "row_burst"
+    outcome: EventOutcome
+    retries: int = 0  # re-reads issued before this outcome
+    correction_checks: int = 0  # MAC evaluations spent by flip-and-check
+    corrected_bits: tuple = ()  # data bit positions healed
+    cycles_spent: int = 0  # recovery cycles charged to this event
+    fault_id: int | None = None  # campaign fault that caused it, if known
+    detail: str = ""
+
+
+class ErrorLog:
+    """Append-only event log with CE/DUE/SDC accounting."""
+
+    def __init__(self):
+        self.records: list[ErrorRecord] = []
+
+    def log(
+        self,
+        *,
+        cycle: int,
+        address: int,
+        logical_address: int,
+        fault_class: str,
+        outcome: EventOutcome,
+        retries: int = 0,
+        correction_checks: int = 0,
+        corrected_bits: tuple = (),
+        cycles_spent: int = 0,
+        fault_id: int | None = None,
+        detail: str = "",
+    ) -> ErrorRecord:
+        record = ErrorRecord(
+            seq=len(self.records),
+            cycle=cycle,
+            address=address,
+            logical_address=logical_address,
+            fault_class=fault_class,
+            outcome=outcome,
+            retries=retries,
+            correction_checks=correction_checks,
+            corrected_bits=tuple(corrected_bits),
+            cycles_spent=cycles_spent,
+            fault_id=fault_id,
+            detail=detail,
+        )
+        self.records.append(record)
+        return record
+
+    # -- accounting ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def count(self, outcome: EventOutcome) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    @property
+    def ce_total(self) -> int:
+        return sum(1 for r in self.records if r.outcome.is_ce)
+
+    @property
+    def due_total(self) -> int:
+        return self.count(EventOutcome.DUE)
+
+    @property
+    def sdc_total(self) -> int:
+        return self.count(EventOutcome.SDC)
+
+    @property
+    def retired_total(self) -> int:
+        return self.count(EventOutcome.RETIRED)
+
+    @property
+    def cycles_total(self) -> int:
+        return sum(r.cycles_spent for r in self.records)
+
+    def events_for(self, address: int) -> list[ErrorRecord]:
+        """All events on one physical block address, in order."""
+        return [r for r in self.records if r.address == address]
+
+    def by_fault_class(self) -> dict[str, Counter]:
+        """fault class -> Counter of outcomes."""
+        out: dict[str, Counter] = {}
+        for record in self.records:
+            out.setdefault(record.fault_class, Counter())[record.outcome] += 1
+        return out
+
+    # -- reporting ----------------------------------------------------------
+
+    def format_summary(self) -> str:
+        """Render the per-class outcome matrix as a reporting table."""
+        headers = [
+            "fault class", "CE retry", "CE mac", "CE f&c",
+            "DUE", "SDC", "retired", "degraded",
+        ]
+        rows = []
+        for fault_class, counts in sorted(self.by_fault_class().items()):
+            rows.append(
+                [
+                    fault_class,
+                    counts[EventOutcome.CE_RETRY],
+                    counts[EventOutcome.CE_MAC_REPAIR],
+                    counts[EventOutcome.CE_CORRECTED],
+                    counts[EventOutcome.DUE],
+                    counts[EventOutcome.SDC],
+                    counts[EventOutcome.RETIRED],
+                    counts[EventOutcome.DEGRADED],
+                ]
+            )
+        return format_table("Error log -- events by fault class", headers, rows)
+
+
+__all__ = ["ErrorLog", "ErrorRecord", "EventOutcome"]

@@ -1,0 +1,181 @@
+"""Recovery policy: staged retry / correct / fail for authenticated reads.
+
+The paper's engine distinguishes faults from tampering with flip-and-check
+(Section 3.4), but says nothing about *when* to pay for it.  Real memory
+controllers stage their response (DDR CRC retry, then ECC correction,
+then poison): a transient fault on the bus or sense path clears on a
+re-read, so the cheap move is to read again before burning hundreds of
+MAC checks.  This layer implements that escalation around
+:class:`~repro.core.engine.secure_memory.SecureMemory`:
+
+1. **detect-only attempts** -- ``read(correct=False)`` up to
+   ``1 + max_retries`` times with an exponential backoff charged in
+   simulated cycles.  In-flight transients (modeled by the engine's
+   ``read_perturb`` hook) clear here;
+2. **flip-and-check** -- one correcting read.  Persistent <=2-bit cell
+   faults are healed (and written back, demand-scrub style);
+3. **failure** -- the error is surfaced as a detected-uncorrectable
+   (DUE) result carrying the full :class:`IntegrityError` context.
+
+Tree verification failures are *not* retried: a Merkle mismatch means
+tamper/replay, not a DRAM fault, and recovery must never mask an attack.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.ecc_mac.detection import CheckOutcome
+from repro.core.engine.secure_memory import (
+    IntegrityError,
+    ReadResult,
+    SecureMemory,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-reread schedule (cycles are simulated time)."""
+
+    max_retries: int = 2  # re-reads after the first attempt
+    backoff_base_cycles: int = 32  # wait before the first re-read
+    backoff_multiplier: int = 2  # exponential growth per further retry
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_cycles < 0:
+            raise ValueError("backoff_base_cycles must be >= 0")
+        if self.backoff_multiplier < 1:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff_cycles(self, retry: int) -> int:
+        """Cycles to wait before re-read number ``retry`` (0-based)."""
+        return self.backoff_base_cycles * self.backoff_multiplier ** retry
+
+    @property
+    def total_backoff_cycles(self) -> int:
+        """Worst-case cycles spent waiting across the whole schedule."""
+        return sum(self.backoff_cycles(r) for r in range(self.max_retries))
+
+
+class RecoveryStage(enum.Enum):
+    """Which stage of the escalation produced the final answer."""
+
+    CLEAN = "clean"  # first read verified, nothing wrong
+    RETRY_CLEARED = "retry_cleared"  # a re-read came back clean
+    MAC_REPAIRED = "mac_repaired"  # stored-MAC Hamming self-correction
+    CORRECTED = "corrected"  # flip-and-check healed the data
+    FAILED = "failed"  # all stages exhausted: DUE
+
+
+@dataclass(frozen=True)
+class RecoveredRead:
+    """Outcome of one read through the recovery pipeline."""
+
+    data: bytes | None
+    stage: RecoveryStage
+    attempts: int  # total reads issued (including the correcting one)
+    retries: int  # re-reads after the first attempt
+    cycles_spent: int  # backoff waits + check/correction work
+    outcome: CheckOutcome | None = None
+    corrected_bits: tuple = ()
+    correction_checks: int = 0
+    error: IntegrityError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.stage is not RecoveryStage.FAILED
+
+    @property
+    def was_error(self) -> bool:
+        """True when anything at all had to be recovered (CE or DUE)."""
+        return self.stage is not RecoveryStage.CLEAN
+
+
+class RecoveryPolicy:
+    """Drives the staged recovery flow against a :class:`SecureMemory`."""
+
+    def __init__(
+        self, policy: RetryPolicy | None = None, mac_check_cycles: int = 2
+    ):
+        self.policy = policy or RetryPolicy()
+        self.mac_check_cycles = mac_check_cycles
+
+    def _success(
+        self, result: ReadResult, retries: int, attempts: int, cycles: int
+    ) -> RecoveredRead:
+        if result.corrected_bits:
+            stage = RecoveryStage.CORRECTED
+        elif result.outcome is CheckOutcome.MAC_CORRECTED:
+            stage = RecoveryStage.MAC_REPAIRED
+        elif attempts > 1:
+            # Any re-read that came back clean -- including a correcting
+            # read that found nothing left to correct -- was a transient.
+            stage = RecoveryStage.RETRY_CLEARED
+        else:
+            stage = RecoveryStage.CLEAN
+        return RecoveredRead(
+            data=result.data,
+            stage=stage,
+            attempts=attempts,
+            retries=retries,
+            cycles_spent=cycles,
+            outcome=result.outcome,
+            corrected_bits=result.corrected_bits,
+            correction_checks=result.correction_checks,
+        )
+
+    def read(self, memory: SecureMemory, address: int) -> RecoveredRead:
+        """Read ``address`` through the full retry/correct/fail pipeline.
+
+        Returns a :class:`RecoveredRead` for every fault outcome; only a
+        tree (tamper) failure propagates as an exception.
+        """
+        policy = self.policy
+        cycles = 0
+        attempts = 0
+        for retry in range(policy.max_retries + 1):
+            attempts += 1
+            cycles += self.mac_check_cycles
+            try:
+                result = memory.read(address, correct=False)
+            except IntegrityError as err:
+                if err.kind == "tree":
+                    raise  # tamper/replay: never masked by retry
+                if retry < policy.max_retries:
+                    cycles += policy.backoff_cycles(retry)
+                continue
+            return self._success(result, retry, attempts, cycles)
+        # Escalate: one correcting read (flip-and-check enabled).
+        attempts += 1
+        cycles += self.mac_check_cycles
+        try:
+            result = memory.read(address, correct=True)
+        except IntegrityError as err:
+            if err.kind == "tree":
+                raise
+            checks = err.correction.checks if err.correction else 0
+            return RecoveredRead(
+                data=None,
+                stage=RecoveryStage.FAILED,
+                attempts=attempts,
+                retries=policy.max_retries,
+                cycles_spent=cycles + checks,
+                outcome=err.outcome,
+                correction_checks=checks,
+                error=err,
+            )
+        cycles += result.correction_checks
+        return self._success(
+            result, policy.max_retries, attempts, cycles
+        )
+
+
+__all__ = [
+    "RetryPolicy",
+    "RecoveryPolicy",
+    "RecoveryStage",
+    "RecoveredRead",
+]

@@ -1,0 +1,300 @@
+"""ResilientMemory: the fault-tolerant runtime around SecureMemory.
+
+This is the integration point of the resilience subsystem.  It wraps one
+:class:`~repro.core.engine.secure_memory.SecureMemory` and adds what the
+paper's detector is missing to behave like a production memory system:
+
+* **address indirection** -- callers use *logical* addresses over a
+  slightly smaller capacity; a :class:`QuarantineMap` translates to
+  physical blocks and remaps chronically failing ones to a spare pool;
+* **staged recovery** -- every read goes through the
+  :class:`RecoveryPolicy` pipeline (re-read, flip-and-check, fail);
+* **fault registration** -- campaigns inject faults here by persistence
+  class: ``inflight`` (one-shot, consumed by the next read attempt via
+  the engine's ``read_perturb`` hook), ``stuck`` (re-asserted on every
+  read of the physical block), ``cell`` (flipped in stored bits, healable
+  by write-back);
+* **quarantine** -- CE/DUE thresholds trigger retirement; relocated data
+  is re-encrypted through the normal counter path (``write``), so the
+  remapped block authenticates cleanly under a fresh counter;
+* **error logging** -- every non-clean outcome lands in the
+  :class:`ErrorLog` with full context;
+* **scrubbing** -- parity sweeps skip retired blocks and push suspicious
+  ones through the same recovery pipeline, healing latent faults.
+
+Stuck-at faults are modeled as persistent *flip* masks applied at read
+time (the worst case: the stuck value always disagrees with the stored
+bit), which is why retirement -- not write-back -- is the only cure.
+"""
+
+from __future__ import annotations
+
+from repro.core.ecc_mac.layout import EccField
+from repro.core.ecc_mac.scrubber import Scrubber, ScrubReport
+from repro.core.engine.config import EngineConfig
+from repro.core.engine.secure_memory import BLOCK_BYTES, SecureMemory
+from repro.resilience.errlog import ErrorLog, EventOutcome
+from repro.resilience.quarantine import QuarantineMap
+from repro.resilience.recovery import (
+    RecoveredRead,
+    RecoveryPolicy,
+    RecoveryStage,
+    RetryPolicy,
+)
+
+#: persistence classes a registered fault can have
+PERSISTENCE_KINDS = ("inflight", "cell", "stuck")
+
+_STAGE_TO_OUTCOME = {
+    RecoveryStage.RETRY_CLEARED: EventOutcome.CE_RETRY,
+    RecoveryStage.MAC_REPAIRED: EventOutcome.CE_MAC_REPAIR,
+    RecoveryStage.CORRECTED: EventOutcome.CE_CORRECTED,
+    RecoveryStage.FAILED: EventOutcome.DUE,
+}
+
+
+def _flip_bytes(data: bytes, positions) -> bytes:
+    out = bytearray(data)
+    for position in positions:
+        out[position >> 3] ^= 1 << (position & 7)
+    return bytes(out)
+
+
+class ResilientMemory:
+    """Fault-tolerant, gracefully degrading secure memory."""
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        key: bytes,
+        *,
+        spare_blocks: int | None = None,
+        ce_threshold: int = 3,
+        due_threshold: int = 2,
+        retry_policy: RetryPolicy | None = None,
+    ):
+        self.memory = SecureMemory(config, key)
+        total = self.memory.scheme.total_blocks
+        if spare_blocks is None:
+            # Default: ~1.5% of capacity, at least one block.
+            spare_blocks = max(1, total // 64)
+        self.quarantine = QuarantineMap(
+            total,
+            spare_blocks,
+            ce_threshold=ce_threshold,
+            due_threshold=due_threshold,
+        )
+        self.recovery = RecoveryPolicy(
+            retry_policy or RetryPolicy(),
+            mac_check_cycles=config.mac_check_cycles,
+        )
+        self.log = ErrorLog()
+        self.scrubber = Scrubber(self.memory.codec) if config.mac_in_ecc else None
+        self.cycle = 0  # simulated clock, advanced by recovery work
+        # Registered faults, all keyed by *physical* block index.
+        self._inflight: dict[int, list[tuple[tuple, tuple]]] = {}
+        self._stuck_data: dict[int, set[int]] = {}
+        self._stuck_ecc: dict[int, set[int]] = {}
+        self._fault_class: dict[int, str] = {}
+        self._fault_id: dict[int, int] = {}
+        self.memory.read_perturb = self._apply_faults
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def capacity_blocks(self) -> int:
+        """Logical blocks served (total minus the spare pool)."""
+        return self.quarantine.capacity_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_blocks * BLOCK_BYTES
+
+    def _logical_block(self, address: int) -> int:
+        if address % BLOCK_BYTES:
+            raise ValueError("addresses must be 64-byte aligned")
+        logical = address // BLOCK_BYTES
+        if not 0 <= logical < self.capacity_blocks:
+            raise ValueError(
+                f"address {address:#x} outside logical capacity "
+                f"({self.capacity_bytes:#x} bytes)"
+            )
+        return logical
+
+    def physical_address(self, address: int) -> int:
+        """Current physical byte address serving a logical address."""
+        logical = self._logical_block(address)
+        return self.quarantine.physical(logical) * BLOCK_BYTES
+
+    # -- fault registration (campaign API) ----------------------------------
+
+    def inject_fault(
+        self,
+        address: int,
+        data_bits=(),
+        ecc_bits=(),
+        *,
+        persistence: str = "cell",
+        fault_class: str = "unknown",
+        fault_id: int | None = None,
+    ) -> int:
+        """Register a fault on the physical block serving ``address``.
+
+        Returns the physical block index hit, so campaigns can correlate
+        later log events with this injection.
+        """
+        if persistence not in PERSISTENCE_KINDS:
+            raise ValueError(
+                f"persistence must be one of {PERSISTENCE_KINDS}"
+            )
+        if ecc_bits and not self.memory.config.mac_in_ecc:
+            raise ValueError("configuration stores no ECC field")
+        logical = self._logical_block(address)
+        physical = self.quarantine.physical(logical)
+        paddr = physical * BLOCK_BYTES
+        if persistence == "cell":
+            if data_bits:
+                self.memory.flip_data_bits(paddr, data_bits)
+            if ecc_bits:
+                self.memory.flip_ecc_bits(paddr, ecc_bits)
+        elif persistence == "inflight":
+            self._inflight.setdefault(physical, []).append(
+                (tuple(data_bits), tuple(ecc_bits))
+            )
+        else:  # stuck
+            self._stuck_data.setdefault(physical, set()).update(data_bits)
+            if ecc_bits:
+                self._stuck_ecc.setdefault(physical, set()).update(ecc_bits)
+        self._fault_class[physical] = fault_class
+        if fault_id is not None:
+            self._fault_id[physical] = fault_id
+        return physical
+
+    def _apply_faults(self, address: int, ciphertext: bytes, ecc):
+        """``read_perturb`` hook: what the controller receives this read."""
+        physical = address // BLOCK_BYTES
+        data_bits = list(self._stuck_data.get(physical, ()))
+        ecc_bits = list(self._stuck_ecc.get(physical, ()))
+        queue = self._inflight.get(physical)
+        if queue:
+            one_data, one_ecc = queue.pop(0)
+            if not queue:
+                del self._inflight[physical]
+            data_bits.extend(one_data)
+            ecc_bits.extend(one_ecc)
+        if data_bits:
+            ciphertext = _flip_bytes(ciphertext, data_bits)
+        if ecc_bits and isinstance(ecc, EccField):
+            for position in ecc_bits:
+                ecc = ecc.flip_bit(position)
+        return ciphertext, ecc
+
+    # -- data path ----------------------------------------------------------
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write through to the physical block serving ``address``."""
+        logical = self._logical_block(address)
+        physical = self.quarantine.physical(logical)
+        self.memory.write(physical * BLOCK_BYTES, data)
+
+    def read(self, address: int) -> RecoveredRead:
+        """Read with recovery, logging, and quarantine side effects.
+
+        Never raises for fault outcomes -- a failed recovery comes back
+        as a ``FAILED`` record (``rec.ok`` is False) so degraded traffic
+        keeps flowing.  Tree (tamper) failures still raise.
+        """
+        logical = self._logical_block(address)
+        physical = self.quarantine.physical(logical)
+        rec = self.recovery.read(self.memory, physical * BLOCK_BYTES)
+        self.cycle += rec.cycles_spent
+        if rec.stage is RecoveryStage.CLEAN:
+            return rec
+        fault_class = self._fault_class.get(physical, "unknown")
+        fault_id = self._fault_id.get(physical)
+        self.log.log(
+            cycle=self.cycle,
+            address=physical * BLOCK_BYTES,
+            logical_address=address,
+            fault_class=fault_class,
+            outcome=_STAGE_TO_OUTCOME[rec.stage],
+            retries=rec.retries,
+            correction_checks=rec.correction_checks,
+            corrected_bits=rec.corrected_bits,
+            cycles_spent=rec.cycles_spent,
+            fault_id=fault_id,
+        )
+        degraded = self.quarantine.is_degraded(logical)
+        if rec.ok:
+            if self.quarantine.record_ce(physical, fault_class) and not degraded:
+                self._retire(logical, physical, rec.data, fault_class)
+        else:
+            if self.quarantine.record_due(physical, fault_class) and not degraded:
+                # Data is lost (and reported as DUE); remap so the bad
+                # block stops producing errors.  The spare starts from
+                # the engine's authenticated zero state until rewritten.
+                self._retire(logical, physical, None, fault_class)
+        return rec
+
+    def _retire(
+        self,
+        logical: int,
+        physical: int,
+        data: bytes | None,
+        fault_class: str,
+    ) -> None:
+        spare = self.quarantine.retire(logical)
+        fault_id = self._fault_id.get(physical)
+        if spare is None:
+            self.log.log(
+                cycle=self.cycle,
+                address=physical * BLOCK_BYTES,
+                logical_address=logical * BLOCK_BYTES,
+                fault_class=fault_class,
+                outcome=EventOutcome.DEGRADED,
+                fault_id=fault_id,
+                detail="spare pool exhausted; serving degraded",
+            )
+            return
+        if data is not None:
+            # Relocate through the normal write path: fresh counter,
+            # fresh MAC -- the remapped block authenticates cleanly.
+            self.memory.write(spare * BLOCK_BYTES, data)
+        self.log.log(
+            cycle=self.cycle,
+            address=physical * BLOCK_BYTES,
+            logical_address=logical * BLOCK_BYTES,
+            fault_class=fault_class,
+            outcome=EventOutcome.RETIRED,
+            fault_id=fault_id,
+            detail=(
+                f"remapped to physical block {spare}"
+                + ("" if data is not None else " (data lost)")
+            ),
+        )
+
+    # -- scrubbing ----------------------------------------------------------
+
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """One parity sweep, skipping retired blocks.
+
+        With ``repair=True`` every suspicious block is pushed through the
+        recovery read path (full MAC verify, flip-and-check, write-back),
+        logging CEs/DUEs exactly as demand reads would.
+        """
+        if self.scrubber is None:
+            raise ValueError("scrubbing needs the MAC-in-ECC layout")
+        report = self.scrubber.scrub(
+            self.memory.scrub_iter(),
+            skip=self.quarantine.retired_addresses,
+        )
+        if repair:
+            for paddr in report.suspicious_blocks:
+                logical = self.quarantine.logical_of(paddr // BLOCK_BYTES)
+                if logical is None:
+                    continue  # retired or unused spare
+                self.read(logical * BLOCK_BYTES)
+        return report
+
+
+__all__ = ["ResilientMemory", "PERSISTENCE_KINDS"]

@@ -63,3 +63,17 @@ class TestScrubber:
         blocks[2][2] = blocks[2][2].flip_bit(12)
         report = Scrubber(codec).scrub(tuple(b) for b in blocks)
         assert report.suspicious_blocks == [2 * 64]
+
+    def test_skip_list_excludes_retired_blocks(self, codec, rng):
+        """Quarantined addresses are left out of the sweep entirely: a
+        corrupt retired block must neither be flagged nor scanned."""
+        blocks = _population(codec, rng)
+        corrupted = bytearray(blocks[7][1])
+        corrupted[10] ^= 4
+        blocks[7][1] = bytes(corrupted)
+        report = Scrubber(codec).scrub(
+            (tuple(b) for b in blocks), skip=[7 * 64]
+        )
+        assert report.blocks_skipped == 1
+        assert report.blocks_scanned == 15
+        assert report.suspicious_blocks == []

@@ -1,0 +1,119 @@
+"""The engine-side hook points the resilience layer builds on: richer
+IntegrityError context, detection-only reads, and the read_perturb hook."""
+
+import pytest
+
+from repro.core.ecc_mac.detection import CheckOutcome
+from repro.core.engine import IntegrityError, SecureMemory
+from repro.core.engine.config import preset
+from tests.conftest import random_block
+
+
+def make_memory(name, key48, **overrides):
+    overrides.setdefault("protected_bytes", 16 * 1024)
+    overrides.setdefault("keystream_mode", "fast")
+    return SecureMemory(preset(name, **overrides), key48)
+
+
+def _flip(data, positions):
+    out = bytearray(data)
+    for position in positions:
+        out[position >> 3] ^= 1 << (position & 7)
+    return bytes(out)
+
+
+class TestIntegrityErrorContext:
+    def test_failed_correction_attaches_outcome_and_attempt(self, key48, rng):
+        memory = make_memory("mac_in_ecc", key48)
+        memory.write(0, random_block(rng))
+        memory.flip_data_bits(0, [1, 2, 3])  # beyond the <=2 budget
+        with pytest.raises(IntegrityError) as exc:
+            memory.read(0)
+        err = exc.value
+        assert err.kind == "mac"
+        assert err.address == 0
+        assert err.outcome is CheckOutcome.DATA_MISMATCH
+        assert err.correction is not None
+        assert not err.correction.corrected
+
+    def test_uncorrectable_mac_bits_attach_outcome(self, key48, rng):
+        memory = make_memory("mac_in_ecc", key48)
+        memory.write(64, random_block(rng))
+        memory.flip_ecc_bits(64, [10, 40])  # double flip inside SEC-DED
+        with pytest.raises(IntegrityError) as exc:
+            memory.read(64)
+        assert exc.value.kind == "mac_bits"
+        assert exc.value.outcome is CheckOutcome.MAC_UNCORRECTABLE
+        assert exc.value.correction is None
+
+    def test_separate_mac_mismatch_attaches_outcome(self, key48, rng):
+        memory = make_memory("delta_only", key48)
+        memory.write(0, random_block(rng))
+        memory.flip_data_bits(0, [9])
+        with pytest.raises(IntegrityError) as exc:
+            memory.read(0)
+        assert exc.value.kind == "mac"
+        assert exc.value.outcome is CheckOutcome.DATA_MISMATCH
+
+
+class TestDetectionOnlyRead:
+    def test_correct_false_skips_flip_and_check(self, key48, rng):
+        memory = make_memory("mac_in_ecc", key48)
+        data = random_block(rng)
+        memory.write(0, data)
+        memory.flip_data_bits(0, [200])
+        # a correctable fault still raises when correction is disabled...
+        with pytest.raises(IntegrityError) as exc:
+            memory.read(0, correct=False)
+        assert exc.value.outcome is CheckOutcome.DATA_MISMATCH
+        assert exc.value.correction is None  # flip-and-check never ran
+        # ...and a correcting read afterwards heals it
+        result = memory.read(0)
+        assert result.data == data
+        assert result.corrected_bits == (200,)
+
+    def test_correct_false_clean_read_is_normal(self, key48, rng):
+        memory = make_memory("mac_in_ecc", key48)
+        data = random_block(rng)
+        memory.write(64, data)
+        assert memory.read(64, correct=False).data == data
+
+
+class TestReadPerturbHook:
+    def test_hook_sees_traffic_and_storage_is_untouched(self, key48, rng):
+        memory = make_memory("mac_in_ecc", key48)
+        data = random_block(rng)
+        memory.write(0, data)
+        seen = []
+
+        def glitch(address, ciphertext, ecc):
+            seen.append(address)
+            return _flip(ciphertext, [3]), ecc
+
+        memory.read_perturb = glitch
+        with pytest.raises(IntegrityError):
+            memory.read(0, correct=False)
+        assert seen == [0]
+        # the perturbation was in-flight only: remove the hook, all clean
+        memory.read_perturb = None
+        assert memory.read(0, correct=False).data == data
+
+    def test_hook_can_perturb_ecc_side(self, key48, rng):
+        memory = make_memory("mac_in_ecc", key48)
+        data = random_block(rng)
+        memory.write(0, data)
+        memory.read_perturb = lambda a, ct, ecc: (ct, ecc.flip_bit(5))
+        # single MAC-side flip: self-corrected by the Hamming bits
+        result = memory.read(0)
+        assert result.data == data
+        assert result.outcome is CheckOutcome.MAC_CORRECTED
+
+    def test_hook_applies_to_correcting_reads_too(self, key48, rng):
+        memory = make_memory("mac_in_ecc", key48)
+        data = random_block(rng)
+        memory.write(0, data)
+        memory.read_perturb = lambda a, ct, ecc: (_flip(ct, [450]), ecc)
+        # flip-and-check sees the perturbed transfer and undoes it
+        result = memory.read(0)
+        assert result.data == data
+        assert result.corrected_bits == (450,)

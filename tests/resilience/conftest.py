@@ -1,0 +1,28 @@
+"""Shared fixtures for the resilience subsystem tests."""
+
+import pytest
+
+from repro.core.engine.config import preset
+from repro.resilience.recovery import RetryPolicy
+from repro.resilience.runtime import ResilientMemory
+
+
+@pytest.fixture
+def small_config():
+    """16 KiB MAC-in-ECC region: 256 physical blocks, fast keystream."""
+    return preset(
+        "mac_in_ecc", protected_bytes=16 * 1024, keystream_mode="fast"
+    )
+
+
+@pytest.fixture
+def resilient(small_config, key48):
+    """A small resilient runtime: 4 spares, retire at 3 CEs / 2 DUEs."""
+    return ResilientMemory(
+        small_config,
+        key48,
+        spare_blocks=4,
+        ce_threshold=3,
+        due_threshold=2,
+        retry_policy=RetryPolicy(max_retries=2, backoff_base_cycles=32),
+    )

@@ -1,0 +1,75 @@
+"""MCA-style error log accounting."""
+
+from repro.resilience.errlog import ErrorLog, EventOutcome
+
+
+def _event(log, outcome, fault_class="transient", **kwargs):
+    defaults = dict(
+        cycle=0, address=64, logical_address=64, fault_class=fault_class
+    )
+    defaults.update(kwargs)
+    return log.log(outcome=outcome, **defaults)
+
+
+class TestErrorLog:
+    def test_sequence_numbers_are_monotonic(self):
+        log = ErrorLog()
+        records = [
+            _event(log, EventOutcome.CE_RETRY, cycle=i) for i in range(5)
+        ]
+        assert [r.seq for r in records] == [0, 1, 2, 3, 4]
+        assert len(log) == 5
+
+    def test_ce_due_sdc_accounting(self):
+        log = ErrorLog()
+        _event(log, EventOutcome.CE_RETRY)
+        _event(log, EventOutcome.CE_MAC_REPAIR)
+        _event(log, EventOutcome.CE_CORRECTED)
+        _event(log, EventOutcome.DUE, fault_class="row_burst")
+        _event(log, EventOutcome.RETIRED, fault_class="stuck_at")
+        assert log.ce_total == 3
+        assert log.due_total == 1
+        assert log.sdc_total == 0
+        assert log.retired_total == 1
+        assert EventOutcome.CE_RETRY.is_ce
+        assert not EventOutcome.DUE.is_ce
+
+    def test_cycles_and_address_queries(self):
+        log = ErrorLog()
+        _event(log, EventOutcome.CE_RETRY, cycles_spent=36, address=128)
+        _event(log, EventOutcome.CE_CORRECTED, cycles_spent=100, address=128)
+        _event(log, EventOutcome.CE_RETRY, cycles_spent=36, address=256)
+        assert log.cycles_total == 172
+        assert [r.outcome for r in log.events_for(128)] == [
+            EventOutcome.CE_RETRY,
+            EventOutcome.CE_CORRECTED,
+        ]
+
+    def test_by_fault_class_and_summary(self):
+        log = ErrorLog()
+        _event(log, EventOutcome.CE_RETRY, fault_class="transient")
+        _event(log, EventOutcome.CE_RETRY, fault_class="transient")
+        _event(log, EventOutcome.DUE, fault_class="row_burst")
+        by_class = log.by_fault_class()
+        assert by_class["transient"][EventOutcome.CE_RETRY] == 2
+        assert by_class["row_burst"][EventOutcome.DUE] == 1
+        text = log.format_summary()
+        assert "transient" in text and "row_burst" in text
+        assert "CE retry" in text and "DUE" in text
+
+    def test_record_carries_full_context(self):
+        log = ErrorLog()
+        record = _event(
+            log,
+            EventOutcome.CE_CORRECTED,
+            retries=2,
+            correction_checks=7,
+            corrected_bits=(3, 200),
+            fault_id=42,
+            detail="healed",
+        )
+        assert record.retries == 2
+        assert record.correction_checks == 7
+        assert record.corrected_bits == (3, 200)
+        assert record.fault_id == 42
+        assert record.detail == "healed"

@@ -1,0 +1,95 @@
+"""Quarantine map: health tracking, retirement, spare remapping."""
+
+import pytest
+
+from repro.resilience.quarantine import QuarantineMap
+
+
+@pytest.fixture
+def qmap():
+    # 32 physical blocks, 4 spares (28..31), retire at 3 CEs or 1 DUE.
+    return QuarantineMap(32, 4, ce_threshold=3, due_threshold=1)
+
+
+class TestGeometry:
+    def test_identity_until_retired(self, qmap):
+        assert qmap.capacity_blocks == 28
+        assert all(qmap.physical(i) == i for i in range(28))
+        assert all(qmap.logical_of(i) == i for i in range(28))
+
+    def test_spares_serve_nobody_initially(self, qmap):
+        assert all(qmap.logical_of(p) is None for p in range(28, 32))
+
+    def test_logical_bounds(self, qmap):
+        with pytest.raises(IndexError):
+            qmap.physical(28)
+        with pytest.raises(IndexError):
+            qmap.physical(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuarantineMap(0, 0)
+        with pytest.raises(ValueError):
+            QuarantineMap(8, 8)
+        with pytest.raises(ValueError):
+            QuarantineMap(8, 2, ce_threshold=0)
+
+
+class TestHealth:
+    def test_ce_threshold_crossing(self, qmap):
+        assert not qmap.record_ce(5, "stuck_at")
+        assert not qmap.record_ce(5)
+        assert qmap.record_ce(5)  # third CE crosses
+        assert qmap.health[5].ce_events == 3
+        assert "stuck_at" in qmap.health[5].fault_classes
+
+    def test_due_threshold(self, qmap):
+        assert qmap.record_due(7, "row_burst")  # threshold 1
+        assert qmap.health[7].due_events == 1
+
+    def test_retired_block_stops_counting_as_threshold(self, qmap):
+        for _ in range(3):
+            qmap.record_ce(5)
+        qmap.retire(5)
+        assert not qmap.record_ce(5)  # already out of service
+
+
+class TestRetirement:
+    def test_retire_allocates_spares_in_order(self, qmap):
+        assert qmap.retire(10) == 28
+        assert qmap.retire(11) == 29
+        assert qmap.physical(10) == 28 and qmap.physical(11) == 29
+        assert qmap.logical_of(28) == 10 and qmap.logical_of(10) is None
+        assert qmap.is_retired(10) and not qmap.is_retired(28)
+        assert qmap.retired_count == 2 and qmap.spares_remaining == 2
+        assert qmap.remapped == {10: 28, 11: 29}
+
+    def test_retired_addresses_are_byte_addresses(self, qmap):
+        qmap.retire(3)
+        qmap.retire(1)
+        assert qmap.retired_addresses == [1 * 64, 3 * 64]
+
+    def test_chained_retirement_of_a_bad_spare(self, qmap):
+        qmap.retire(10)  # 10 -> 28
+        assert qmap.retire(10) == 29  # spare 28 itself fails: 10 -> 29
+        assert qmap.physical(10) == 29
+        assert qmap.is_retired(28) and qmap.logical_of(28) is None
+        assert qmap.logical_of(29) == 10
+        assert qmap.retired_count == 2
+
+    def test_spare_exhaustion_degrades(self, qmap):
+        for logical in range(4):
+            assert qmap.retire(logical) is not None
+        assert qmap.spares_remaining == 0
+        assert qmap.retire(20) is None
+        assert qmap.is_degraded(20)
+        assert qmap.physical(20) == 20  # keeps serving in place
+        assert qmap.degraded_count == 1
+
+    def test_degraded_block_recovers_flag_if_later_retired(self):
+        qmap = QuarantineMap(8, 1, ce_threshold=1)
+        assert qmap.retire(0) == 7
+        assert qmap.retire(1) is None
+        assert qmap.is_degraded(1)
+        # No spares ever return in this model; the flag stays.
+        assert qmap.degraded_count == 1

@@ -1,0 +1,153 @@
+"""Staged retry / correct / fail recovery over SecureMemory."""
+
+import pytest
+
+from repro.core.ecc_mac.detection import CheckOutcome
+from repro.core.engine.secure_memory import IntegrityError, SecureMemory
+from repro.resilience.recovery import (
+    RecoveryPolicy,
+    RecoveryStage,
+    RetryPolicy,
+)
+from tests.conftest import random_block
+
+
+def _flip(data, positions):
+    out = bytearray(data)
+    for position in positions:
+        out[position >> 3] ^= 1 << (position & 7)
+    return bytes(out)
+
+
+class OneShotGlitch:
+    """read_perturb hook: corrupt exactly the next ``shots`` transfers."""
+
+    def __init__(self, positions, shots=1):
+        self.positions = positions
+        self.shots = shots
+
+    def __call__(self, address, ciphertext, ecc):
+        if self.shots > 0:
+            self.shots -= 1
+            return _flip(ciphertext, self.positions), ecc
+        return ciphertext, ecc
+
+
+@pytest.fixture
+def memory(small_config, key48):
+    return SecureMemory(small_config, key48)
+
+
+@pytest.fixture
+def policy(small_config):
+    return RecoveryPolicy(
+        RetryPolicy(max_retries=2, backoff_base_cycles=32),
+        mac_check_cycles=small_config.mac_check_cycles,
+    )
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(
+            max_retries=3, backoff_base_cycles=10, backoff_multiplier=3
+        )
+        assert [policy.backoff_cycles(r) for r in range(3)] == [10, 30, 90]
+        assert policy.total_backoff_cycles == 130
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_cycles=-5)
+
+
+class TestRecoveryRead:
+    def test_clean_read(self, memory, policy, rng):
+        data = random_block(rng)
+        memory.write(0, data)
+        rec = policy.read(memory, 0)
+        assert rec.stage is RecoveryStage.CLEAN
+        assert rec.ok and not rec.was_error
+        assert rec.data == data
+        assert rec.attempts == 1 and rec.retries == 0
+        assert rec.cycles_spent == policy.mac_check_cycles
+
+    def test_transient_cleared_by_reread(self, memory, policy, rng):
+        data = random_block(rng)
+        memory.write(64, data)
+        memory.read_perturb = OneShotGlitch([5])
+        rec = policy.read(memory, 64)
+        assert rec.stage is RecoveryStage.RETRY_CLEARED
+        assert rec.data == data
+        assert rec.attempts == 2 and rec.retries == 1
+        # two detect reads + the first backoff wait
+        assert rec.cycles_spent == 2 * policy.mac_check_cycles + 32
+
+    def test_persistent_fault_corrected(self, memory, policy, rng):
+        data = random_block(rng)
+        memory.write(128, data)
+        memory.flip_data_bits(128, [3, 200])
+        rec = policy.read(memory, 128)
+        assert rec.stage is RecoveryStage.CORRECTED
+        assert rec.data == data
+        assert sorted(rec.corrected_bits) == [3, 200]
+        assert rec.retries == 2  # full retry budget burned first
+        assert rec.correction_checks > 0
+        assert rec.cycles_spent >= policy.policy.total_backoff_cycles
+        # write-back healed the stored copy: next read is clean
+        assert policy.read(memory, 128).stage is RecoveryStage.CLEAN
+
+    def test_mac_bit_repair(self, memory, policy, rng):
+        memory.write(192, random_block(rng))
+        memory.flip_ecc_bits(192, [17])
+        rec = policy.read(memory, 192)
+        assert rec.stage is RecoveryStage.MAC_REPAIRED
+        assert rec.outcome is CheckOutcome.MAC_CORRECTED
+        assert rec.attempts == 1
+
+    def test_uncorrectable_is_due(self, memory, policy, rng):
+        data = random_block(rng)
+        memory.write(256, data)
+        memory.flip_data_bits(256, [1, 2, 3])  # beyond the <=2 budget
+        rec = policy.read(memory, 256)
+        assert rec.stage is RecoveryStage.FAILED
+        assert not rec.ok and rec.data is None
+        assert rec.error is not None and rec.error.kind == "mac"
+        assert rec.error.outcome is CheckOutcome.DATA_MISMATCH
+        assert rec.error.correction is not None
+        assert not rec.error.correction.corrected
+        assert rec.correction_checks == rec.error.correction.checks
+
+    def test_tree_tamper_is_not_retried(self, memory, policy, rng):
+        memory.write(0, random_block(rng))
+        memory.corrupt_counter_storage(0, b"\xaa" * 64)
+        with pytest.raises(IntegrityError) as exc:
+            policy.read(memory, 0)
+        assert exc.value.kind == "tree"
+
+    def test_zero_retry_policy_still_escalates(self, memory, rng):
+        policy = RecoveryPolicy(RetryPolicy(max_retries=0))
+        data = random_block(rng)
+        memory.write(320, data)
+        memory.read_perturb = OneShotGlitch([9])
+        rec = policy.read(memory, 320)
+        # No re-read budget: the correcting read absorbs the transient,
+        # and the result is still reported as a recovery, not as clean.
+        assert rec.stage is RecoveryStage.RETRY_CLEARED
+        assert rec.data == data
+        assert rec.attempts == 2
+
+    def test_glitch_storm_exhausts_then_corrector_sees_it(
+        self, memory, policy, rng
+    ):
+        data = random_block(rng)
+        memory.write(384, data)
+        # Corrupt every attempt including the correcting read: a 1-bit
+        # in-flight error on the final read is healed by flip-and-check.
+        memory.read_perturb = OneShotGlitch([7], shots=4)
+        rec = policy.read(memory, 384)
+        assert rec.stage is RecoveryStage.CORRECTED
+        assert rec.data == data
+        assert rec.corrected_bits == (7,)

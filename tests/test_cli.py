@@ -68,6 +68,40 @@ class TestTrace:
         assert all(len(r) == 3 for r in records)
 
 
+class TestResilience:
+    def test_campaign_exit_zero(self, capsys):
+        code = main(
+            ["resilience", "--operations", "400", "--region-kb", "16",
+             "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign" in out
+        assert "Reliability summary" in out
+        assert "SDC total                     0" in out
+        assert "0 mismatches" in out
+
+    def test_stuck_faults_drive_quarantine(self, capsys):
+        code = main(
+            ["resilience", "--operations", "1500", "--region-kb", "16",
+             "--seed", "7", "--stuck-rate", "0.01",
+             "--transient-rate", "0.0", "--burst-rate", "0.0",
+             "--ce-threshold", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "blocks retired" in out
+        assert "blocks retired                0" not in out
+
+    def test_separate_mac_preset_runs(self, capsys):
+        code = main(
+            ["resilience", "--preset", "delta_only", "--operations", "300",
+             "--region-kb", "16", "--burst-rate", "0.0",
+             "--stuck-rate", "0.0"]
+        )
+        assert code == 0
+
+
 class TestMicroWorkloads:
     def test_table2_accepts_micro_names(self, capsys):
         code = main(
