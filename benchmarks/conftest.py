@@ -10,11 +10,14 @@ Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to watch the
 exhibits stream by).
 """
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_SCHEMA = "repro.bench/1"
 
 
 def pytest_collection_modifyitems(items):
@@ -38,5 +41,31 @@ def record_exhibit(results_dir):
         print()
         print(text)
         (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Write a machine-readable ``BENCH_<name>.json`` at the repo root.
+
+    The payload couples the exhibit's headline numbers with the metrics
+    snapshot of the run that produced them, so downstream tooling can
+    reconcile results against the traffic/event accounting.
+    """
+
+    def _record(name: str, results: dict, registry) -> pathlib.Path:
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "bench": name,
+            "results": results,
+            "metrics": registry.snapshot().totals(),
+        }
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nwrote {path}")
+        return path
 
     return _record

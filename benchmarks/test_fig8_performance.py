@@ -21,18 +21,28 @@ import pytest
 from repro.harness.charts import grouped_bar_chart
 from repro.harness.reporting import format_table
 from repro.harness.runner import PerformanceExperiment
+from repro.obs.metrics import MetricRegistry
 from repro.workloads.parsec import figure8_apps
 
 ACCESSES_PER_CORE = 60_000
 
 
 @pytest.fixture(scope="module")
-def runs():
-    experiment = PerformanceExperiment(accesses_per_core=ACCESSES_PER_CORE)
+def registry():
+    """One metrics registry for the whole figure-8 sweep."""
+    return MetricRegistry()
+
+
+@pytest.fixture(scope="module")
+def runs(registry):
+    experiment = PerformanceExperiment(
+        accesses_per_core=ACCESSES_PER_CORE, registry=registry
+    )
     return {run.app: run for run in experiment.run(figure8_apps())}
 
 
-def test_figure8_normalized_ipc(benchmark, runs, record_exhibit):
+def test_figure8_normalized_ipc(benchmark, runs, registry, record_exhibit,
+                                record_bench):
     table_rows = []
     for app in figure8_apps():
         run = runs[app]
@@ -69,6 +79,18 @@ def test_figure8_normalized_ipc(benchmark, runs, record_exhibit):
         maximum=1.0,
     )
     record_exhibit("figure8_performance", table + "\n\n" + chart)
+    record_bench(
+        "fig8",
+        {
+            app: {
+                "plain_ipc": runs[app].plain_ipc,
+                "normalized": runs[app].normalized(),
+                "improvement": runs[app].improvement_over_baseline(),
+            }
+            for app in figure8_apps()
+        },
+        registry,
+    )
 
     improvements = {}
     for app, run in runs.items():

@@ -19,6 +19,7 @@ import pytest
 
 from repro.harness.reporting import format_table
 from repro.harness.runner import ReencryptionExperiment
+from repro.obs.metrics import MetricRegistry
 from repro.workloads.parsec import table2_apps
 
 PAPER = {
@@ -40,12 +41,19 @@ ZERO_APPS = ("swaptions", "blackscholes", "bodytrack")
 
 
 @pytest.fixture(scope="module")
-def rows():
-    experiment = ReencryptionExperiment()
+def registry():
+    """One metrics registry for the whole Table-2 sweep."""
+    return MetricRegistry()
+
+
+@pytest.fixture(scope="module")
+def rows(registry):
+    experiment = ReencryptionExperiment(registry=registry)
     return {row.app: row for row in experiment.run(table2_apps())}
 
 
-def test_table2_reencryption_rates(benchmark, rows, record_exhibit):
+def test_table2_reencryption_rates(benchmark, rows, registry, record_exhibit,
+                                   record_bench):
     table_rows = []
     for app in table2_apps():
         row = rows[app]
@@ -66,6 +74,19 @@ def test_table2_reencryption_rates(benchmark, rows, record_exhibit):
         table_rows,
     )
     record_exhibit("table2_reencryption", table)
+    record_bench(
+        "table2",
+        {
+            app: {
+                "split": rows[app].split,
+                "delta7": rows[app].delta7,
+                "dual_length": rows[app].dual_length,
+                "raw_counts": rows[app].raw_counts,
+            }
+            for app in table2_apps()
+        },
+        registry,
+    )
 
     # -- shape assertions -------------------------------------------------
     # 1. delta never exceeds split (reset/re-encode only remove events).

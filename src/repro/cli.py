@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro attacks
     python -m repro resilience --operations 10000 --seed 7
     python -m repro trace dedup out.trc.gz --accesses 100000
+    python -m repro figure8 --apps canneal --trace-out obs/trace.json --stats
+    python -m repro stats obs/trace.metrics.json
 
 Each subcommand prints the same exhibit its pytest benchmark produces,
 at a scale the flags control -- handy for quick what-if runs (different
@@ -20,8 +22,10 @@ from __future__ import annotations
 
 import argparse
 import os
+import pathlib
 import random
 import sys
+from contextlib import contextmanager
 
 from repro.analysis.attacks import run_all
 from repro.analysis.faults import figure3_scenarios, run_fault_matrix
@@ -34,6 +38,10 @@ from repro.core.engine.secure_memory import SecureMemory
 from repro.harness.reporting import format_table
 from repro.harness.runner import PerformanceExperiment, ReencryptionExperiment
 from repro.memsim.cpu.trace import save_trace
+from repro.obs.metrics import MetricRegistry, MetricsSnapshot, use_registry
+from repro.obs.probe import probes
+from repro.obs.report import render_report
+from repro.obs.trace import EventTracer, use_tracer
 from repro.resilience.campaign import FaultCampaign, default_models
 from repro.resilience.recovery import RetryPolicy
 from repro.resilience.runtime import ResilientMemory
@@ -53,6 +61,52 @@ def _resolve_profile(name):
     if name in MICRO_PROFILES:
         return micro_profile(name)
     return profile(name)
+
+
+@contextmanager
+def _observe(args):
+    """Observability scope for one exhibit command.
+
+    When any of ``--trace-out`` / ``--metrics-out`` / ``--stats`` is
+    given, run the command under a fresh metrics registry, a tracer
+    (enabled only when a trace file is wanted), and enabled probes, then
+    write the requested artifacts.  With no flags this is a no-op and
+    the run pays no observability cost.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    stats = getattr(args, "stats", False)
+    if not (trace_out or metrics_out or stats):
+        yield
+        return
+    registry = MetricRegistry()
+    tracer = EventTracer(enabled=bool(trace_out))
+    with use_registry(registry), use_tracer(tracer), probes(True):
+        yield
+    if trace_out:
+        count = tracer.write(trace_out)
+        print(f"wrote {count} trace events to {trace_out}", file=sys.stderr)
+        if metrics_out is None:
+            # A trace without its metrics is half the story; derive a
+            # sibling path so the pair travels together.
+            p = pathlib.Path(trace_out)
+            metrics_out = p.with_name(p.stem + ".metrics.json")
+    snapshot = registry.snapshot()
+    if metrics_out:
+        snapshot.dump(metrics_out)
+        print(f"wrote metrics snapshot to {metrics_out}", file=sys.stderr)
+    if stats:
+        print()
+        print(render_report(snapshot))
+
+
+def _cmd_stats(args) -> int:
+    print(
+        render_report(
+            MetricsSnapshot.load(args.file), top_spans=args.top_spans
+        )
+    )
+    return 0
 
 
 def _cmd_table2(args) -> int:
@@ -244,6 +298,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="protected region size in MiB")
         p.add_argument("--seed", type=int, default=1)
 
+    def obs_options(p):
+        p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write a Chrome trace-event JSON (open in "
+                            "Perfetto / chrome://tracing)")
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the run's metrics snapshot as JSON")
+        p.add_argument("--stats", action="store_true",
+                       help="print the stats report after the exhibit")
+
     p = sub.add_parser("table2", help="re-encryption rates (Table 2)")
     common(p)
     p.add_argument("--apps", nargs="+", default=table2_apps(),
@@ -251,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="APP")
     p.add_argument("--accesses", type=int, default=600_000,
                    help="trace accesses per core")
+    obs_options(p)
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("figure8", help="normalized IPC (Figure 8)")
@@ -259,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=table2_apps() + sorted(MICRO_PROFILES),
                    metavar="APP")
     p.add_argument("--accesses", type=int, default=60_000)
+    obs_options(p)
     p.set_defaults(func=_cmd_figure8)
 
     p = sub.add_parser("figure1", help="storage overhead (Figure 1)")
@@ -305,7 +370,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write-fraction", type=float, default=0.25)
     p.add_argument("--scrub-interval", type=int, default=1000,
                    help="operations between scrub sweeps (0 disables)")
+    obs_options(p)
     p.set_defaults(func=_cmd_resilience)
+
+    p = sub.add_parser(
+        "stats", help="render the report from a saved metrics snapshot"
+    )
+    p.add_argument("file", help="metrics JSON written by --metrics-out")
+    p.add_argument("--top-spans", type=int, default=12,
+                   help="how many probe spans to show")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("trace", help="generate a workload trace file")
     p.add_argument("app", choices=table2_apps() + sorted(MICRO_PROFILES))
@@ -320,7 +394,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    with _observe(args):
+        result = args.func(args)
+    return result
 
 
 if __name__ == "__main__":

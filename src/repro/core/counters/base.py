@@ -24,6 +24,7 @@ from __future__ import annotations
 import abc
 
 from repro.core.counters.events import CounterStats, WriteOutcome
+from repro.obs.metrics import get_registry
 
 BLOCK_BYTES = 64
 METADATA_BLOCK_BYTES = 64
@@ -47,7 +48,14 @@ class CounterScheme(abc.ABC):
         self.total_blocks = total_blocks
         self.blocks_per_group = blocks_per_group
         self.num_groups = total_blocks // blocks_per_group
-        self.stats = CounterStats()
+        # Scheme event counts live in the active registry under
+        # ``counters.<scheme>.*`` (Table 2's raw inputs).
+        registry = get_registry()
+        self.stats = CounterStats(
+            registry=registry,
+            labels={"inst": registry.instance("scheme")},
+            prefix=f"counters.{self.name}",
+        )
 
     # -- geometry ----------------------------------------------------------
 

@@ -9,7 +9,9 @@ write through these shared types so the harness can aggregate uniformly.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.metrics import RegistryView
 
 
 class CounterEvent(enum.Enum):
@@ -43,18 +45,38 @@ class WriteOutcome:
         return event in self.events
 
 
-@dataclass
-class CounterStats:
-    """Aggregate event counts across a run (drives Table 2)."""
+class CounterStats(RegistryView):
+    """Aggregate event counts across a run (drives Table 2).
 
-    writes: int = 0
-    increments: int = 0
-    resets: int = 0
-    re_encodes: int = 0
-    widens: int = 0
-    re_encryptions: int = 0
-    global_re_encryptions: int = 0
-    per_group_re_encryptions: dict = field(default_factory=dict)
+    Registry view: when built by a :class:`~repro.core.counters.base.
+    CounterScheme` the fields live in the active metrics registry under
+    ``counters.<scheme>.*`` (e.g. ``counters.delta.reencode``); built
+    bare -- ``CounterStats(writes=5)`` -- it owns a private registry and
+    behaves like the old standalone dataclass.
+    """
+
+    _VIEW_FIELDS = {
+        "writes": "write",
+        "increments": "increment",
+        "resets": "reset",
+        "re_encodes": "reencode",
+        "widens": "widen",
+        "re_encryptions": "reencrypt",
+        "global_re_encryptions": "global_reencrypt",
+    }
+
+    def __init__(
+        self,
+        *,
+        registry=None,
+        labels=None,
+        prefix: str = "counters",
+        **initial,
+    ):
+        super().__init__(
+            registry=registry, labels=labels, prefix=prefix, **initial
+        )
+        self.per_group_re_encryptions: dict = {}
 
     _FIELD_BY_EVENT = {
         CounterEvent.INCREMENT: "increments",

@@ -26,6 +26,8 @@ from typing import Collection, Iterable
 from repro.core.ecc_mac.layout import MacEccCodec
 from repro.ecc.hamming import DecodeStatus
 from repro.ecc.parity import parity_of_bytes
+from repro.obs.metrics import MetricRegistry, get_registry
+from repro.obs.probe import ProbePoint
 
 
 @dataclass
@@ -52,8 +54,19 @@ class ScrubReport:
 class Scrubber:
     """Sweep (address, ciphertext, ecc_field) triples with parity checks."""
 
-    def __init__(self, codec: MacEccCodec):
+    def __init__(
+        self, codec: MacEccCodec, registry: MetricRegistry | None = None
+    ):
+        registry = registry if registry is not None else get_registry()
         self._codec = codec
+        # Registry copies of the per-sweep ScrubReport tallies: the
+        # report stays a plain per-call result object (it carries the
+        # failing address lists), the counters accumulate across sweeps.
+        self._m_scanned = registry.counter("scrub.blocks_scanned")
+        self._m_skipped = registry.counter("scrub.blocks_skipped")
+        self._m_data_parity = registry.counter("scrub.data_parity_fail")
+        self._m_mac_parity = registry.counter("scrub.mac_parity_fail")
+        self._probe_sweep = ProbePoint("scrub.sweep", registry=registry)
 
     def scrub(
         self, blocks: Iterable, skip: Collection[int] = ()
@@ -68,17 +81,25 @@ class Scrubber:
         """
         report = ScrubReport()
         skip = frozenset(skip)
-        for address, ciphertext, ecc in blocks:
-            if address in skip:
-                report.blocks_skipped += 1
-                continue
-            report.blocks_scanned += 1
-            if parity_of_bytes(ciphertext) != ecc.ct_parity:
-                report.data_parity_failures.append(address)
-            # The Hamming code's syndrome machinery doubles as the MAC
-            # parity check: anything but CLEAN is suspicious.
-            if self._codec.recover_mac(ecc).status is not DecodeStatus.CLEAN:
-                report.mac_parity_failures.append(address)
+        with self._probe_sweep:
+            for address, ciphertext, ecc in blocks:
+                if address in skip:
+                    report.blocks_skipped += 1
+                    continue
+                report.blocks_scanned += 1
+                if parity_of_bytes(ciphertext) != ecc.ct_parity:
+                    report.data_parity_failures.append(address)
+                # The Hamming code's syndrome machinery doubles as the MAC
+                # parity check: anything but CLEAN is suspicious.
+                if (
+                    self._codec.recover_mac(ecc).status
+                    is not DecodeStatus.CLEAN
+                ):
+                    report.mac_parity_failures.append(address)
+        self._m_scanned.inc(report.blocks_scanned)
+        self._m_skipped.inc(report.blocks_skipped)
+        self._m_data_parity.inc(len(report.data_parity_failures))
+        self._m_mac_parity.inc(len(report.mac_parity_failures))
         return report
 
 

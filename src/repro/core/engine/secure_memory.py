@@ -23,7 +23,7 @@ The class keeps everything addressable by *byte address* of the block
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.counters.events import CounterEvent
 from repro.core.ecc_mac.correction import (
@@ -36,6 +36,14 @@ from repro.core.engine.config import EngineConfig
 from repro.core.engine.tree import BonsaiMerkleTree
 from repro.crypto.ctr import CtrModeCipher
 from repro.crypto.mac import CarterWegmanMac
+from repro.obs.metrics import (
+    MetricRegistry,
+    RegistryView,
+    get_registry,
+    use_registry,
+)
+from repro.obs.probe import ProbePoint
+from repro.obs.trace import get_tracer
 
 BLOCK_BYTES = 64
 
@@ -90,15 +98,23 @@ class ReadResult:
         return self.outcome is CheckOutcome.CLEAN and not self.corrected_bits
 
 
-@dataclass
-class EngineCounters:
-    """Operation counters for reporting."""
+class EngineCounters(RegistryView):
+    """Operation counters for reporting.
 
-    reads: int = 0
-    writes: int = 0
-    group_reencryptions: int = 0
-    corrections: int = 0
-    mac_self_corrections: int = 0
+    Since the observability subsystem this is a thin view over shared
+    registry counters (``engine.read.total`` etc.): same attribute
+    names as the old dataclass, but the storage is the unified metrics
+    plane, so ``memory.counters.corrections`` and
+    ``registry.total("engine.read.correction")`` agree by construction.
+    """
+
+    _VIEW_FIELDS = {
+        "reads": "engine.read.total",
+        "writes": "engine.write.total",
+        "group_reencryptions": "engine.write.group_reencrypt",
+        "corrections": "engine.read.correction",
+        "mac_self_corrections": "engine.read.mac_self_correction",
+    }
 
 
 class SecureMemory:
@@ -109,14 +125,20 @@ class SecureMemory:
         config: EngineConfig,
         key: bytes,
         correction_method: CorrectionMethod = CorrectionMethod.ACCELERATED,
+        registry: MetricRegistry | None = None,
     ):
         if len(key) < 48:
             raise ValueError(
                 "key material must be at least 48 bytes "
                 "(16 data-encryption + 24 MAC + 8 tree)"
             )
+        registry = registry if registry is not None else get_registry()
+        self.registry = registry
         self.config = config
-        self.scheme = config.build_scheme()
+        # Built under this registry so the scheme's ``counters.*`` stats
+        # land in the same plane as the engine's own metrics.
+        with use_registry(registry):
+            self.scheme = config.build_scheme()
         mode = config.keystream_mode
         self._cipher = CtrModeCipher(key[:16], mode=mode)
         self._mac = CarterWegmanMac(key[16:40], mode=mode)
@@ -140,7 +162,17 @@ class SecureMemory:
         #: block index -> int tag (separate-MAC baseline)
         self.ecc_fields: dict = {}
         self.mac_store: dict = {}
-        self.counters = EngineCounters()
+        # Observability: all counters live in the (run- or process-wide)
+        # metrics registry; lookups are resolved once, here, so the
+        # read/write hot paths touch only pre-bound objects.
+        inst = registry.instance("engine")
+        self.counters = EngineCounters(registry=registry, labels={"inst": inst})
+        self._m_mac_checks = registry.counter("engine.read.mac_check", inst=inst)
+        self._m_tree_fails = registry.counter("engine.read.tree_fail", inst=inst)
+        self._m_mac_fails = registry.counter("engine.read.mac_fail", inst=inst)
+        self._probe_read = ProbePoint("engine.read", registry=registry)
+        self._probe_write = ProbePoint("engine.write", registry=registry)
+        self._probe_reencrypt = ProbePoint("engine.reencrypt", registry=registry)
         #: optional in-flight fault hook for resilience harnesses: called
         #: on every read with ``(address, ciphertext, ecc_field)`` and
         #: returns the (possibly perturbed) pair the controller *receives*
@@ -216,22 +248,37 @@ class SecureMemory:
         """Encrypt and store one 64-byte block."""
         if len(data) != BLOCK_BYTES:
             raise ValueError(f"data must be {BLOCK_BYTES} bytes")
-        block = self._block_index(address)
-        outcome = self.scheme.on_write(block)
-        self.counters.writes += 1
-        if outcome.has(CounterEvent.GLOBAL_RE_ENCRYPT):
-            self._global_reencrypt(skip_block=block)
-        elif outcome.reencrypted_group is not None:
-            self._reencrypt_group(
-                outcome.reencrypted_group,
-                outcome.group_counter,
-                skip_block=block,
-            )
-            self.counters.group_reencryptions += 1
-        nonce = self._nonce(outcome.counter)
-        ciphertext = self._cipher.encrypt(data, nonce, address)
-        self._store_block(block, ciphertext, nonce)
-        self._commit_metadata(self.scheme.group_of(block))
+        with self._probe_write:
+            block = self._block_index(address)
+            outcome = self.scheme.on_write(block)
+            self.counters.writes += 1
+            if outcome.has(CounterEvent.GLOBAL_RE_ENCRYPT):
+                self._trace_reencrypt("engine.global_reencrypt", address)
+                with self._probe_reencrypt:
+                    self._global_reencrypt(skip_block=block)
+            elif outcome.reencrypted_group is not None:
+                self._trace_reencrypt(
+                    "engine.group_reencrypt",
+                    address,
+                    group=outcome.reencrypted_group,
+                )
+                with self._probe_reencrypt:
+                    self._reencrypt_group(
+                        outcome.reencrypted_group,
+                        outcome.group_counter,
+                        skip_block=block,
+                    )
+                self.counters.group_reencryptions += 1
+            nonce = self._nonce(outcome.counter)
+            ciphertext = self._cipher.encrypt(data, nonce, address)
+            self._store_block(block, ciphertext, nonce)
+            self._commit_metadata(self.scheme.group_of(block))
+
+    @staticmethod
+    def _trace_reencrypt(name: str, address: int, **args) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(name, cat="engine", address=address, **args)
 
     def _reencrypt_group(
         self, group: int, group_counter: int, skip_block: int
@@ -354,37 +401,43 @@ class SecureMemory:
         Recovery policies use this to try cheap re-reads (which clear
         in-flight transients) before paying for correction.
         """
-        block = self._block_index(address)
-        self.counters.reads += 1
-        group = self.scheme.group_of(block)
-        metadata = self._stored_metadata(group)
-        if not self.tree.verify_leaf(group, self._pad_leaf(metadata)):
-            raise IntegrityError(
-                "tree", address, "counter storage failed tree verification"
-            )
-        counter = self.scheme.decode_metadata(metadata)[self.scheme.slot_of(block)]
-        nonce = self._nonce(counter)
-        ciphertext = self._stored_ciphertext(block)
-        ecc = self.ecc_fields.get(block) if self.config.mac_in_ecc else None
-        if self.read_perturb is not None:
-            ciphertext, ecc = self.read_perturb(address, ciphertext, ecc)
+        with self._probe_read:
+            block = self._block_index(address)
+            self.counters.reads += 1
+            group = self.scheme.group_of(block)
+            metadata = self._stored_metadata(group)
+            if not self.tree.verify_leaf(group, self._pad_leaf(metadata)):
+                self._m_tree_fails.inc()
+                raise IntegrityError(
+                    "tree", address, "counter storage failed tree verification"
+                )
+            counter = self.scheme.decode_metadata(metadata)[
+                self.scheme.slot_of(block)
+            ]
+            nonce = self._nonce(counter)
+            ciphertext = self._stored_ciphertext(block)
+            ecc = self.ecc_fields.get(block) if self.config.mac_in_ecc else None
+            if self.read_perturb is not None:
+                ciphertext, ecc = self.read_perturb(address, ciphertext, ecc)
 
-        if self.config.mac_in_ecc:
-            return self._read_with_ecc(
-                block, address, ciphertext, nonce, ecc, correct=correct
+            if self.config.mac_in_ecc:
+                return self._read_with_ecc(
+                    block, address, ciphertext, nonce, ecc, correct=correct
+                )
+            stored = self.mac_store.get(block)
+            self._m_mac_checks.inc()
+            if self._mac.tag(ciphertext, address, nonce) != stored:
+                self._m_mac_fails.inc()
+                raise IntegrityError(
+                    "mac",
+                    address,
+                    "MAC mismatch on separate-MAC configuration",
+                    outcome=CheckOutcome.DATA_MISMATCH,
+                )
+            return ReadResult(
+                data=self._cipher.decrypt(ciphertext, nonce, address),
+                outcome=CheckOutcome.CLEAN,
             )
-        stored = self.mac_store.get(block)
-        if self._mac.tag(ciphertext, address, nonce) != stored:
-            raise IntegrityError(
-                "mac",
-                address,
-                "MAC mismatch on separate-MAC configuration",
-                outcome=CheckOutcome.DATA_MISMATCH,
-            )
-        return ReadResult(
-            data=self._cipher.decrypt(ciphertext, nonce, address),
-            outcome=CheckOutcome.CLEAN,
-        )
 
     def _read_with_ecc(
         self,
@@ -395,8 +448,10 @@ class SecureMemory:
         ecc: EccField,
         correct: bool = True,
     ) -> ReadResult:
+        self._m_mac_checks.inc()
         result = check_block(self._codec, ciphertext, ecc, address, nonce)
         if result.outcome is CheckOutcome.MAC_UNCORRECTABLE:
+            self._m_mac_fails.inc()
             raise IntegrityError(
                 "mac_bits",
                 address,
@@ -415,6 +470,7 @@ class SecureMemory:
                 outcome=result.outcome,
             )
         if not correct:
+            self._m_mac_fails.inc()
             raise IntegrityError(
                 "mac",
                 address,
@@ -430,6 +486,7 @@ class SecureMemory:
             method=self._correction_method,
         )
         if not correction.corrected:
+            self._m_mac_fails.inc()
             raise IntegrityError(
                 "mac",
                 address,

@@ -36,27 +36,43 @@ events (resets, re-encodes, re-encryptions) are recorded; re-encryption
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.core.engine.config import EngineConfig
 from repro.memsim.cache.cache import AccessType, Cache
 from repro.memsim.dram.system import DramSystem
+from repro.obs.metrics import (
+    MetricRegistry,
+    RegistryView,
+    get_registry,
+    use_registry,
+)
+from repro.obs.probe import ProbePoint
+from repro.obs.trace import EventTracer, get_tracer
 
 BLOCK_BYTES = 64
 _META_CACHE_HIT_CYCLES = 3
 
 
-@dataclass
-class TimingStats:
-    """Traffic breakdown accumulated over a run."""
+class TimingStats(RegistryView):
+    """Traffic breakdown accumulated over a run.
 
-    demand_reads: int = 0
-    demand_writes: int = 0
-    counter_fetches: int = 0  # counter-block DRAM reads
-    tree_fetches: int = 0  # interior-node DRAM reads
-    mac_fetches: int = 0  # separate-MAC DRAM reads
-    metadata_writebacks: int = 0
-    reencryption_blocks: int = 0  # blocks rewritten by re-encryption traffic
+    Registry view: these are the ``engine.traffic.*`` metrics that feed
+    the report's traffic-breakdown-by-metadata-class section; the old
+    attribute names keep working.
+    """
+
+    _VIEW_FIELDS = {
+        "demand_reads": "engine.traffic.demand_read",
+        "demand_writes": "engine.traffic.demand_write",
+        # counter-block DRAM reads
+        "counter_fetches": "engine.traffic.counter_fetch",
+        # interior-node DRAM reads
+        "tree_fetches": "engine.traffic.tree_fetch",
+        # separate-MAC DRAM reads
+        "mac_fetches": "engine.traffic.mac_fetch",
+        "metadata_writebacks": "engine.traffic.metadata_writeback",
+        # blocks rewritten by re-encryption traffic
+        "reencryption_blocks": "engine.traffic.reencrypt_block",
+    }
 
     @property
     def extra_transactions(self) -> int:
@@ -72,13 +88,29 @@ class TimingStats:
 class EncryptionTimingBackend:
     """Memory backend with authenticated-encryption metadata traffic."""
 
-    def __init__(self, config: EngineConfig, dram: DramSystem | None = None):
+    def __init__(
+        self,
+        config: EngineConfig,
+        dram: DramSystem | None = None,
+        registry: MetricRegistry | None = None,
+        tracer: EventTracer | None = None,
+    ):
+        registry = registry if registry is not None else get_registry()
+        self.registry = registry
         self.config = config
-        self.dram = dram or DramSystem()
-        self.scheme = config.build_scheme()
+        self.dram = dram or DramSystem(registry=registry)
+        with use_registry(registry):
+            self.scheme = config.build_scheme()
         self.layout = config.build_layout()
-        self.metadata_cache = Cache(config.metadata_cache, "metadata")
-        self.stats = TimingStats()
+        self.metadata_cache = Cache(
+            config.metadata_cache, "metadata", registry=registry
+        )
+        self.stats = TimingStats(
+            registry=registry, labels={"inst": registry.instance("timing")}
+        )
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._probe_read = ProbePoint("timing.read", registry=registry)
+        self._probe_write = ProbePoint("timing.write", registry=registry)
         self._decode_cycles = config.effective_decode_cycles
         self._crypto_cycles = config.crypto_cycles
 
@@ -155,71 +187,100 @@ class EncryptionTimingBackend:
         stored MAC, plus the GF-multiply check.
         """
         self.stats.demand_reads += 1
-        data_ready = self.dram.access(int(cycle), address, is_write=False)
-        counter_ready = self._counter_chain(cycle, address) + self._decode_cycles
-        mac_ready = 0.0
-        if not self.config.mac_in_ecc:
-            mac_ready = self._metadata_read(
-                cycle, self.layout.mac_block_address(address), "mac"
+        with self._probe_read:
+            data_ready = self.dram.access(int(cycle), address, is_write=False)
+            counter_ready = (
+                self._counter_chain(cycle, address) + self._decode_cycles
             )
-        keystream_ready = counter_ready + self._crypto_cycles
-        plaintext_ready = max(data_ready, keystream_ready)
-        verify_ready = (
-            max(data_ready, counter_ready, mac_ready)
-            + self.config.mac_check_cycles
-        )
-        return max(plaintext_ready, verify_ready)
+            mac_ready = 0.0
+            if not self.config.mac_in_ecc:
+                mac_ready = self._metadata_read(
+                    cycle, self.layout.mac_block_address(address), "mac"
+                )
+            keystream_ready = counter_ready + self._crypto_cycles
+            plaintext_ready = max(data_ready, keystream_ready)
+            verify_ready = (
+                max(data_ready, counter_ready, mac_ready)
+                + self.config.mac_check_cycles
+            )
+            latency = max(plaintext_ready, verify_ready)
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "mem.read",
+                ts=float(cycle),
+                dur=latency,
+                cat="memory",
+                tid="demand",
+                clock="sim",
+                address=address,
+            )
+        return latency
 
     def write_block(self, cycle: int, address: int) -> float:
         """Occupancy of a dirty-line eviction (posted write)."""
         self.stats.demand_writes += 1
-        block = address // BLOCK_BYTES
-        outcome = self.scheme.on_write(block)
+        with self._probe_write:
+            block = address // BLOCK_BYTES
+            outcome = self.scheme.on_write(block)
 
-        # Counter read-modify-write through the metadata cache.  A miss
-        # fetches the counter block and kicks off its (background)
-        # verification walk, same as the read path.
-        counter_address = self.layout.counter_block_address(address)
-        result = self.metadata_cache.access(counter_address, AccessType.WRITE)
-        if result.writeback_address is not None:
-            self._writeback(cycle, result.writeback_address)
-        latency = float(_META_CACHE_HIT_CYCLES)
-        if not result.hit:
-            self.stats.counter_fetches += 1
-            latency = self.dram.access(
-                int(cycle), counter_address, is_write=False
+            # Counter read-modify-write through the metadata cache.  A miss
+            # fetches the counter block and kicks off its (background)
+            # verification walk, same as the read path.
+            counter_address = self.layout.counter_block_address(address)
+            result = self.metadata_cache.access(
+                counter_address, AccessType.WRITE
             )
-            for node_address in self.layout.tree_path_addresses(address):
-                node_result = self.metadata_cache.access(
-                    node_address, AccessType.READ
+            if result.writeback_address is not None:
+                self._writeback(cycle, result.writeback_address)
+            latency = float(_META_CACHE_HIT_CYCLES)
+            if not result.hit:
+                self.stats.counter_fetches += 1
+                latency = self.dram.access(
+                    int(cycle), counter_address, is_write=False
                 )
-                if node_result.writeback_address is not None:
-                    self._writeback(cycle, node_result.writeback_address)
-                if node_result.hit:
-                    break
-                self.stats.tree_fetches += 1
-                self.dram.access(int(cycle), node_address, is_write=False)
+                for node_address in self.layout.tree_path_addresses(address):
+                    node_result = self.metadata_cache.access(
+                        node_address, AccessType.READ
+                    )
+                    if node_result.writeback_address is not None:
+                        self._writeback(cycle, node_result.writeback_address)
+                    if node_result.hit:
+                        break
+                    self.stats.tree_fetches += 1
+                    self.dram.access(int(cycle), node_address, is_write=False)
 
-        # The data write itself (MAC rides along on MAC-in-ECC).
-        latency = max(
-            latency, self.dram.access(int(cycle), address, is_write=True)
-        )
-        if not self.config.mac_in_ecc:
-            mac_address = self.layout.mac_block_address(address)
-            mac_result = self.metadata_cache.access(
-                mac_address, AccessType.WRITE
+            # The data write itself (MAC rides along on MAC-in-ECC).
+            latency = max(
+                latency, self.dram.access(int(cycle), address, is_write=True)
             )
-            if mac_result.writeback_address is not None:
-                self._writeback(cycle, mac_result.writeback_address)
-            if not mac_result.hit:
-                self.stats.mac_fetches += 1
-                self.dram.access(int(cycle), mac_address, is_write=False)
+            if not self.config.mac_in_ecc:
+                mac_address = self.layout.mac_block_address(address)
+                mac_result = self.metadata_cache.access(
+                    mac_address, AccessType.WRITE
+                )
+                if mac_result.writeback_address is not None:
+                    self._writeback(cycle, mac_result.writeback_address)
+                if not mac_result.hit:
+                    self.stats.mac_fetches += 1
+                    self.dram.access(int(cycle), mac_address, is_write=False)
 
-        if (
-            outcome.reencrypted_group is not None
-            and self.config.model_reencryption_traffic
-        ):
-            self._issue_reencryption_traffic(cycle, outcome.reencrypted_group)
+            if (
+                outcome.reencrypted_group is not None
+                and self.config.model_reencryption_traffic
+            ):
+                self._issue_reencryption_traffic(
+                    cycle, outcome.reencrypted_group
+                )
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "mem.write",
+                ts=float(cycle),
+                dur=latency,
+                cat="memory",
+                tid="demand",
+                clock="sim",
+                address=address,
+            )
         return latency
 
     def _issue_reencryption_traffic(self, cycle: int, group: int) -> None:

@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from repro.core.counters import make_scheme
@@ -25,9 +26,26 @@ from repro.memsim.cpu.system import (
     PlainMemoryBackend,
     TraceDrivenSystem,
 )
+from repro.obs.metrics import MetricRegistry, use_registry
+from repro.obs.trace import EventTracer, get_tracer, use_tracer
 from repro.workloads.parsec import ParsecProfile, profile
 
 BLOCK_BYTES = 64
+
+
+def _observed(registry: MetricRegistry | None, tracer: EventTracer | None):
+    """Scope an experiment's registry/tracer (no-op when neither is set).
+
+    Components built inside (caches, DRAM, schemes, engines) bind their
+    metrics to the experiment's registry instead of the process default,
+    so one run's snapshot contains exactly that run.
+    """
+    stack = ExitStack()
+    if registry is not None:
+        stack.enter_context(use_registry(registry))
+    if tracer is not None:
+        stack.enter_context(use_tracer(tracer))
+    return stack
 
 
 class WritebackFilter:
@@ -112,15 +130,23 @@ class ReencryptionExperiment:
         cores: int = 4,
         seed: int = 1,
         filter_config: CacheConfig | None = None,
+        registry: MetricRegistry | None = None,
+        tracer: EventTracer | None = None,
     ):
         self.region_bytes = region_bytes
         self.accesses_per_core = accesses_per_core
         self.cores = cores
         self.seed = seed
         self.filter_config = filter_config
+        self.registry = registry
+        self.tracer = tracer
 
     def run_app(self, app: str | ParsecProfile) -> Table2Row:
         """Run one application through all three counter schemes."""
+        with _observed(self.registry, self.tracer):
+            return self._run_app(app)
+
+    def _run_app(self, app: str | ParsecProfile) -> Table2Row:
         app_profile = profile(app) if isinstance(app, str) else app
         region_blocks = self.region_bytes // BLOCK_BYTES
         traces = app_profile.traces(
@@ -188,18 +214,26 @@ class PerformanceExperiment:
         cores: int = 4,
         seed: int = 1,
         configs: tuple = DEFAULT_CONFIGS,
+        registry: MetricRegistry | None = None,
+        tracer: EventTracer | None = None,
     ):
         self.region_bytes = region_bytes
         self.accesses_per_core = accesses_per_core
         self.cores = cores
         self.seed = seed
         self.configs = configs
+        self.registry = registry
+        self.tracer = tracer
 
     def _engine_config(self, name: str) -> EngineConfig:
         return preset(name, protected_bytes=self.region_bytes)
 
     def run_app(self, app: str | ParsecProfile) -> Figure8Run:
         """Simulate one application under every configuration."""
+        with _observed(self.registry, self.tracer):
+            return self._run_app(app)
+
+    def _run_app(self, app: str | ParsecProfile) -> Figure8Run:
         app_profile = profile(app) if isinstance(app, str) else app
         region_blocks = self.region_bytes // BLOCK_BYTES
         traces = app_profile.traces(
@@ -208,8 +242,13 @@ class PerformanceExperiment:
         plain = TraceDrivenSystem(PlainMemoryBackend())
         plain_result = plain.run([list(t) for t in traces])
 
+        tracer = get_tracer()
         results = {}
         for name in self.configs:
+            if tracer.enabled:
+                tracer.instant(
+                    f"config.{name}", cat="harness", app=app_profile.name
+                )
             backend = EncryptionTimingBackend(self._engine_config(name))
             system = TraceDrivenSystem(backend)
             results[name] = system.run([list(t) for t in traces]).ipc

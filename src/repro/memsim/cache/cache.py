@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricRegistry, RegistryView, get_registry
 
 
 class AccessType(enum.Enum):
@@ -43,15 +45,21 @@ class CacheConfig:
         return self.size_bytes // (self.ways * self.line_bytes)
 
 
-@dataclass
-class CacheStats:
-    """Hit/miss/write-back counters for one cache."""
+class CacheStats(RegistryView):
+    """Hit/miss/write-back counters for one cache.
 
-    read_hits: int = 0
-    read_misses: int = 0
-    write_hits: int = 0
-    write_misses: int = 0
-    writebacks: int = 0
+    Registry view over ``cache.*``; each :class:`Cache` attaches a
+    ``cache=<name>`` label so per-level numbers stay separable while
+    ``registry.total("cache.read_miss")`` sums the hierarchy.
+    """
+
+    _VIEW_FIELDS = {
+        "read_hits": "cache.read_hit",
+        "read_misses": "cache.read_miss",
+        "write_hits": "cache.write_hit",
+        "write_misses": "cache.write_miss",
+        "writebacks": "cache.writeback",
+    }
 
     @property
     def accesses(self) -> int:
@@ -80,10 +88,19 @@ class AccessResult:
 class Cache:
     """Tag-array model of one set-associative write-back cache."""
 
-    def __init__(self, config: CacheConfig, name: str = "cache"):
+    def __init__(
+        self,
+        config: CacheConfig,
+        name: str = "cache",
+        registry: MetricRegistry | None = None,
+    ):
+        registry = registry if registry is not None else get_registry()
         self.config = config
         self.name = name
-        self.stats = CacheStats()
+        self.stats = CacheStats(
+            registry=registry,
+            labels={"cache": name, "inst": registry.instance("cache")},
+        )
         # One OrderedDict per set: tag -> dirty flag; order = LRU (front
         # is least recently used).  Set index is line % num_sets, which
         # supports the non-power-of-two set counts of real L3s (10 MB /

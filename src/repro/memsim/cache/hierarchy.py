@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.memsim.cache.cache import AccessType, Cache, CacheConfig
+from repro.obs.metrics import MetricRegistry, get_registry
 
 
 @dataclass(frozen=True)
@@ -46,14 +47,25 @@ class HierarchyAccess:
 class CacheHierarchy:
     """Private L1/L2 per core, shared L3."""
 
-    def __init__(self, config: HierarchyConfig | None = None):
+    def __init__(
+        self,
+        config: HierarchyConfig | None = None,
+        registry: MetricRegistry | None = None,
+    ):
+        registry = registry if registry is not None else get_registry()
         self.config = config or HierarchyConfig()
         cores = self.config.num_cores
         if cores <= 0:
             raise ValueError("num_cores must be positive")
-        self.l1 = [Cache(self.config.l1, f"l1.{i}") for i in range(cores)]
-        self.l2 = [Cache(self.config.l2, f"l2.{i}") for i in range(cores)]
-        self.l3 = Cache(self.config.l3, "l3")
+        self.l1 = [
+            Cache(self.config.l1, f"l1.{i}", registry=registry)
+            for i in range(cores)
+        ]
+        self.l2 = [
+            Cache(self.config.l2, f"l2.{i}", registry=registry)
+            for i in range(cores)
+        ]
+        self.l3 = Cache(self.config.l3, "l3", registry=registry)
 
     def access(
         self, core: int, address: int, access_type: AccessType

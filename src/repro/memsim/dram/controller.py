@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.memsim.dram.system import AddressMapping
 from repro.memsim.dram.timing import DDR3_1600, DramTiming
+from repro.obs.metrics import MetricRegistry, RegistryView, get_registry
 
 
 @dataclass(frozen=True)
@@ -53,12 +54,18 @@ class ServicedRequest:
         return self.complete - self.request.arrival
 
 
-@dataclass
-class ControllerStats:
-    serviced: int = 0
-    row_hits: int = 0
-    total_latency: int = 0
-    reordered: int = 0  # serviced before an older queued request
+class ControllerStats(RegistryView):
+    """FR-FCFS scheduling outcomes (registry view over ``dram.ctrl.*``)."""
+
+    _VIEW_FIELDS = {
+        "serviced": "dram.ctrl.serviced",
+        "row_hits": "dram.ctrl.row_hit",
+        "row_closed": "dram.ctrl.row_closed",
+        "row_conflicts": "dram.ctrl.row_conflict",
+        "total_latency": "dram.ctrl.latency_total",
+        # serviced before an older queued request
+        "reordered": "dram.ctrl.reordered",
+    }
 
     @property
     def row_hit_rate(self) -> float:
@@ -90,10 +97,14 @@ class FrFcfsController:
         self,
         mapping: AddressMapping | None = None,
         timing: DramTiming | None = None,
+        registry: MetricRegistry | None = None,
     ):
+        registry = registry if registry is not None else get_registry()
         self.mapping = mapping or AddressMapping()
         self.timing = timing or DDR3_1600
-        self.stats = ControllerStats()
+        self.stats = ControllerStats(
+            registry=registry, labels={"inst": registry.instance("ctrl")}
+        )
 
     def replay(self, requests) -> list:
         """Schedule all requests; returns ServicedRequest per input, in
@@ -154,9 +165,11 @@ class FrFcfsController:
             elif bank.open_row is None:
                 latency = self.timing.row_closed_latency
                 row_hit = False
+                self.stats.row_closed += 1
             else:
                 latency = self.timing.row_conflict_latency
                 row_hit = False
+                self.stats.row_conflicts += 1
             bank.open_row = row
             complete = start + latency
             bus_free = complete

@@ -19,9 +19,10 @@ contention from extra metadata transactions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memsim.dram.timing import DDR3_1600, DramTiming
+from repro.obs.metrics import MetricRegistry, RegistryView, get_registry
 
 
 @dataclass(frozen=True)
@@ -70,18 +71,20 @@ class AddressMapping:
         return channel, bank, row
 
 
-@dataclass
-class DramStats:
-    """Aggregate DRAM traffic statistics."""
+class DramStats(RegistryView):
+    """Aggregate DRAM traffic statistics (registry view over ``dram.*``)."""
 
-    reads: int = 0
-    writes: int = 0
-    row_hits: int = 0
-    row_closed: int = 0
-    row_conflicts: int = 0
-    total_latency: int = 0
-    busy_cycles: int = 0
-    refresh_stalls: int = 0  # accesses delayed by a refresh window
+    _VIEW_FIELDS = {
+        "reads": "dram.read",
+        "writes": "dram.write",
+        "row_hits": "dram.row_hit",
+        "row_closed": "dram.row_closed",
+        "row_conflicts": "dram.row_conflict",
+        "total_latency": "dram.latency_total",
+        "busy_cycles": "dram.busy_cycles",
+        # accesses delayed by a refresh window
+        "refresh_stalls": "dram.refresh_stall",
+    }
 
     @property
     def accesses(self) -> int:
@@ -111,10 +114,14 @@ class DramSystem:
         self,
         mapping: AddressMapping | None = None,
         timing: DramTiming | None = None,
+        registry: MetricRegistry | None = None,
     ):
+        registry = registry if registry is not None else get_registry()
         self.mapping = mapping or AddressMapping()
         self.timing = timing or DDR3_1600
-        self.stats = DramStats()
+        self.stats = DramStats(
+            registry=registry, labels={"inst": registry.instance("dram")}
+        )
         self._banks = [
             [_Bank() for _ in range(self.mapping.banks_per_channel)]
             for _ in range(self.mapping.channels)

@@ -1,0 +1,424 @@
+"""Unified metrics registry: typed counters, gauges and histograms.
+
+Design constraints, in order:
+
+1. **One plane.**  Every component of the stack registers its counters
+   here under hierarchical dotted names (``engine.read.mac_check``,
+   ``dram.ctrl.row_hit``, ``counters.delta.reencode``), so one snapshot
+   of one registry is the complete accounting of a run.
+2. **Hot paths stay hot.**  A metric is a tiny object with a public
+   ``value``; components resolve it *once* at init (get-or-create) and
+   then call ``inc()`` -- no name lookups, no allocation, no formatting
+   on the data path.
+3. **Compatibility.**  The pre-existing ad-hoc stat structs survive as
+   :class:`RegistryView` subclasses: same attribute names, same ``+=``
+   mutation style, but the storage is shared registry metrics, so the
+   old ``backend.stats.counter_fetches`` and the new
+   ``registry.total("engine.traffic.counter_fetch")`` are *the same
+   number by construction*.
+
+Instances and labels: a metric identity is ``(name, labels)``.
+Components that need per-instance accounting (two ``SecureMemory``
+objects in one process must not share ``engine.read.total``) attach an
+``inst`` label drawn from :meth:`MetricRegistry.instance`; aggregation
+across instances is a sum over label sets of the same name
+(:meth:`MetricRegistry.total`).
+
+A process-wide default registry is always available via
+:func:`get_registry`; :func:`use_registry` scopes a fresh registry over
+a run (the CLI does this for ``--metrics-out`` so a run's snapshot
+contains that run only).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from contextlib import contextmanager
+
+SNAPSHOT_SCHEMA = "repro.metrics/1"
+
+
+class Counter:
+    """Monotonically increasing accumulator (int or float)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict | None = None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot_entry(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+    def __repr__(self):
+        return f"<{self.kind} {self.name}{self.labels or ''}={self.value}>"
+
+
+class Gauge(Counter):
+    """Point-in-time value (set/inc/dec)."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Distribution summary: count/total/min/max plus optional buckets.
+
+    ``buckets`` is a sorted tuple of inclusive upper bounds; one
+    overflow bucket is added implicitly.  Bucket-less histograms still
+    track count/total/min/max, which is what the span report needs.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name", "labels", "buckets", "bucket_counts",
+        "count", "total", "min", "max",
+    )
+
+    def __init__(self, name: str, labels: dict | None = None, buckets=()):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.buckets:
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def snapshot_entry(self) -> dict:
+        entry = {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        if self.buckets:
+            entry["buckets"] = {
+                "bounds": list(self.buckets),
+                "counts": list(self.bucket_counts),
+            }
+        return entry
+
+    def __repr__(self):
+        return (
+            f"<histogram {self.name}{self.labels or ''} "
+            f"count={self.count} mean={self.mean:.3g}>"
+        )
+
+
+class MetricRegistry:
+    """Get-or-create store of metrics keyed by ``(name, labels)``."""
+
+    def __init__(self):
+        self._metrics: dict = {}
+        self._instance_seq: dict = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return name, tuple(sorted(labels.items()))
+
+    def _get_or_create(self, cls, name: str, labels: dict, **kwargs):
+        key = self._key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, **kwargs)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} with labels {labels} already registered "
+                f"as a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets=(), **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def instance(self, kind: str) -> str:
+        """A unique instance-label value for one component instance."""
+        n = self._instance_seq.get(kind, 0)
+        self._instance_seq[kind] = n + 1
+        return f"{kind}{n}"
+
+    # -- inspection ---------------------------------------------------------
+
+    def metrics(self) -> list:
+        return list(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def total(self, name: str):
+        """Sum of one counter/gauge name across all label sets."""
+        return sum(
+            m.value
+            for m in self._metrics.values()
+            if m.name == name and isinstance(m, Counter)
+        )
+
+    def subtree(self, prefix: str) -> dict:
+        """name -> cross-label total for every name under a dotted prefix."""
+        out: dict = {}
+        dotted = prefix + "."
+        for metric in self._metrics.values():
+            if not isinstance(metric, Counter):
+                continue
+            if metric.name == prefix or metric.name.startswith(dotted):
+                out[metric.name] = out.get(metric.name, 0) + metric.value
+        return out
+
+    def snapshot(self) -> "MetricsSnapshot":
+        return MetricsSnapshot(
+            [m.snapshot_entry() for m in self._metrics.values()]
+        )
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations (and identities)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+
+class MetricsSnapshot:
+    """Immutable-ish capture of a registry, diffable and JSON-portable."""
+
+    def __init__(self, entries: list):
+        self.entries = list(entries)
+
+    @staticmethod
+    def _entry_key(entry: dict) -> tuple:
+        return entry["name"], tuple(sorted(entry.get("labels", {}).items()))
+
+    def totals(self) -> dict:
+        """name -> cross-label sum for counters and gauges."""
+        out: dict = {}
+        for entry in self.entries:
+            if entry["type"] in ("counter", "gauge"):
+                out[entry["name"]] = out.get(entry["name"], 0) + entry["value"]
+        return out
+
+    def value(self, name: str, **labels):
+        key = (name, tuple(sorted(labels.items())))
+        for entry in self.entries:
+            if self._entry_key(entry) == key:
+                return entry.get("value", entry.get("count"))
+        return None
+
+    def diff(self, older: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened between ``older`` and this snapshot.
+
+        Counters and histogram count/total subtract; gauges keep their
+        newer value (a gauge is a level, not a flow).
+        """
+        old = {self._entry_key(e): e for e in older.entries}
+        out = []
+        for entry in self.entries:
+            before = old.get(self._entry_key(entry))
+            entry = dict(entry)
+            if before is not None:
+                if entry["type"] == "counter":
+                    entry["value"] = entry["value"] - before["value"]
+                elif entry["type"] == "histogram":
+                    entry["count"] = entry["count"] - before["count"]
+                    entry["total"] = entry["total"] - before["total"]
+                    entry["mean"] = (
+                        entry["total"] / entry["count"] if entry["count"] else 0.0
+                    )
+            out.append(entry)
+        return MetricsSnapshot(out)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "totals": self.totals(),
+            "metrics": self.entries,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def dump(self, path) -> None:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsSnapshot":
+        if payload.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported metrics schema {payload.get('schema')!r} "
+                f"(expected {SNAPSHOT_SCHEMA!r})"
+            )
+        return cls(payload["metrics"])
+
+    @classmethod
+    def load(cls, path) -> "MetricsSnapshot":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+# -- compatibility views -----------------------------------------------------
+
+
+def _view_property(attr: str) -> property:
+    def _get(self):
+        return self._metrics_[attr].value
+
+    def _set(self, value):
+        self._metrics_[attr].value = value
+
+    return property(_get, _set)
+
+
+class RegistryView:
+    """Base for the legacy stat structs, now backed by registry metrics.
+
+    A subclass declares ``_VIEW_FIELDS`` mapping attribute names to
+    metric names (absolute, or relative when the instance passes a
+    ``prefix``).  ``__init_subclass__`` synthesizes read/write
+    properties so existing ``stats.row_hits += 1`` call sites keep
+    working verbatim -- the storage is just a shared
+    :class:`Counter` now.
+
+    With no explicit registry a view owns a private one, preserving the
+    old standalone-dataclass semantics (tests construct these bare).
+    """
+
+    _VIEW_FIELDS: dict = {}
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        for attr in cls._VIEW_FIELDS:
+            setattr(cls, attr, _view_property(attr))
+
+    def __init__(
+        self,
+        *,
+        registry: MetricRegistry | None = None,
+        labels: dict | None = None,
+        prefix: str | None = None,
+        **initial,
+    ):
+        unknown = set(initial) - set(self._VIEW_FIELDS)
+        if unknown:
+            raise TypeError(
+                f"unknown counter field(s) {sorted(unknown)} for "
+                f"{type(self).__name__}"
+            )
+        registry = registry if registry is not None else MetricRegistry()
+        labels = labels or {}
+        self._registry_ = registry
+        self._metrics_ = {}
+        for attr, metric_name in self._VIEW_FIELDS.items():
+            if prefix:
+                metric_name = f"{prefix}.{metric_name}"
+            counter = registry.counter(metric_name, **labels)
+            self._metrics_[attr] = counter
+            value = initial.get(attr, 0)
+            if value:
+                counter.inc(value)
+
+    def metric(self, attr: str) -> Counter:
+        """The shared Counter object behind one view attribute."""
+        return self._metrics_[attr]
+
+    def as_dict(self) -> dict:
+        return {attr: self._metrics_[attr].value for attr in self._VIEW_FIELDS}
+
+    def __repr__(self):
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({body})"
+
+
+# -- default registry ---------------------------------------------------------
+
+_REGISTRY_STACK: list = [MetricRegistry()]
+
+
+def get_registry() -> MetricRegistry:
+    """The currently active registry (innermost :func:`use_registry`)."""
+    return _REGISTRY_STACK[-1]
+
+
+def default_registry() -> MetricRegistry:
+    """The process-wide root registry (never popped)."""
+    return _REGISTRY_STACK[0]
+
+
+@contextmanager
+def use_registry(registry: MetricRegistry):
+    """Scope ``registry`` as the default for components built inside."""
+    _REGISTRY_STACK.append(registry)
+    try:
+        yield registry
+    finally:
+        _REGISTRY_STACK.pop()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricsSnapshot",
+    "RegistryView",
+    "SNAPSHOT_SCHEMA",
+    "get_registry",
+    "default_registry",
+    "use_registry",
+]

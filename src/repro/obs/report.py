@@ -1,0 +1,151 @@
+"""Terminal stats report over a metrics registry or snapshot.
+
+Three sections, in the order an investigation reads them:
+
+1. **Traffic by metadata class** -- the accounting the paper's whole
+   argument rests on: how many DRAM transactions were demand data, and
+   how many were MAC / counter / tree metadata (Figures 1 and 8 are
+   both statements about shrinking the non-data rows).
+2. **Component counters** -- every counter/gauge total, grouped by the
+   first segment of its dotted name (engine, dram, cache, counters,
+   scrub, resilience, ...).
+3. **Top spans** -- the ``probe.*`` histograms ranked by total time,
+   i.e. where a slow run actually spent itself.
+
+The same renderer backs ``repro stats <metrics.json>`` and the
+``--stats`` flag of the exhibit subcommands.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricRegistry, MetricsSnapshot
+
+
+def _format_table(title, headers, rows):
+    # Imported lazily: repro.harness pulls in the engine stack, which
+    # itself imports repro.obs -- a module-level import would be a cycle.
+    from repro.harness.reporting import format_table
+
+    return format_table(title, headers, rows)
+
+#: metadata-class -> contributing metric names (all emitted by
+#: :class:`repro.core.engine.timing.TimingStats`)
+TRAFFIC_CLASSES = {
+    "data": (
+        "engine.traffic.demand_read",
+        "engine.traffic.demand_write",
+    ),
+    "counter": ("engine.traffic.counter_fetch",),
+    "tree": ("engine.traffic.tree_fetch",),
+    "mac": ("engine.traffic.mac_fetch",),
+    "metadata writeback": ("engine.traffic.metadata_writeback",),
+    "re-encryption": ("engine.traffic.reencrypt_block",),
+}
+
+
+def traffic_breakdown(totals: dict) -> dict:
+    """DRAM transactions per metadata class, from snapshot totals.
+
+    Returns ``{class: count, ..., "total": sum}``; classes with no
+    contributing metrics present count zero.
+    """
+    out = {}
+    for cls, names in TRAFFIC_CLASSES.items():
+        out[cls] = sum(totals.get(name, 0) for name in names)
+    out["total"] = sum(out.values())
+    return out
+
+
+def _snapshot_of(source) -> MetricsSnapshot:
+    if isinstance(source, MetricRegistry):
+        return source.snapshot()
+    if isinstance(source, MetricsSnapshot):
+        return source
+    raise TypeError(
+        "render_report expects a MetricRegistry or MetricsSnapshot, "
+        f"got {type(source).__name__}"
+    )
+
+
+def _traffic_section(totals: dict) -> str | None:
+    breakdown = traffic_breakdown(totals)
+    total = breakdown.pop("total")
+    if not total:
+        return None
+    rows = [
+        [cls, count, f"{count / total:.1%}"]
+        for cls, count in breakdown.items()
+    ]
+    rows.append(["total", total, "100.0%"])
+    return _format_table(
+        "Traffic breakdown by metadata class (DRAM transactions)",
+        ["class", "transactions", "share"],
+        rows,
+    )
+
+
+def _counters_section(totals: dict) -> str | None:
+    by_component: dict = {}
+    for name, value in sorted(totals.items()):
+        component = name.split(".", 1)[0]
+        if component == "probe":
+            continue  # rendered as spans below
+        by_component.setdefault(component, []).append((name, value))
+    if not by_component:
+        return None
+    rows = []
+    for component in sorted(by_component):
+        for name, value in by_component[component]:
+            rows.append([name, value])
+    return _format_table(
+        "Counters by component (totals across instances)",
+        ["metric", "value"],
+        rows,
+    )
+
+
+def _spans_section(snapshot: MetricsSnapshot, top: int) -> str | None:
+    spans = [
+        entry
+        for entry in snapshot.entries
+        if entry["type"] == "histogram"
+        and entry["name"].startswith("probe.")
+        and entry["count"]
+    ]
+    if not spans:
+        return None
+    spans.sort(key=lambda e: e["total"], reverse=True)
+    rows = []
+    for entry in spans[:top]:
+        rows.append(
+            [
+                entry["name"][len("probe."):],
+                entry["count"],
+                round(entry["total"] / 1000.0, 3),
+                round(entry["mean"], 1),
+                round(entry["max"] or 0.0, 1),
+            ]
+        )
+    return _format_table(
+        f"Top spans by total time (showing {len(rows)} of {len(spans)})",
+        ["span", "count", "total ms", "mean us", "max us"],
+        rows,
+    )
+
+
+def render_report(source, top_spans: int = 12) -> str:
+    """Render the full stats report from a registry or snapshot."""
+    snapshot = _snapshot_of(source)
+    totals = snapshot.totals()
+    sections = [
+        _traffic_section(totals),
+        _counters_section(totals),
+        _spans_section(snapshot, top_spans),
+    ]
+    sections = [s for s in sections if s]
+    if not sections:
+        return "no metrics recorded"
+    return "\n\n".join(sections)
+
+
+__all__ = ["TRAFFIC_CLASSES", "traffic_breakdown", "render_report"]

@@ -1,0 +1,276 @@
+"""Structured event tracing with Chrome ``trace_event`` export.
+
+The tracer is a bounded ring buffer of dict events in the (documented,
+stable) Chrome trace-event format, so a run's trace opens directly in
+Perfetto / ``chrome://tracing`` with no conversion step.
+
+Two timebases coexist, kept apart as two trace "processes":
+
+* **wallclock** (pid 1) -- microseconds since the tracer was created;
+  used by the profiling probes (host-side cost of the Python model);
+* **simulated cycles** (pid 2) -- the simulator's own clock, one cycle
+  rendered as one microsecond; used by the timing backend so DRAM-level
+  behaviour (demand reads, metadata fetches, re-encryption bursts) lays
+  out on the axis the paper's numbers live on.
+
+Every emit method is a no-op while ``enabled`` is False, so leaving
+trace calls in hot paths costs one attribute check.  The ring buffer
+(``capacity`` events) bounds memory on long runs; ``dropped`` counts
+evictions so an exported trace is honest about truncation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from collections import deque
+from contextlib import contextmanager
+
+TRACE_SCHEMA = "repro.trace/1"
+
+#: trace-event "process" ids for the two timebases
+WALL_PID = 1
+SIM_PID = 2
+
+_PROCESS_NAMES = {WALL_PID: "wallclock", SIM_PID: "simulated-cycles"}
+
+
+class EventTracer:
+    """Bounded-buffer tracer emitting Chrome trace-event dicts."""
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = False):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.events: deque = deque(maxlen=capacity)
+        self.emitted = 0
+        self._t0_ns = time.perf_counter_ns()
+        self._tids: dict = {}
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring buffer so far."""
+        return self.emitted - len(self.events)
+
+    def wall_us(self) -> float:
+        """Wallclock microseconds since tracer creation."""
+        return (time.perf_counter_ns() - self._t0_ns) / 1000.0
+
+    def _tid(self, pid: int, label: str) -> int:
+        key = (pid, label)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = len(self._tids) + 1
+            self._tids[key] = tid
+        return tid
+
+    def _emit(self, event: dict) -> None:
+        self.events.append(event)
+        self.emitted += 1
+
+    @staticmethod
+    def _pid(clock: str) -> int:
+        return SIM_PID if clock == "sim" else WALL_PID
+
+    # -- emit API -----------------------------------------------------------
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "event",
+        tid: str = "main",
+        clock: str = "wall",
+        ts: float | None = None,
+        **args,
+    ) -> None:
+        """A zero-duration marker (re-encryption fired, block retired...)."""
+        if not self.enabled:
+            return
+        pid = self._pid(clock)
+        event = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "cat": cat,
+            "ts": self.wall_us() if ts is None else float(ts),
+            "pid": pid,
+            "tid": self._tid(pid, tid),
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        cat: str = "span",
+        tid: str = "main",
+        clock: str = "sim",
+        **args,
+    ) -> None:
+        """A slice with explicit start and duration (trace-event "X")."""
+        if not self.enabled:
+            return
+        pid = self._pid(clock)
+        event = {
+            "name": name,
+            "ph": "X",
+            "cat": cat,
+            "ts": float(ts),
+            "dur": max(float(dur), 0.0),
+            "pid": pid,
+            "tid": self._tid(pid, tid),
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def complete_now(
+        self,
+        name: str,
+        dur_us: float,
+        cat: str = "span",
+        tid: str = "main",
+        **args,
+    ) -> None:
+        """A wallclock slice ending now and lasting ``dur_us``."""
+        if not self.enabled:
+            return
+        self.complete(
+            name,
+            ts=self.wall_us() - dur_us,
+            dur=dur_us,
+            cat=cat,
+            tid=tid,
+            clock="wall",
+            **args,
+        )
+
+    def counter(
+        self,
+        name: str,
+        value,
+        tid: str = "counters",
+        clock: str = "wall",
+        ts: float | None = None,
+    ) -> None:
+        """A counter-track sample (trace-event "C")."""
+        if not self.enabled:
+            return
+        pid = self._pid(clock)
+        self._emit(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": self.wall_us() if ts is None else float(ts),
+                "pid": pid,
+                "tid": self._tid(pid, tid),
+                "args": {"value": value},
+            }
+        )
+
+    @contextmanager
+    def span(self, name: str, cat: str = "span", tid: str = "main", **args):
+        """Measure a wallclock slice around a block of work."""
+        if not self.enabled:
+            yield
+            return
+        start = self.wall_us()
+        try:
+            yield
+        finally:
+            self.complete(
+                name,
+                ts=start,
+                dur=self.wall_us() - start,
+                cat=cat,
+                tid=tid,
+                clock="wall",
+                **args,
+            )
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.emitted = 0
+
+    # -- export -------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The full trace as a Chrome trace-event JSON object."""
+        metadata = []
+        for pid, process in _PROCESS_NAMES.items():
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        for (pid, label), tid in sorted(self._tids.items(), key=lambda i: i[1]):
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+        return {
+            "traceEvents": metadata + list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_SCHEMA,
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.chrome_trace(), indent=indent)
+
+    def write(self, path) -> int:
+        """Write the Chrome trace JSON; returns the event count written."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        trace = self.chrome_trace()
+        path.write_text(json.dumps(trace) + "\n")
+        return len(trace["traceEvents"])
+
+
+# -- default tracer -----------------------------------------------------------
+
+_TRACER_STACK: list = [EventTracer(enabled=False)]
+
+
+def get_tracer() -> EventTracer:
+    """The currently active tracer (disabled no-op tracer by default)."""
+    return _TRACER_STACK[-1]
+
+
+@contextmanager
+def use_tracer(tracer: EventTracer):
+    """Scope ``tracer`` as the default for code run inside."""
+    _TRACER_STACK.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _TRACER_STACK.pop()
+
+
+__all__ = [
+    "EventTracer",
+    "TRACE_SCHEMA",
+    "WALL_PID",
+    "SIM_PID",
+    "get_tracer",
+    "use_tracer",
+]

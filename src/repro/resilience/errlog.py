@@ -31,6 +31,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.harness.reporting import format_table
+from repro.obs.metrics import MetricRegistry, get_registry
 
 
 class EventOutcome(enum.Enum):
@@ -74,8 +75,16 @@ class ErrorRecord:
 class ErrorLog:
     """Append-only event log with CE/DUE/SDC accounting."""
 
-    def __init__(self):
+    def __init__(self, registry: MetricRegistry | None = None):
+        registry = registry if registry is not None else get_registry()
         self.records: list[ErrorRecord] = []
+        # One registry counter per outcome class, pre-created so the
+        # CE/DUE/SDC rows exist (at zero) in every snapshot.
+        self._m_outcomes = {
+            outcome: registry.counter(f"resilience.outcome.{outcome.value}")
+            for outcome in EventOutcome
+        }
+        self._m_cycles = registry.counter("resilience.cycles_spent")
 
     def log(
         self,
@@ -107,6 +116,9 @@ class ErrorLog:
             detail=detail,
         )
         self.records.append(record)
+        self._m_outcomes[outcome].inc()
+        if cycles_spent:
+            self._m_cycles.inc(cycles_spent)
         return record
 
     # -- accounting ---------------------------------------------------------

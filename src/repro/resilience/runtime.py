@@ -33,6 +33,8 @@ from repro.core.ecc_mac.layout import EccField
 from repro.core.ecc_mac.scrubber import Scrubber, ScrubReport
 from repro.core.engine.config import EngineConfig
 from repro.core.engine.secure_memory import BLOCK_BYTES, SecureMemory
+from repro.obs.metrics import MetricRegistry, get_registry
+from repro.obs.probe import ProbePoint
 from repro.resilience.errlog import ErrorLog, EventOutcome
 from repro.resilience.quarantine import QuarantineMap
 from repro.resilience.recovery import (
@@ -72,8 +74,11 @@ class ResilientMemory:
         ce_threshold: int = 3,
         due_threshold: int = 2,
         retry_policy: RetryPolicy | None = None,
+        registry: MetricRegistry | None = None,
     ):
-        self.memory = SecureMemory(config, key)
+        registry = registry if registry is not None else get_registry()
+        self.registry = registry
+        self.memory = SecureMemory(config, key, registry=registry)
         total = self.memory.scheme.total_blocks
         if spare_blocks is None:
             # Default: ~1.5% of capacity, at least one block.
@@ -88,8 +93,16 @@ class ResilientMemory:
             retry_policy or RetryPolicy(),
             mac_check_cycles=config.mac_check_cycles,
         )
-        self.log = ErrorLog()
-        self.scrubber = Scrubber(self.memory.codec) if config.mac_in_ecc else None
+        self.log = ErrorLog(registry=registry)
+        self.scrubber = (
+            Scrubber(self.memory.codec, registry=registry)
+            if config.mac_in_ecc
+            else None
+        )
+        self._m_repair_reads = registry.counter("scrub.repair_read")
+        self._g_spares = registry.gauge("resilience.spares_remaining")
+        self._g_spares.set(self.quarantine.spares_remaining)
+        self._probe_read = ProbePoint("resilience.read", registry=registry)
         self.cycle = 0  # simulated clock, advanced by recovery work
         # Registered faults, all keyed by *physical* block index.
         self._inflight: dict[int, list[tuple[tuple, tuple]]] = {}
@@ -206,7 +219,8 @@ class ResilientMemory:
         """
         logical = self._logical_block(address)
         physical = self.quarantine.physical(logical)
-        rec = self.recovery.read(self.memory, physical * BLOCK_BYTES)
+        with self._probe_read:
+            rec = self.recovery.read(self.memory, physical * BLOCK_BYTES)
         self.cycle += rec.cycles_spent
         if rec.stage is RecoveryStage.CLEAN:
             return rec
@@ -244,6 +258,7 @@ class ResilientMemory:
         fault_class: str,
     ) -> None:
         spare = self.quarantine.retire(logical)
+        self._g_spares.set(self.quarantine.spares_remaining)
         fault_id = self._fault_id.get(physical)
         if spare is None:
             self.log.log(
@@ -293,6 +308,7 @@ class ResilientMemory:
                 logical = self.quarantine.logical_of(paddr // BLOCK_BYTES)
                 if logical is None:
                     continue  # retired or unused spare
+                self._m_repair_reads.inc()
                 self.read(logical * BLOCK_BYTES)
         return report
 

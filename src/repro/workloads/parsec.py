@@ -58,6 +58,7 @@ memory-bound, swaptions/blackscholes compute-bound.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.workloads.patterns import (
@@ -97,7 +98,12 @@ class ParsecProfile:
         return PatternMix(
             patterns,
             gap_mean=self.gap_mean,
-            seed=(seed * 1000003) ^ (core * 7919) ^ (hash(self.name) & 0xFFFF),
+            # zlib.crc32, not hash(): str hashing is randomized per
+            # process, which would make every trace -- and every exhibit
+            # number -- differ from run to run.
+            seed=(seed * 1000003)
+            ^ (core * 7919)
+            ^ (zlib.crc32(self.name.encode()) & 0xFFFF),
             region_blocks=region_blocks,
         )
 

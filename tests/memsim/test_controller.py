@@ -112,3 +112,63 @@ class TestScheduling:
         )
         completes = {s.complete for s in serviced}
         assert len(completes) == 1  # identical latency, full parallelism
+
+
+class TestAccounting:
+    """Deterministic row-outcome accounting, cross-checked against the
+    metrics registry (the controller's stats are a registry view)."""
+
+    #: one channel, two banks, 1 KiB rows: block -> (bank, row) is
+    #: bank = (block >> 4) & 1, row = block >> 5
+    MAPPING = dict(channels=1, banks_per_channel=2, row_bytes=1024)
+
+    def _requests(self):
+        # Spaced far enough apart that exactly one request is ever
+        # queued: FR-FCFS degenerates to FCFS and every row outcome is
+        # forced by the previous access to the same bank.
+        return [
+            Request(0, 0 * 64),        # bank 0, row 0: closed
+            Request(1000, 1 * 64),     # bank 0, row 0: row hit
+            Request(2000, 16 * 64),    # bank 1, row 0: closed
+            Request(3000, 32 * 64),    # bank 0, row 1: conflict
+        ]
+
+    def test_row_outcome_breakdown(self):
+        from repro.obs.metrics import MetricRegistry
+
+        registry = MetricRegistry()
+        controller = FrFcfsController(
+            mapping=AddressMapping(**self.MAPPING), registry=registry
+        )
+        serviced = controller.replay(self._requests())
+
+        stats = controller.stats
+        assert stats.serviced == 4
+        assert stats.row_hits == 1
+        assert stats.row_closed == 2
+        assert stats.row_conflicts == 1
+        assert stats.row_hits + stats.row_closed + stats.row_conflicts == 4
+        assert stats.reordered == 0
+        assert sum(1 for s in serviced if s.row_hit) == 1
+
+        # The view and the registry are the same storage.
+        assert registry.total("dram.ctrl.serviced") == 4
+        assert registry.total("dram.ctrl.row_hit") == 1
+        assert registry.total("dram.ctrl.row_closed") == 2
+        assert registry.total("dram.ctrl.row_conflict") == 1
+        assert registry.total("dram.ctrl.latency_total") == sum(
+            s.latency for s in serviced
+        )
+
+    def test_two_controllers_do_not_share_counts(self):
+        from repro.obs.metrics import MetricRegistry
+
+        registry = MetricRegistry()
+        mapping = AddressMapping(**self.MAPPING)
+        a = FrFcfsController(mapping=mapping, registry=registry)
+        b = FrFcfsController(mapping=mapping, registry=registry)
+        a.replay(self._requests())
+        b.replay(self._requests()[:2])
+        assert a.stats.serviced == 4
+        assert b.stats.serviced == 2
+        assert registry.total("dram.ctrl.serviced") == 6

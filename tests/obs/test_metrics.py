@@ -1,0 +1,198 @@
+"""Metrics registry: typed metrics, labels, views, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    MetricsSnapshot,
+    RegistryView,
+    get_registry,
+    use_registry,
+)
+
+
+class TestMetricTypes:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge(self):
+        g = Gauge("x")
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8
+
+    def test_histogram_summary(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 6.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 9.0
+        assert h.mean == 3.0
+        assert h.min == 1.0
+        assert h.max == 6.0
+
+    def test_histogram_buckets(self):
+        h = Histogram("x", buckets=(1, 10))
+        for v in (0.5, 5, 50):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]
+
+    def test_empty_histogram_mean(self):
+        assert Histogram("x").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        r = MetricRegistry()
+        assert r.counter("a.b") is r.counter("a.b")
+        assert len(r) == 1
+
+    def test_labels_distinguish_metrics(self):
+        r = MetricRegistry()
+        a = r.counter("a.b", inst="x")
+        b = r.counter("a.b", inst="y")
+        assert a is not b
+        a.inc(2)
+        b.inc(3)
+        assert r.total("a.b") == 5
+
+    def test_kind_mismatch_raises(self):
+        r = MetricRegistry()
+        r.counter("a.b")
+        with pytest.raises(TypeError):
+            r.gauge("a.b")
+
+    def test_instance_labels_are_unique(self):
+        r = MetricRegistry()
+        assert r.instance("engine") != r.instance("engine")
+
+    def test_subtree(self):
+        r = MetricRegistry()
+        r.counter("engine.read.total").inc(3)
+        r.counter("engine.write.total").inc(2)
+        r.counter("dram.read").inc(9)
+        sub = r.subtree("engine")
+        assert sub == {"engine.read.total": 3, "engine.write.total": 2}
+
+    def test_reset_keeps_identities(self):
+        r = MetricRegistry()
+        c = r.counter("a")
+        c.inc(4)
+        r.reset()
+        assert c.value == 0
+        assert r.counter("a") is c
+
+    def test_use_registry_scopes_default(self):
+        outer = get_registry()
+        fresh = MetricRegistry()
+        with use_registry(fresh):
+            assert get_registry() is fresh
+        assert get_registry() is outer
+
+
+class TestSnapshot:
+    def test_totals_sum_across_labels(self):
+        r = MetricRegistry()
+        r.counter("a", inst="x").inc(1)
+        r.counter("a", inst="y").inc(2)
+        assert r.snapshot().totals()["a"] == 3
+
+    def test_value_by_labels(self):
+        r = MetricRegistry()
+        r.counter("a", inst="x").inc(7)
+        assert r.snapshot().value("a", inst="x") == 7
+        assert r.snapshot().value("a", inst="zz") is None
+
+    def test_diff_subtracts_counters(self):
+        r = MetricRegistry()
+        c = r.counter("a")
+        c.inc(2)
+        before = r.snapshot()
+        c.inc(5)
+        delta = r.snapshot().diff(before)
+        assert delta.totals()["a"] == 5
+
+    def test_diff_keeps_gauge_level(self):
+        r = MetricRegistry()
+        g = r.gauge("g")
+        g.set(10)
+        before = r.snapshot()
+        g.set(4)
+        assert r.snapshot().diff(before).totals()["g"] == 4
+
+    def test_json_round_trip(self, tmp_path):
+        r = MetricRegistry()
+        r.counter("a", inst="x").inc(3)
+        r.histogram("h").observe(1.5)
+        path = tmp_path / "m.json"
+        r.snapshot().dump(path)
+        loaded = MetricsSnapshot.load(path)
+        assert loaded.totals() == {"a": 3}
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.metrics/1"
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"schema": "nope", "metrics": []}))
+        with pytest.raises(ValueError):
+            MetricsSnapshot.load(path)
+
+
+class _Stats(RegistryView):
+    _VIEW_FIELDS = {"hits": "t.hit", "misses": "t.miss"}
+
+
+class TestRegistryView:
+    def test_attribute_mutation_hits_registry(self):
+        r = MetricRegistry()
+        view = _Stats(registry=r)
+        view.hits += 3
+        view.misses = 2
+        assert r.total("t.hit") == 3
+        assert r.total("t.miss") == 2
+        assert view.metric("hits") is r.counter("t.hit")
+
+    def test_bare_construction_is_private(self):
+        a = _Stats()
+        b = _Stats()
+        a.hits += 5
+        assert b.hits == 0
+
+    def test_initial_kwargs(self):
+        view = _Stats(hits=4)
+        assert view.hits == 4
+        assert view.as_dict() == {"hits": 4, "misses": 0}
+
+    def test_unknown_initial_kwarg_raises(self):
+        with pytest.raises(TypeError):
+            _Stats(bogus=1)
+
+    def test_labels_isolate_instances(self):
+        r = MetricRegistry()
+        a = _Stats(registry=r, labels={"inst": "a"})
+        b = _Stats(registry=r, labels={"inst": "b"})
+        a.hits += 1
+        b.hits += 2
+        assert a.hits == 1
+        assert b.hits == 2
+        assert r.total("t.hit") == 3
+
+    def test_prefix_relocates_names(self):
+        class _Rel(RegistryView):
+            _VIEW_FIELDS = {"writes": "write"}
+
+        r = MetricRegistry()
+        view = _Rel(registry=r, prefix="counters.delta")
+        view.writes += 1
+        assert r.total("counters.delta.write") == 1

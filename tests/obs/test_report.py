@@ -1,0 +1,71 @@
+"""Stats report rendering and the traffic-class breakdown."""
+
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.report import TRAFFIC_CLASSES, render_report, traffic_breakdown
+
+
+def _traffic_registry():
+    r = MetricRegistry()
+    r.counter("engine.traffic.demand_read").inc(80)
+    r.counter("engine.traffic.demand_write").inc(20)
+    r.counter("engine.traffic.counter_fetch").inc(10)
+    r.counter("engine.traffic.tree_fetch").inc(5)
+    r.counter("engine.traffic.mac_fetch").inc(4)
+    r.counter("engine.traffic.metadata_writeback").inc(1)
+    return r
+
+
+class TestTrafficBreakdown:
+    def test_classes_and_total(self):
+        breakdown = traffic_breakdown(_traffic_registry().snapshot().totals())
+        assert breakdown["data"] == 100
+        assert breakdown["counter"] == 10
+        assert breakdown["tree"] == 5
+        assert breakdown["mac"] == 4
+        assert breakdown["metadata writeback"] == 1
+        assert breakdown["re-encryption"] == 0
+        assert breakdown["total"] == 120
+
+    def test_total_equals_sum_of_classes(self):
+        totals = _traffic_registry().snapshot().totals()
+        breakdown = traffic_breakdown(totals)
+        total = breakdown.pop("total")
+        assert total == sum(breakdown.values())
+
+    def test_every_class_maps_to_timing_stats_metrics(self):
+        from repro.core.engine.timing import TimingStats
+
+        mapped = {n for names in TRAFFIC_CLASSES.values() for n in names}
+        assert mapped == set(TimingStats._VIEW_FIELDS.values())
+
+
+class TestRenderReport:
+    def test_empty_registry(self):
+        assert render_report(MetricRegistry()) == "no metrics recorded"
+
+    def test_sections_present(self):
+        r = _traffic_registry()
+        r.histogram("probe.engine.read").observe(12.5)
+        text = render_report(r)
+        assert "Traffic breakdown by metadata class" in text
+        assert "Counters by component" in text
+        assert "Top spans by total time" in text
+        assert "engine.read" in text
+
+    def test_accepts_snapshot(self):
+        r = _traffic_registry()
+        assert render_report(r.snapshot()) == render_report(r)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            render_report({"not": "a registry"})
+
+    def test_top_spans_limit(self):
+        r = MetricRegistry()
+        r.counter("engine.traffic.demand_read").inc()
+        for i in range(5):
+            r.histogram(f"probe.span{i}").observe(float(i + 1))
+        text = render_report(r, top_spans=2)
+        assert "showing 2 of 5" in text

@@ -1,0 +1,142 @@
+"""Event tracer: buffering, two timebases, Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    SIM_PID,
+    WALL_PID,
+    EventTracer,
+    get_tracer,
+    use_tracer,
+)
+
+
+class TestEmission:
+    def test_disabled_tracer_records_nothing(self):
+        t = EventTracer(enabled=False)
+        t.instant("a")
+        t.complete("b", ts=0, dur=5)
+        t.counter("c", 1)
+        with t.span("d"):
+            pass
+        assert t.emitted == 0
+        assert not t.events
+
+    def test_instant_event_shape(self):
+        t = EventTracer(enabled=True)
+        t.instant("reencrypt", cat="engine", address=64)
+        [event] = t.events
+        assert event["ph"] == "i"
+        assert event["name"] == "reencrypt"
+        assert event["pid"] == WALL_PID
+        assert event["args"] == {"address": 64}
+
+    def test_complete_uses_sim_clock_by_default(self):
+        t = EventTracer(enabled=True)
+        t.complete("mem.read", ts=1000.0, dur=42.0)
+        [event] = t.events
+        assert event["ph"] == "X"
+        assert event["pid"] == SIM_PID
+        assert event["ts"] == 1000.0
+        assert event["dur"] == 42.0
+
+    def test_complete_clamps_negative_duration(self):
+        t = EventTracer(enabled=True)
+        t.complete("x", ts=0.0, dur=-1.0)
+        assert t.events[0]["dur"] == 0.0
+
+    def test_span_measures_wallclock(self):
+        t = EventTracer(enabled=True)
+        with t.span("work"):
+            pass
+        [event] = t.events
+        assert event["ph"] == "X"
+        assert event["pid"] == WALL_PID
+        assert event["dur"] >= 0.0
+
+    def test_counter_track(self):
+        t = EventTracer(enabled=True)
+        t.counter("spares", 7)
+        [event] = t.events
+        assert event["ph"] == "C"
+        assert event["args"] == {"value": 7}
+
+    def test_tids_stable_per_label(self):
+        t = EventTracer(enabled=True)
+        t.instant("a", tid="x")
+        t.instant("b", tid="y")
+        t.instant("c", tid="x")
+        tids = [e["tid"] for e in t.events]
+        assert tids[0] == tids[2] != tids[1]
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_memory(self):
+        t = EventTracer(capacity=10, enabled=True)
+        for i in range(25):
+            t.instant(f"e{i}")
+        assert len(t.events) == 10
+        assert t.emitted == 25
+        assert t.dropped == 15
+        assert t.events[0]["name"] == "e15"  # oldest evicted first
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_clear(self):
+        t = EventTracer(enabled=True)
+        t.instant("a")
+        t.clear()
+        assert t.emitted == 0
+        assert not t.events
+
+
+class TestExport:
+    def test_chrome_trace_names_processes_and_threads(self):
+        t = EventTracer(enabled=True)
+        t.instant("a", tid="main")
+        t.complete("b", ts=0, dur=1, clock="sim", tid="demand")
+        trace = t.chrome_trace()
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in meta
+            if e["name"] == "process_name"
+        }
+        assert (WALL_PID, "wallclock") in names
+        assert (SIM_PID, "simulated-cycles") in names
+        thread_meta = [e for e in meta if e["name"] == "thread_name"]
+        assert {e["args"]["name"] for e in thread_meta} == {"main", "demand"}
+
+    def test_other_data_accounting(self):
+        t = EventTracer(capacity=2, enabled=True)
+        for i in range(5):
+            t.instant(f"e{i}")
+        other = t.chrome_trace()["otherData"]
+        assert other["schema"] == "repro.trace/1"
+        assert other["emitted"] == 5
+        assert other["dropped"] == 3
+
+    def test_write_is_loadable_json(self, tmp_path):
+        t = EventTracer(enabled=True)
+        t.instant("a")
+        path = tmp_path / "deep" / "trace.json"
+        count = t.write(path)
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == count
+        assert any(e["ph"] == "i" for e in payload["traceEvents"])
+
+
+class TestDefaultTracer:
+    def test_default_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_use_tracer_scopes(self):
+        outer = get_tracer()
+        t = EventTracer(enabled=True)
+        with use_tracer(t):
+            assert get_tracer() is t
+        assert get_tracer() is outer
