@@ -37,6 +37,13 @@ from repro.core.engine.config import preset
 from repro.core.engine.secure_memory import SecureMemory
 from repro.harness.reporting import format_table
 from repro.harness.runner import PerformanceExperiment, ReencryptionExperiment
+from repro.lint import (
+    Baseline,
+    default_checkers,
+    render_json,
+    render_text,
+    run_lint,
+)
 from repro.memsim.cpu.trace import save_trace
 from repro.obs.metrics import MetricRegistry, MetricsSnapshot, use_registry
 from repro.obs.probe import probes
@@ -272,6 +279,36 @@ def _cmd_resilience(args) -> int:
     return 0 if sound else 1
 
 
+def _cmd_lint(args) -> int:
+    if args.list_checks:
+        for checker in default_checkers():
+            print(f"{checker.code} {checker.name}: {checker.description}")
+        return 0
+    paths = args.paths or [_default_lint_root()]
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    result = run_lint(paths, baseline=baseline)
+    if args.write_baseline:
+        Baseline.from_diagnostics(
+            result.diagnostics + result.grandfathered
+        ).dump(args.write_baseline)
+        print(
+            f"wrote {len(result.diagnostics) + len(result.grandfathered)} "
+            f"baseline entries to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+def _default_lint_root() -> str:
+    """The installed ``repro`` package tree (works from any cwd)."""
+    return str(pathlib.Path(__file__).resolve().parent)
+
+
 def _cmd_trace(args) -> int:
     app = _resolve_profile(args.app)
     records = app.trace(
@@ -380,6 +417,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top-spans", type=int, default=12,
                    help="how many probe spans to show")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (bit-width contracts, "
+             "determinism, metric catalog, hygiene)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the "
+                        "installed repro package)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="JSON baseline of grandfathered findings")
+    p.add_argument("--write-baseline", metavar="FILE", default=None,
+                   help="record current findings as the new baseline "
+                        "and exit 0")
+    p.add_argument("--list-checks", action="store_true",
+                   help="list checker codes and exit")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("trace", help="generate a workload trace file")
     p.add_argument("app", choices=table2_apps() + sorted(MICRO_PROFILES))

@@ -24,10 +24,10 @@ from __future__ import annotations
 import abc
 
 from repro.core.counters.events import CounterStats, WriteOutcome
+from repro.lint.contracts import BLOCK_BYTES, METADATA_BLOCK_BITS
 from repro.obs.metrics import get_registry
 
-BLOCK_BYTES = 64
-METADATA_BLOCK_BYTES = 64
+METADATA_BLOCK_BYTES = METADATA_BLOCK_BITS // 8
 
 
 class CounterScheme(abc.ABC):
@@ -36,7 +36,7 @@ class CounterScheme(abc.ABC):
     #: short machine name used by configs and report tables
     name: str = "abstract"
 
-    def __init__(self, total_blocks: int, blocks_per_group: int):
+    def __init__(self, total_blocks: int, blocks_per_group: int) -> None:
         if total_blocks <= 0:
             raise ValueError("total_blocks must be positive")
         if blocks_per_group <= 0:
@@ -132,7 +132,7 @@ class CounterScheme(abc.ABC):
         """Serialize one group's counter state to its metadata block(s)."""
 
     @abc.abstractmethod
-    def decode_metadata(self, data: bytes) -> list:
+    def decode_metadata(self, data: bytes) -> list[int]:
         """Decode serialized group metadata back to per-slot counters.
 
         This is the *decode unit* of Figure 7: the functional engine reads

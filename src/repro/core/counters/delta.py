@@ -38,24 +38,30 @@ from __future__ import annotations
 
 from repro.core.counters.base import CounterScheme
 from repro.core.counters.events import CounterEvent, WriteOutcome
+from repro.lint.contracts import DELTA_BITS, GROUP_BLOCKS, REFERENCE_BITS
 from repro.util.bits import BitReader, BitWriter
 
 
 class DeltaCounters(CounterScheme):
     """56-bit reference + fixed-width per-block deltas, with reset and
-    re-encode overflow mitigation."""
+    re-encode overflow mitigation.
+
+    The defaults are the paper's layout contract (56 + 64*7 = 504 of 512
+    metadata bits); both arguments stay overridable for the ablation
+    benches that sweep field widths.
+    """
 
     name = "delta"
 
     def __init__(
         self,
         total_blocks: int,
-        blocks_per_group: int = 64,
-        delta_bits: int = 7,
-        reference_bits: int = 56,
+        blocks_per_group: int = GROUP_BLOCKS,
+        delta_bits: int = DELTA_BITS,
+        reference_bits: int = REFERENCE_BITS,
         enable_reset: bool = True,
         enable_reencode: bool = True,
-    ):
+    ) -> None:
         super().__init__(total_blocks, blocks_per_group)
         if delta_bits <= 0 or reference_bits <= 0:
             raise ValueError("field widths must be positive")
@@ -83,7 +89,7 @@ class DeltaCounters(CounterScheme):
         self._check_group(group_index)
         return self._references[group_index]
 
-    def deltas(self, group_index: int) -> list:
+    def deltas(self, group_index: int) -> list[int]:
         """Snapshot of a group's deltas (tests and reporting)."""
         self._check_group(group_index)
         return [self._deltas[b] for b in self.blocks_in_group(group_index)]
@@ -145,7 +151,7 @@ class DeltaCounters(CounterScheme):
 
     def _increment(self, block_index: int) -> WriteOutcome:
         group = block_index // self.blocks_per_group
-        events = []
+        events: list[CounterEvent] = []
         current = self._deltas[block_index]
         tentative = current + 1
 
@@ -199,7 +205,7 @@ class DeltaCounters(CounterScheme):
         padded = -(-length // 64) * 64
         return writer.to_bytes(padded)
 
-    def decode_metadata(self, data: bytes) -> list:
+    def decode_metadata(self, data: bytes) -> list[int]:
         reader = BitReader(data)
         reference = reader.read(self.reference_bits)
         return [

@@ -31,26 +31,40 @@ from __future__ import annotations
 
 from repro.core.counters.base import CounterScheme
 from repro.core.counters.events import CounterEvent, WriteOutcome
+from repro.lint.contracts import (
+    BASE_DELTA_BITS,
+    EXTENSION_BITS,
+    GROUP_BLOCKS,
+    REFERENCE_BITS,
+    WIDEN_INDEX_BITS,
+    WIDEN_VALID_BITS,
+)
+from repro.lint.contracts import DELTA_GROUPS as CONTRACT_DELTA_GROUPS
 from repro.util.bits import BitReader, BitWriter
 
 
 class DualLengthDeltaCounters(CounterScheme):
-    """6-bit deltas, 4 delta-groups of 16, one widenable to 10 bits."""
+    """6-bit deltas, 4 delta-groups of 16, one widenable to 10 bits.
+
+    The defaults are the Figure 6 layout contract: 56 + 64*6 = 440 bits,
+    leaving the contracted 72 reserved bits for the 16x4-bit extension
+    field, the widened-group index and its valid flag.
+    """
 
     name = "dual_length"
 
-    DELTA_GROUPS = 4
+    DELTA_GROUPS = CONTRACT_DELTA_GROUPS
 
     def __init__(
         self,
         total_blocks: int,
-        blocks_per_group: int = 64,
-        base_delta_bits: int = 6,
-        extension_bits: int = 4,
-        reference_bits: int = 56,
+        blocks_per_group: int = GROUP_BLOCKS,
+        base_delta_bits: int = BASE_DELTA_BITS,
+        extension_bits: int = EXTENSION_BITS,
+        reference_bits: int = REFERENCE_BITS,
         enable_reset: bool = True,
         enable_reencode: bool = True,
-    ):
+    ) -> None:
         super().__init__(total_blocks, blocks_per_group)
         if blocks_per_group % self.DELTA_GROUPS:
             raise ValueError(
@@ -70,7 +84,7 @@ class DualLengthDeltaCounters(CounterScheme):
         self._references = [0] * self.num_groups
         self._deltas = [0] * total_blocks
         #: per block-group: which delta-group holds the extension (or None)
-        self._widened = [None] * self.num_groups
+        self._widened: list[int | None] = [None] * self.num_groups
         # Incremental aggregates (whole block-group).
         self._min = [0] * self.num_groups
         self._min_count = [blocks_per_group] * self.num_groups
@@ -87,11 +101,11 @@ class DualLengthDeltaCounters(CounterScheme):
         self._check_group(group_index)
         return self._references[group_index]
 
-    def deltas(self, group_index: int) -> list:
+    def deltas(self, group_index: int) -> list[int]:
         self._check_group(group_index)
         return [self._deltas[b] for b in self.blocks_in_group(group_index)]
 
-    def widened_delta_group(self, group_index: int):
+    def widened_delta_group(self, group_index: int) -> int | None:
         """Index of the widened delta-group, or None."""
         self._check_group(group_index)
         return self._widened[group_index]
@@ -128,7 +142,7 @@ class DualLengthDeltaCounters(CounterScheme):
             return self._wide_limit
         return self._base_limit
 
-    def _delta_group_values(self, group: int, delta_group: int) -> list:
+    def _delta_group_values(self, group: int, delta_group: int) -> list[int]:
         start = (
             group * self.blocks_per_group
             + delta_group * self.deltas_per_delta_group
@@ -181,7 +195,7 @@ class DualLengthDeltaCounters(CounterScheme):
     def _increment(self, block_index: int) -> WriteOutcome:
         group = block_index // self.blocks_per_group
         delta_group = self.delta_group_of(block_index)
-        events = []
+        events: list[CounterEvent] = []
         current = self._deltas[block_index]
         tentative = current + 1
 
@@ -250,13 +264,12 @@ class DualLengthDeltaCounters(CounterScheme):
     @property
     def bits_per_group(self) -> int:
         # reference + base deltas + extension field + group index + valid.
-        index_bits = 2 if self.DELTA_GROUPS <= 4 else 3
         return (
             self.reference_bits
             + self.base_delta_bits * self.blocks_per_group
             + self.extension_bits * self.deltas_per_delta_group
-            + index_bits
-            + 1
+            + WIDEN_INDEX_BITS
+            + WIDEN_VALID_BITS
         )
 
     def group_metadata(self, group_index: int) -> bytes:
@@ -276,18 +289,18 @@ class DualLengthDeltaCounters(CounterScheme):
         if widened is None:
             for _ in range(self.deltas_per_delta_group):
                 writer.write(0, self.extension_bits)
-            writer.write(0, 2)
-            writer.write(0, 1)  # valid = 0
+            writer.write(0, WIDEN_INDEX_BITS)
+            writer.write(0, WIDEN_VALID_BITS)  # valid = 0
         else:
             for value in self._delta_group_values(group_index, widened):
                 writer.write(value >> self.base_delta_bits, self.extension_bits)
-            writer.write(widened, 2)
-            writer.write(1, 1)  # valid = 1
+            writer.write(widened, WIDEN_INDEX_BITS)
+            writer.write(1, WIDEN_VALID_BITS)  # valid = 1
         length = -(-writer.bit_length // 8)
         padded = -(-length // 64) * 64
         return writer.to_bytes(padded)
 
-    def decode_metadata(self, data: bytes) -> list:
+    def decode_metadata(self, data: bytes) -> list[int]:
         """The Figure 7 decode unit: splice extension bits back onto the
         widened delta-group, then sum reference + delta per slot."""
         reader = BitReader(data)
@@ -300,8 +313,8 @@ class DualLengthDeltaCounters(CounterScheme):
             reader.read(self.extension_bits)
             for _ in range(self.deltas_per_delta_group)
         ]
-        widened = reader.read(2)
-        valid = reader.read(1)
+        widened = reader.read(WIDEN_INDEX_BITS)
+        valid = reader.read(WIDEN_VALID_BITS)
         deltas = list(base)
         if valid:
             start = widened * self.deltas_per_delta_group

@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.obs.metrics import RegistryView
+from repro.obs.metrics import Labels, MetricRegistry, RegistryView
 
 
 class CounterEvent(enum.Enum):
@@ -37,7 +37,7 @@ class WriteOutcome:
     """
 
     counter: int
-    events: tuple = ()
+    events: tuple[CounterEvent, ...] = ()
     reencrypted_group: int | None = None
     group_counter: int | None = None
 
@@ -68,15 +68,15 @@ class CounterStats(RegistryView):
     def __init__(
         self,
         *,
-        registry=None,
-        labels=None,
+        registry: MetricRegistry | None = None,
+        labels: Labels | None = None,
         prefix: str = "counters",
-        **initial,
-    ):
+        **initial: int,
+    ) -> None:
         super().__init__(
             registry=registry, labels=labels, prefix=prefix, **initial
         )
-        self.per_group_re_encryptions: dict = {}
+        self.per_group_re_encryptions: dict[int, int] = {}
 
     _FIELD_BY_EVENT = {
         CounterEvent.INCREMENT: "increments",
@@ -98,7 +98,7 @@ class CounterStats(RegistryView):
                 self.per_group_re_encryptions.get(group, 0) + 1
             )
 
-    def merge(self, other: "CounterStats") -> None:
+    def merge(self, other: CounterStats) -> None:
         """Accumulate another stats object (e.g. across trace segments)."""
         self.writes += other.writes
         self.increments += other.increments

@@ -28,7 +28,7 @@ class MonolithicCounters(CounterScheme):
         total_blocks: int,
         counter_bits: int = 56,
         blocks_per_group: int = 64,
-    ):
+    ) -> None:
         super().__init__(total_blocks, blocks_per_group)
         if counter_bits <= 0:
             raise ValueError("counter_bits must be positive")
@@ -69,7 +69,7 @@ class MonolithicCounters(CounterScheme):
         padded = -(-length // 64) * 64
         return writer.to_bytes(padded)
 
-    def decode_metadata(self, data: bytes) -> list:
+    def decode_metadata(self, data: bytes) -> list[int]:
         reader = BitReader(data)
         return [
             reader.read(self.counter_bits)

@@ -30,7 +30,7 @@ class SplitCounters(CounterScheme):
         blocks_per_group: int = 64,
         minor_bits: int = 7,
         major_bits: int = 64,
-    ):
+    ) -> None:
         super().__init__(total_blocks, blocks_per_group)
         if minor_bits <= 0 or major_bits <= 0:
             raise ValueError("counter widths must be positive")
@@ -82,7 +82,7 @@ class SplitCounters(CounterScheme):
         padded = -(-length // 64) * 64
         return writer.to_bytes(padded)
 
-    def decode_metadata(self, data: bytes) -> list:
+    def decode_metadata(self, data: bytes) -> list[int]:
         reader = BitReader(data)
         major = reader.read(self.major_bits)
         return [

@@ -58,7 +58,7 @@ class CorrectionResult:
 
     corrected: bool
     data: bytes | None
-    flipped_bits: tuple
+    flipped_bits: tuple[int, ...]
     checks: int
     method: CorrectionMethod
 
@@ -67,7 +67,7 @@ class CorrectionResult:
         return len(self.flipped_bits)
 
 
-def _flip(data: bytes, positions: tuple) -> bytes:
+def _flip(data: bytes, positions: tuple[int, ...]) -> bytes:
     out = bytearray(data)
     for position in positions:
         out[position >> 3] ^= 1 << (position & 7)
@@ -78,7 +78,7 @@ class FlipAndCheckCorrector:
     """Corrects single/double bit errors in a 64-byte ciphertext whose MAC
     failed, given the trusted (tree-verified) counter and recovered MAC."""
 
-    def __init__(self, mac: CarterWegmanMac, max_errors: int = 2):
+    def __init__(self, mac: CarterWegmanMac, max_errors: int = 2) -> None:
         if max_errors not in (1, 2):
             raise ValueError(
                 "flip-and-check supports max_errors of 1 or 2; beyond "
@@ -86,8 +86,9 @@ class FlipAndCheckCorrector:
             )
         self.mac = mac
         self.max_errors = max_errors
-        self._syndromes = None  # lazily built, depends only on the key
-        self._syndrome_index = None
+        # lazily built, depend only on the key
+        self._syndromes: list[int] | None = None
+        self._syndrome_index: dict[int, list[int]] | None = None
 
     # -- the literal paper algorithm ------------------------------------------
 
@@ -123,7 +124,7 @@ class FlipAndCheckCorrector:
     def _ensure_syndromes(self) -> None:
         if self._syndromes is None:
             self._syndromes = self.mac.single_bit_syndromes(BLOCK_BYTES)
-            index = {}
+            index: dict[int, list[int]] = {}
             for position, syndrome in enumerate(self._syndromes):
                 index.setdefault(syndrome, []).append(position)
             self._syndrome_index = index
@@ -134,6 +135,8 @@ class FlipAndCheckCorrector:
         """Syndrome-decode using MAC linearity; confirm with real checks."""
         self._validate(ciphertext)
         self._ensure_syndromes()
+        assert self._syndromes is not None
+        assert self._syndrome_index is not None
         delta = self.mac.tag(ciphertext, address, counter) ^ stored_mac
         checks = 0
 

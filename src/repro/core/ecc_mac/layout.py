@@ -24,11 +24,15 @@ from repro.crypto.mac import CarterWegmanMac, MAC_BITS, MAC_MASK
 from repro.ecc.hamming import HammingResult, HammingSecDed
 from repro.ecc.parity import parity_of_bytes
 
-ECC_FIELD_BITS = 64
-ECC_FIELD_BYTES = 8
-_MAC_CHECK_BITS = 7
-_MAC_CHECK_SHIFT = MAC_BITS  # bits 56..62
-_CT_PARITY_SHIFT = 63
+# The field geometry is the RL001 contract table's ECC_FIELD_LAYOUT: one
+# source of truth shared by this codec and the checker that guards it.
+from repro.lint.contracts import (
+    CT_PARITY_SHIFT as _CT_PARITY_SHIFT,
+    ECC_FIELD_BITS,
+    ECC_FIELD_BYTES,
+    HAMMING_BITS as _MAC_CHECK_BITS,
+    MAC_CHECK_SHIFT as _MAC_CHECK_SHIFT,
+)
 
 
 @dataclass(frozen=True)

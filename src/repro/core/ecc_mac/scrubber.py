@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Collection, Iterable
 
-from repro.core.ecc_mac.layout import MacEccCodec
+from repro.core.ecc_mac.layout import EccField, MacEccCodec
 from repro.ecc.hamming import DecodeStatus
 from repro.ecc.parity import parity_of_bytes
 from repro.obs.metrics import MetricRegistry, get_registry
@@ -56,7 +56,7 @@ class Scrubber:
 
     def __init__(
         self, codec: MacEccCodec, registry: MetricRegistry | None = None
-    ):
+    ) -> None:
         registry = registry if registry is not None else get_registry()
         self._codec = codec
         # Registry copies of the per-sweep ScrubReport tallies: the
@@ -69,7 +69,9 @@ class Scrubber:
         self._probe_sweep = ProbePoint("scrub.sweep", registry=registry)
 
     def scrub(
-        self, blocks: Iterable, skip: Collection[int] = ()
+        self,
+        blocks: Iterable[tuple[int, bytes, EccField]],
+        skip: Collection[int] = (),
     ) -> ScrubReport:
         """Quick-scan blocks; flags parity mismatches only (no MAC work).
 

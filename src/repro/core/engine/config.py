@@ -19,12 +19,13 @@ every encrypted configuration equally.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.core.counters import make_scheme
+from repro.core.counters.base import CounterScheme
 from repro.core.engine.layout import MetadataLayout
+from repro.lint.contracts import BLOCK_BYTES
 from repro.memsim.cache.cache import CacheConfig
-
-BLOCK_BYTES = 64
 
 
 @dataclass(frozen=True)
@@ -32,7 +33,7 @@ class EngineConfig:
     """Everything needed to build a functional or timing engine."""
 
     counter_scheme: str = "monolithic"
-    scheme_kwargs: dict = field(default_factory=dict)
+    scheme_kwargs: dict[str, Any] = field(default_factory=dict)
     mac_in_ecc: bool = False
     protected_bytes: int = 512 * 1024 * 1024
     blocks_per_group: int = 64
@@ -59,7 +60,7 @@ class EngineConfig:
     #: path.  Disable to model a strict verify-before-use engine.
     speculative_verification: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.protected_bytes <= 0 or self.protected_bytes % BLOCK_BYTES:
             raise ValueError("protected_bytes must be a multiple of 64")
         if self.keystream_mode not in ("aes", "fast"):
@@ -86,7 +87,7 @@ class EngineConfig:
             return self.decode_cycles
         return 0
 
-    def build_scheme(self):
+    def build_scheme(self) -> CounterScheme:
         """Instantiate the configured counter scheme."""
         kwargs = dict(self.scheme_kwargs)
         if self.counter_scheme != "monolithic":
@@ -103,12 +104,14 @@ class EngineConfig:
             onchip_tree_bytes=self.onchip_tree_bytes,
         )
 
-    def with_overrides(self, **kwargs) -> "EngineConfig":
+    def with_overrides(self, **kwargs: Any) -> EngineConfig:
         """Copy with fields replaced (sweep/ablation helper)."""
         return replace(self, **kwargs)
 
 
-def _preset(counter_scheme: str, mac_in_ecc: bool, **kwargs) -> EngineConfig:
+def _preset(
+    counter_scheme: str, mac_in_ecc: bool, **kwargs: Any
+) -> EngineConfig:
     return EngineConfig(
         counter_scheme=counter_scheme, mac_in_ecc=mac_in_ecc, **kwargs
     )
@@ -124,7 +127,7 @@ PRESETS = {
 }
 
 
-def preset(name: str, **overrides) -> EngineConfig:
+def preset(name: str, **overrides: Any) -> EngineConfig:
     """Fetch a named preset, optionally overriding fields."""
     try:
         config = PRESETS[name]

@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.engine.tree import NODE_BYTES, TreeGeometry
+from repro.lint.contracts import BLOCK_BYTES, ECC_FIELD_BYTES as _MAC_BYTES
 
-BLOCK_BYTES = 64
-_MAC_BYTES = 8  # 56-bit MAC padded to a byte-addressable 8-byte slot
+# _MAC_BYTES: 56-bit MAC padded to a byte-addressable 8-byte slot
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,7 @@ class MetadataLayout:
     arity: int = 8
     onchip_tree_bytes: int = 3072
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.protected_bytes <= 0 or self.protected_bytes % BLOCK_BYTES:
             raise ValueError(
                 "protected_bytes must be a positive multiple of 64"
@@ -136,7 +136,7 @@ class MetadataLayout:
             base += sizes[lower] * NODE_BYTES
         return base + index * NODE_BYTES
 
-    def tree_path_addresses(self, data_address: int) -> list:
+    def tree_path_addresses(self, data_address: int) -> list[int]:
         """DRAM addresses of the tree nodes a counter verify walks,
         bottom-up, excluding the counter block itself and the on-chip
         top."""
@@ -144,7 +144,7 @@ class MetadataLayout:
         block = data_address // BLOCK_BYTES
         leaf = block // self.counters_per_block
         sizes = self.tree.level_sizes
-        out = []
+        out: list[int] = []
         index = leaf
         for level in range(1, len(sizes) - 1):
             index //= self.arity

@@ -24,10 +24,12 @@ The class keeps everything addressable by *byte address* of the block
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Iterator
 
 from repro.core.counters.events import CounterEvent
 from repro.core.ecc_mac.correction import (
     CorrectionMethod,
+    CorrectionResult,
     FlipAndCheckCorrector,
 )
 from repro.core.ecc_mac.detection import CheckOutcome, check_block
@@ -45,7 +47,9 @@ from repro.obs.metrics import (
 from repro.obs.probe import ProbePoint
 from repro.obs.trace import get_tracer
 
-BLOCK_BYTES = 64
+# One cache line per ciphertext block -- a layout contract, shared with
+# the RL001 checker via the contract table.
+from repro.lint.contracts import BLOCK_BYTES
 
 
 class IntegrityError(Exception):
@@ -74,8 +78,8 @@ class IntegrityError(Exception):
         message: str,
         *,
         outcome: CheckOutcome | None = None,
-        correction=None,
-    ):
+        correction: CorrectionResult | None = None,
+    ) -> None:
         super().__init__(message)
         self.kind = kind
         self.address = address
@@ -90,7 +94,7 @@ class ReadResult:
 
     data: bytes
     outcome: CheckOutcome
-    corrected_bits: tuple = ()  # data bits fixed by flip-and-check
+    corrected_bits: tuple[int, ...] = ()  # data bits fixed by flip-and-check
     correction_checks: int = 0
 
     @property
@@ -126,7 +130,7 @@ class SecureMemory:
         key: bytes,
         correction_method: CorrectionMethod = CorrectionMethod.ACCELERATED,
         registry: MetricRegistry | None = None,
-    ):
+    ) -> None:
         if len(key) < 48:
             raise ValueError(
                 "key material must be at least 48 bytes "
@@ -147,7 +151,7 @@ class SecureMemory:
         self._correction_method = correction_method
         tree_key = int.from_bytes(key[40:48], "little")
         #: counter storage as the attacker sees it: group -> serialized bytes
-        self.counter_storage: dict = {}
+        self.counter_storage: dict[int, bytes] = {}
         self._initial_metadata = self.scheme.group_metadata(0)
         self.tree = BonsaiMerkleTree(
             num_leaves=self.scheme.num_groups,
@@ -157,11 +161,11 @@ class SecureMemory:
             initial_leaf=self._pad_leaf(self._initial_metadata),
         )
         #: off-chip data: block index -> ciphertext bytes
-        self.ciphertexts: dict = {}
+        self.ciphertexts: dict[int, bytes] = {}
         #: off-chip MAC state: block index -> EccField (mac_in_ecc) or
         #: block index -> int tag (separate-MAC baseline)
-        self.ecc_fields: dict = {}
-        self.mac_store: dict = {}
+        self.ecc_fields: dict[int, EccField] = {}
+        self.mac_store: dict[int, int] = {}
         # Observability: all counters live in the (run- or process-wide)
         # metrics registry; lookups are resolved once, here, so the
         # read/write hot paths touch only pre-bound objects.
@@ -178,7 +182,13 @@ class SecureMemory:
         #: returns the (possibly perturbed) pair the controller *receives*
         #: -- storage itself is untouched, so a re-read goes through the
         #: hook again (transient faults clear, stuck-at faults re-assert).
-        self.read_perturb = None
+        self.read_perturb: (
+            Callable[
+                [int, bytes, EccField | None],
+                tuple[bytes, EccField | None],
+            ]
+            | None
+        ) = None
 
     # -- helpers -------------------------------------------------------------
 
@@ -275,7 +285,7 @@ class SecureMemory:
             self._commit_metadata(self.scheme.group_of(block))
 
     @staticmethod
-    def _trace_reencrypt(name: str, address: int, **args) -> None:
+    def _trace_reencrypt(name: str, address: int, **args: Any) -> None:
         tracer = get_tracer()
         if tracer.enabled:
             tracer.instant(name, cat="engine", address=address, **args)
@@ -363,8 +373,8 @@ class SecureMemory:
         every block is integrity-verified before re-encryption, as on
         the group path.
         """
-        old_epoch = self.scheme.epoch - 1
-        decoded_cache = {}
+        old_epoch = getattr(self.scheme, "epoch", 1) - 1
+        decoded_cache: dict[int, list[int]] = {}
         for blk in sorted(self.ciphertexts):
             if blk == skip_block:
                 continue
@@ -445,7 +455,7 @@ class SecureMemory:
         address: int,
         ciphertext: bytes,
         nonce: int,
-        ecc: EccField,
+        ecc: EccField | None,
         correct: bool = True,
     ) -> ReadResult:
         self._m_mac_checks.inc()
@@ -508,7 +518,7 @@ class SecureMemory:
 
     # -- fault injection / attacker operations -------------------------------------
 
-    def flip_data_bits(self, address: int, positions) -> None:
+    def flip_data_bits(self, address: int, positions: Iterable[int]) -> None:
         """Inject DRAM faults: flip ciphertext bits (0..511)."""
         block = self._block_index(address)
         data = bytearray(self._stored_ciphertext(block))
@@ -518,7 +528,7 @@ class SecureMemory:
             data[position >> 3] ^= 1 << (position & 7)
         self.ciphertexts[block] = bytes(data)
 
-    def flip_ecc_bits(self, address: int, positions) -> None:
+    def flip_ecc_bits(self, address: int, positions: Iterable[int]) -> None:
         """Inject faults into the stored 64 ECC bits (MAC-in-ECC only)."""
         if not self.config.mac_in_ecc:
             raise ValueError("configuration stores no ECC field")
@@ -529,7 +539,7 @@ class SecureMemory:
             ecc = ecc.flip_bit(position)
         self.ecc_fields[block] = ecc
 
-    def snapshot_block(self, address: int) -> dict:
+    def snapshot_block(self, address: int) -> dict[str, Any]:
         """Attacker records everything off-chip about a block (for replay)."""
         block = self._block_index(address)
         group = self.scheme.group_of(block)
@@ -540,7 +550,7 @@ class SecureMemory:
             "metadata": self._stored_metadata(group),
         }
 
-    def rollback_block(self, address: int, snapshot: dict) -> None:
+    def rollback_block(self, address: int, snapshot: dict[str, Any]) -> None:
         """Attacker restores data + MAC + counter storage to an old,
         mutually consistent state.  The tree (whose top lives on-chip)
         cannot be rolled back, so the next read must detect this."""
@@ -563,7 +573,7 @@ class SecureMemory:
             raise KeyError(f"no off-chip node at level {level}, index {index}")
         self.tree.offchip[(level, index)] = data
 
-    def scrub_iter(self):
+    def scrub_iter(self) -> Iterator[tuple[int, bytes, EccField]]:
         """Yield (address, ciphertext, EccField) for the scrubber."""
         if not self.config.mac_in_ecc:
             raise ValueError("scrubbing needs the MAC-in-ECC layout")

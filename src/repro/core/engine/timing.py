@@ -37,6 +37,7 @@ events (resets, re-encodes, re-encryptions) are recorded; re-encryption
 from __future__ import annotations
 
 from repro.core.engine.config import EngineConfig
+from repro.lint.contracts import BLOCK_BYTES
 from repro.memsim.cache.cache import AccessType, Cache
 from repro.memsim.dram.system import DramSystem
 from repro.obs.metrics import (
@@ -48,7 +49,6 @@ from repro.obs.metrics import (
 from repro.obs.probe import ProbePoint
 from repro.obs.trace import EventTracer, get_tracer
 
-BLOCK_BYTES = 64
 _META_CACHE_HIT_CYCLES = 3
 
 
@@ -94,7 +94,7 @@ class EncryptionTimingBackend:
         dram: DramSystem | None = None,
         registry: MetricRegistry | None = None,
         tracer: EventTracer | None = None,
-    ):
+    ) -> None:
         registry = registry if registry is not None else get_registry()
         self.registry = registry
         self.config = config

@@ -30,6 +30,7 @@ harness can corrupt arbitrary nodes and verify detection.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.crypto.prf import splitmix64
 
@@ -62,12 +63,12 @@ class TreeGeometry:
     num_leaves: int
     arity: int
     onchip_bytes: int
-    level_sizes: tuple
+    level_sizes: tuple[int, ...]
 
     @classmethod
     def for_leaves(
         cls, num_leaves: int, arity: int = 8, onchip_bytes: int = 3072
-    ) -> "TreeGeometry":
+    ) -> TreeGeometry:
         if num_leaves <= 0:
             raise ValueError("num_leaves must be positive")
         if arity < 2:
@@ -108,16 +109,17 @@ class BonsaiMerkleTree:
         arity: int = 8,
         onchip_bytes: int = 3072,
         initial_leaf: bytes = b"\x00" * NODE_BYTES,
-    ):
+    ) -> None:
         self.geometry = TreeGeometry.for_leaves(num_leaves, arity, onchip_bytes)
         self._key = key
         self._arity = arity
         #: off-chip node storage: (level, index) -> 64-byte node.  Level 1
         #: is the first interior level (level 0 is the leaves, which the
         #: engine stores itself).  Tests may corrupt entries directly.
-        self.offchip: dict = {}
-        #: trusted on-chip top level: index -> 64-bit hash.
-        self.onchip: dict = {}
+        self.offchip: dict[tuple[int, int], bytes] = {}
+        #: trusted on-chip top level: index -> 64-byte node (or a bare
+        #: 64-bit leaf hash in the degenerate all-on-chip case).
+        self.onchip: dict[int, Any] = {}
         self._build(initial_leaf)
 
     # -- construction -------------------------------------------------------
@@ -140,7 +142,7 @@ class BonsaiMerkleTree:
             self.onchip = dict(enumerate(hashes))
             return
         for level in range(1, len(sizes)):
-            next_hashes = []
+            next_hashes: list[int] = []
             for j in range(sizes[level]):
                 node = self._pack_node(hashes, j)
                 if level == self._top_level:
@@ -150,7 +152,7 @@ class BonsaiMerkleTree:
                     next_hashes.append(node_hash(self._key, node, level, j))
             hashes = next_hashes
 
-    def _pack_node(self, child_hashes: list, index: int) -> bytes:
+    def _pack_node(self, child_hashes: list[int], index: int) -> bytes:
         chunk = child_hashes[index * self._arity : (index + 1) * self._arity]
         data = bytearray()
         for value in chunk:
@@ -236,9 +238,9 @@ class BonsaiMerkleTree:
         if not leaf or len(leaf) % 8:
             raise ValueError("leaves must be a positive multiple of 8 bytes")
 
-    def path_nodes(self, index: int) -> list:
+    def path_nodes(self, index: int) -> list[tuple[int, int]]:
         """(level, node_index) pairs a verify of this leaf touches."""
-        out = []
+        out: list[tuple[int, int]] = []
         child_index = index
         for level in range(1, self._top_level + 1):
             child_index //= self._arity

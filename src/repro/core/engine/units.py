@@ -26,8 +26,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.counters.delta import DeltaCounters
+from repro.lint.contracts import (
+    DELTA_BITS,
+    GROUP_BLOCKS,
+    METADATA_BLOCK_BITS,
+    REFERENCE_BITS,
+)
 from repro.util.bits import BitReader, BitWriter
 
 
@@ -35,16 +42,16 @@ from repro.util.bits import BitReader, BitWriter
 class DeltaBlockFormat:
     """Field geometry of one delta-encoded counter metadata block."""
 
-    reference_bits: int = 56
-    delta_bits: int = 7
-    slots: int = 64
+    reference_bits: int = REFERENCE_BITS
+    delta_bits: int = DELTA_BITS
+    slots: int = GROUP_BLOCKS
 
     @property
     def total_bits(self) -> int:
         return self.reference_bits + self.delta_bits * self.slots
 
-    def __post_init__(self):
-        if self.total_bits > 512:
+    def __post_init__(self) -> None:
+        if self.total_bits > METADATA_BLOCK_BITS:
             raise ValueError(
                 f"{self.total_bits} bits exceed one 64-byte metadata block"
             )
@@ -58,7 +65,7 @@ class DecodeUnit:
     """
 
     def __init__(self, fmt: DeltaBlockFormat | None = None,
-                 latency_cycles: int = 2):
+                 latency_cycles: int = 2) -> None:
         self.fmt = fmt or DeltaBlockFormat()
         self.latency_cycles = latency_cycles
 
@@ -73,7 +80,7 @@ class DecodeUnit:
         delta = (word >> offset) & ((1 << fmt.delta_bits) - 1)
         return reference + delta
 
-    def decode_all(self, metadata_block: bytes) -> list:
+    def decode_all(self, metadata_block: bytes) -> list[int]:
         """All counters of the block (verification/scrub path)."""
         return [
             self.decode(metadata_block, slot)
@@ -99,10 +106,10 @@ class IncrementResetUnit:
     re-encoding/re-encryption engine, matching the hardware split.
     """
 
-    def __init__(self, fmt: DeltaBlockFormat | None = None):
+    def __init__(self, fmt: DeltaBlockFormat | None = None) -> None:
         self.fmt = fmt or DeltaBlockFormat()
 
-    def _unpack(self, metadata_block: bytes):
+    def _unpack(self, metadata_block: bytes) -> tuple[int, list[int]]:
         reader = BitReader(metadata_block)
         reference = reader.read(self.fmt.reference_bits)
         deltas = [
@@ -110,7 +117,7 @@ class IncrementResetUnit:
         ]
         return reference, deltas
 
-    def _pack(self, reference: int, deltas: list) -> bytes:
+    def _pack(self, reference: int, deltas: list[int]) -> bytes:
         writer = BitWriter()
         writer.write(reference, self.fmt.reference_bits)
         for delta in deltas:
@@ -178,12 +185,12 @@ class ReencryptionEngine:
     """
 
     def __init__(self, fmt: DeltaBlockFormat | None = None,
-                 buffer_capacity: int = 16):
+                 buffer_capacity: int = 16) -> None:
         if buffer_capacity <= 0:
             raise ValueError("buffer_capacity must be positive")
         self.fmt = fmt or DeltaBlockFormat()
         self._unit = IncrementResetUnit(self.fmt)
-        self._buffer = deque()
+        self._buffer: deque[OverflowRequest] = deque()
         self.buffer_capacity = buffer_capacity
         self.stats_reencodes = 0
         self.stats_reencryptions = 0
@@ -234,15 +241,19 @@ class ReencryptionEngine:
             group_counter=group_counter,
         )
 
-    def drain(self) -> list:
+    def drain(self) -> list[OverflowResolution]:
         """Process everything pending."""
-        out = []
+        out: list[OverflowResolution] = []
         while self._buffer:
-            out.append(self.process_one())
+            resolution = self.process_one()
+            assert resolution is not None  # buffer was non-empty
+            out.append(resolution)
         return out
 
 
-def crosscheck_against_scheme(writes, fmt: DeltaBlockFormat | None = None):
+def crosscheck_against_scheme(
+    writes: Iterable[int], fmt: DeltaBlockFormat | None = None
+) -> tuple[list[int], list[int]]:
     """Drive the three units with a write sequence and cross-check the
     final counters against :class:`DeltaCounters` (the simulation-speed
     implementation).  Returns (unit_counters, scheme_counters).
@@ -278,6 +289,7 @@ def crosscheck_against_scheme(writes, fmt: DeltaBlockFormat | None = None):
                 )
             )
             resolution = engine.process_one()
+            assert resolution is not None  # just enqueued
             block = resolution.metadata_block
             if not resolution.reencrypted:
                 # Re-encode freed headroom: retry the pending increment.

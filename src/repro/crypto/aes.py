@@ -19,7 +19,7 @@ KEY_SIZE = 16
 ROUNDS = 10
 
 
-def _build_sbox() -> tuple:
+def _build_sbox() -> tuple[tuple[int, ...], tuple[int, ...]]:
     """Construct the AES S-box from first principles (GF(2^8) inversion
     followed by the affine map), rather than embedding a magic table."""
     # Multiplicative inverse table in GF(2^8) mod x^8+x^4+x^3+x+1 (0x11B).
@@ -91,13 +91,13 @@ class AES128:
     True
     """
 
-    def __init__(self, key: bytes):
+    def __init__(self, key: bytes) -> None:
         if len(key) != KEY_SIZE:
             raise ValueError(f"AES-128 key must be {KEY_SIZE} bytes")
         self._round_keys = self._expand_key(key)
 
     @staticmethod
-    def _expand_key(key: bytes) -> list:
+    def _expand_key(key: bytes) -> list[bytes]:
         """FIPS-197 key expansion: 44 32-bit words as 11 round-key blocks."""
         words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
         rcon = 1
@@ -121,17 +121,17 @@ class AES128:
     #    order, matching the FIPS-197 byte-to-state mapping. ---------------
 
     @staticmethod
-    def _add_round_key(state: list, round_key: bytes) -> None:
+    def _add_round_key(state: list[int], round_key: bytes) -> None:
         for i in range(16):
             state[i] ^= round_key[i]
 
     @staticmethod
-    def _sub_bytes(state: list, box: tuple) -> None:
+    def _sub_bytes(state: list[int], box: tuple[int, ...]) -> None:
         for i in range(16):
             state[i] = box[state[i]]
 
     @staticmethod
-    def _shift_rows(state: list) -> None:
+    def _shift_rows(state: list[int]) -> None:
         # Row r (bytes r, r+4, r+8, r+12) rotates left by r.
         for r in range(1, 4):
             row = [state[r + 4 * c] for c in range(4)]
@@ -140,7 +140,7 @@ class AES128:
                 state[r + 4 * c] = row[c]
 
     @staticmethod
-    def _inv_shift_rows(state: list) -> None:
+    def _inv_shift_rows(state: list[int]) -> None:
         for r in range(1, 4):
             row = [state[r + 4 * c] for c in range(4)]
             row = row[-r:] + row[:-r]
@@ -148,7 +148,7 @@ class AES128:
                 state[r + 4 * c] = row[c]
 
     @staticmethod
-    def _mix_columns(state: list) -> None:
+    def _mix_columns(state: list[int]) -> None:
         for c in range(4):
             col = state[4 * c : 4 * c + 4]
             state[4 * c + 0] = _gmul(col[0], 2) ^ _gmul(col[1], 3) ^ col[2] ^ col[3]
@@ -157,7 +157,7 @@ class AES128:
             state[4 * c + 3] = _gmul(col[0], 3) ^ col[1] ^ col[2] ^ _gmul(col[3], 2)
 
     @staticmethod
-    def _inv_mix_columns(state: list) -> None:
+    def _inv_mix_columns(state: list[int]) -> None:
         for c in range(4):
             col = state[4 * c : 4 * c + 4]
             state[4 * c + 0] = (

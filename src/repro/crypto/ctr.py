@@ -31,15 +31,15 @@ class KeystreamGenerator:
         simulation-speed PRF (see :mod:`repro.crypto.prf`).
     """
 
-    def __init__(self, key: bytes, mode: str = "aes"):
+    def __init__(self, key: bytes, mode: str = "aes") -> None:
         if mode not in ("aes", "fast"):
             raise ValueError(f"unknown keystream mode {mode!r}")
         self.mode = mode
+        self._aes: AES128 | None = None
+        self._fast: XorShiftKeystream | None = None
         if mode == "aes":
             self._aes = AES128(key)
-            self._fast = None
         else:
-            self._aes = None
             self._fast = XorShiftKeystream(key)
 
     def keystream(self, counter: int, address: int, length: int = MEMORY_BLOCK_SIZE) -> bytes:
@@ -51,9 +51,10 @@ class KeystreamGenerator:
         """
         if counter < 0 or address < 0:
             raise ValueError("counter and address must be non-negative")
-        if self.mode == "fast":
+        if self._fast is not None:
             seed = ((counter & ((1 << 64) - 1)) << 64) | (address & ((1 << 64) - 1))
             return self._fast.keystream(seed, length)
+        assert self._aes is not None
         out = bytearray()
         segment = 0
         while len(out) < length:
@@ -73,7 +74,7 @@ class KeystreamGenerator:
 class CtrModeCipher:
     """Counter-mode encryption of whole 64-byte memory blocks."""
 
-    def __init__(self, key: bytes, mode: str = "aes"):
+    def __init__(self, key: bytes, mode: str = "aes") -> None:
         self._generator = KeystreamGenerator(key, mode=mode)
 
     @property

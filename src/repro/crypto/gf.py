@@ -121,7 +121,7 @@ class BinaryField:
             raise ZeroDivisionError("0 has no inverse in a field")
         return self.pow(a, self.order - 2)
 
-    def horner_hash(self, words: list, key: int) -> int:
+    def horner_hash(self, words: list[int], key: int) -> int:
         """Evaluate the polynomial hash sum(words[i] * key^(n-i)) by Horner.
 
         This is the universal-hash core of the Carter-Wegman MAC.  The hash

@@ -27,8 +27,10 @@ from repro.crypto.aes import AES128
 from repro.crypto.gf import GF64
 from repro.crypto.prf import SplitMix64
 
-MAC_BITS = 56
-MAC_MASK = (1 << MAC_BITS) - 1
+# Tag width is a layout contract (Figure 2): re-exported here because the
+# MAC is where every other module historically imported it from.
+from repro.lint.contracts import MAC_BITS, MAC_MASK
+
 _WORD_BYTES = 8
 _MASK64 = (1 << 64) - 1
 
@@ -47,7 +49,7 @@ class CarterWegmanMac:
         structural properties (linearity, nonce binding) are identical.
     """
 
-    def __init__(self, key: bytes, mode: str = "aes"):
+    def __init__(self, key: bytes, mode: str = "aes") -> None:
         if len(key) < 24:
             raise ValueError("CarterWegmanMac key must be at least 24 bytes")
         if mode not in ("aes", "fast"):
@@ -58,17 +60,17 @@ class CarterWegmanMac:
         # polynomial to a plain XOR; remap both to a fixed full-weight
         # element (probability 2^-63 for random keys, but be safe).
         self._h = h if h > 1 else 0xD6E8FEB86659FD93
+        self._mask_cipher: AES128 | None = None
+        self._mask_prf: SplitMix64 | None = None
         if mode == "aes":
             self._mask_cipher = AES128(key[8:24])
-            self._mask_prf = None
         else:
-            self._mask_cipher = None
             self._mask_prf = SplitMix64(key[8:24])
 
     # -- universal hash (linear part) -------------------------------------
 
     @staticmethod
-    def _words(message: bytes) -> list:
+    def _words(message: bytes) -> list[int]:
         if len(message) % _WORD_BYTES:
             raise ValueError("message length must be a multiple of 8 bytes")
         return [
@@ -86,11 +88,12 @@ class CarterWegmanMac:
     def _mask_value(self, address: int, counter: int) -> int:
         if address < 0 or counter < 0:
             raise ValueError("address and counter must be non-negative")
-        if self.mode == "aes":
+        if self._mask_cipher is not None:
             block = (address & _MASK64).to_bytes(8, "little") + (
                 (counter & ((1 << 63) - 1)) | (1 << 63)
             ).to_bytes(8, "little")
             return int.from_bytes(self._mask_cipher.encrypt_block(block)[:8], "little")
+        assert self._mask_prf is not None
         mixed = self._mask_prf.value(address & _MASK64)
         return self._mask_prf.value(mixed ^ (counter & _MASK64) ^ 0xA5A5A5A5A5A5A5A5)
 
@@ -112,7 +115,7 @@ class CarterWegmanMac:
         """Truncated hash of an error pattern: tag(m ^ e) == tag(m) ^ this."""
         return self.hash_part(error) & MAC_MASK
 
-    def single_bit_syndromes(self, message_bytes: int) -> list:
+    def single_bit_syndromes(self, message_bytes: int) -> list[int]:
         """Truncated hash deltas for every single-bit error in a
         ``message_bytes``-byte message.
 
@@ -126,7 +129,7 @@ class CarterWegmanMac:
         # Word at index i (0-based from the front) is multiplied by
         # h^(n_words - i) under Horner evaluation.
         word_factors = [GF64.pow(self._h, n_words - i) for i in range(n_words)]
-        syndromes = []
+        syndromes: list[int] = []
         for word_index in range(n_words):
             factor = word_factors[word_index]
             for bit in range(64):

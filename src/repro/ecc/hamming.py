@@ -67,7 +67,7 @@ class HammingSecDed:
     ``2**r >= data_bits + r + 1``; e.g. 7 for 56 data bits and 8 for 64.
     """
 
-    def __init__(self, data_bits: int):
+    def __init__(self, data_bits: int) -> None:
         if data_bits <= 0:
             raise ValueError("data_bits must be positive")
         self.data_bits = data_bits
@@ -80,7 +80,7 @@ class HammingSecDed:
         # Position n is the largest used Hamming position.
         self._n = data_bits + r
         # Data occupies the non-power-of-two positions 3, 5, 6, 7, 9, ...
-        self._data_positions = []
+        self._data_positions: list[int] = []
         position = 1
         while len(self._data_positions) < data_bits:
             if position & (position - 1):  # not a power of two
@@ -107,7 +107,7 @@ class HammingSecDed:
             word |= 1
         return word
 
-    def _disassemble(self, word: int) -> tuple:
+    def _disassemble(self, word: int) -> tuple[int, int]:
         data = 0
         for i, position in enumerate(self._data_positions):
             if (word >> position) & 1:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ecc.hamming import DecodeStatus, HammingSecDed
+from repro.ecc.hamming import DecodeStatus, HammingResult, HammingSecDed
 
 WORD_BYTES = 8
 WORDS_PER_BLOCK = 8
@@ -21,7 +21,7 @@ BLOCK_BYTES = WORD_BYTES * WORDS_PER_BLOCK
 class Secded7264:
     """The standard DIMM code: 64 data bits + 8 check bits per word."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._codec = HammingSecDed(64)
         assert self._codec.check_bits == 8
 
@@ -31,7 +31,7 @@ class Secded7264:
             raise ValueError(f"word must be {WORD_BYTES} bytes")
         return self._codec.encode(int.from_bytes(word, "little"))
 
-    def decode_word(self, word: bytes, check: int):
+    def decode_word(self, word: bytes, check: int) -> tuple[bytes, HammingResult]:
         """Decode one word; returns (corrected_word_bytes, HammingResult)."""
         if len(word) != WORD_BYTES:
             raise ValueError(f"word must be {WORD_BYTES} bytes")
@@ -50,7 +50,7 @@ class BlockDecodeResult:
     """
 
     data: bytes
-    statuses: tuple
+    statuses: tuple[DecodeStatus, ...]
     corrected_bits: int
 
     @property
@@ -70,7 +70,7 @@ class BlockSecDed:
     paper's scheme repurposes as MAC + parity.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._word_codec = Secded7264()
 
     def encode_block(self, data: bytes) -> bytes:
@@ -90,7 +90,7 @@ class BlockSecDed:
         if len(checks) != WORDS_PER_BLOCK:
             raise ValueError(f"checks must be {WORDS_PER_BLOCK} bytes")
         out = bytearray()
-        statuses = []
+        statuses: list[DecodeStatus] = []
         corrected = 0
         for i in range(WORDS_PER_BLOCK):
             word = data[i * WORD_BYTES : (i + 1) * WORD_BYTES]

@@ -1,0 +1,56 @@
+"""``repro.lint``: domain-aware static analysis for the reproduction.
+
+The paper fixes its invariants in hardware -- 56-bit MACs plus 7 Hamming
+bits plus 1 parity bit in the 64-bit ECC lane, 16x6-bit delta groups
+with 72 reserved widening bits, 64-byte blocks in 4 KB groups.  In
+Python those invariants are masks, shifts and dotted metric names that
+only fail at runtime, if a test happens to hit them.  This package makes
+them fail at lint time instead:
+
+========  ==================================================================
+code      checker
+========  ==================================================================
+RL001     bit-width contracts: literals in ``core/``/``ecc/``/``crypto/``
+          cross-checked against :mod:`repro.lint.contracts`
+RL002     determinism: no wallclock, unseeded RNGs or unordered-set
+          iteration in simulation paths
+RL003     metric catalog: dotted metric names resolve against
+          :mod:`repro.obs.catalog`
+RL004     simulation hygiene: mutable defaults, bare except, stat-struct
+          writes that bypass the RegistryView shims
+========  ==================================================================
+
+Run it as ``repro lint [PATHS] [--format json] [--baseline FILE]``, or
+programmatically via :func:`repro.lint.framework.run_lint`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.checkers import CHECKER_CLASSES, default_checkers
+from repro.lint.diagnostics import Diagnostic, Severity, Suppressions
+from repro.lint.framework import (
+    Checker,
+    LintResult,
+    SourceUnit,
+    lint_text,
+    run_lint,
+)
+from repro.lint.reporters import REPORT_SCHEMA, render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "CHECKER_CLASSES",
+    "Checker",
+    "Diagnostic",
+    "LintResult",
+    "REPORT_SCHEMA",
+    "Severity",
+    "SourceUnit",
+    "Suppressions",
+    "default_checkers",
+    "lint_text",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,90 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is the escape hatch for adopting a new checker on an old
+tree: record today's findings once, fail only on *new* ones, burn the
+recorded ones down over time.  Entries match on ``(path, code,
+message)`` -- never the line number, which drifts with every unrelated
+edit above the finding.
+
+Policy note (ISSUE 3): the shipped tree carries **no** baseline entries
+under ``src/repro/core``, ``src/repro/ecc`` or ``src/repro/crypto`` --
+the contracted packages stay clean at head, enforced by
+``tests/lint/test_tree_clean.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.lint.diagnostics import Diagnostic
+
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+
+class Baseline:
+    """A set of grandfathered findings."""
+
+    def __init__(self, entries: list[dict[str, str]] | None = None):
+        self.entries: list[dict[str, str]] = list(entries or [])
+        self._keys = {
+            (e["path"], e["code"], e["message"]) for e in self.entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, diagnostic: Diagnostic) -> bool:
+        return diagnostic.baseline_key in self._keys
+
+    def split(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """Partition into (new, grandfathered)."""
+        fresh = [d for d in diagnostics if d not in self]
+        known = [d for d in diagnostics if d in self]
+        return fresh, known
+
+    def unmatched(self, diagnostics: list[Diagnostic]) -> list[dict[str, str]]:
+        """Baseline entries no current finding matches (fixed or stale)."""
+        seen = {d.baseline_key for d in diagnostics}
+        return [
+            e
+            for e in self.entries
+            if (e["path"], e["code"], e["message"]) not in seen
+        ]
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> "Baseline":
+        entries = [
+            {"path": d.path, "code": d.code, "message": d.message}
+            for d in sorted(set(diagnostics))
+        ]
+        return cls(entries)
+
+    # -- persistence --------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        payload = json.loads(pathlib.Path(path).read_text())
+        if payload.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported baseline schema {payload.get('schema')!r} "
+                f"(expected {BASELINE_SCHEMA!r})"
+            )
+        return cls(payload["entries"])
+
+    def dump(self, path: str | pathlib.Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (e["path"], e["code"], e["message"]),
+            ),
+        }
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+__all__ = ["Baseline", "BASELINE_SCHEMA"]

@@ -1,0 +1,35 @@
+"""The domain checkers RL001-RL004."""
+
+from __future__ import annotations
+
+from repro.lint.checkers.rl001_bitwidth import BitWidthContracts
+from repro.lint.checkers.rl002_determinism import DeterminismChecker
+from repro.lint.checkers.rl003_metrics import MetricCatalogChecker
+from repro.lint.checkers.rl004_hygiene import HygieneChecker
+from repro.lint.framework import Checker
+
+CHECKER_CLASSES: tuple[type[Checker], ...] = (
+    BitWidthContracts,
+    DeterminismChecker,
+    MetricCatalogChecker,
+    HygieneChecker,
+)
+
+
+def default_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker.
+
+    Fresh per run: checkers may accumulate cross-file facts in their
+    collect pass, which must not leak between runs.
+    """
+    return [cls() for cls in CHECKER_CLASSES]
+
+
+__all__ = [
+    "BitWidthContracts",
+    "CHECKER_CLASSES",
+    "DeterminismChecker",
+    "HygieneChecker",
+    "MetricCatalogChecker",
+    "default_checkers",
+]

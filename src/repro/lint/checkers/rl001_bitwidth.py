@@ -1,0 +1,243 @@
+"""RL001: bit-width contracts.
+
+Cross-checks the literal bit-twiddling in ``core/``, ``ecc/`` and
+``crypto/`` against the declarative layout table in
+:mod:`repro.lint.contracts`.  Five rules, all purely syntactic over
+constant-foldable expressions:
+
+``constant drift``
+    A module- or class-level ``NAME = <int literal>`` whose normalized
+    name matches a contract constant must equal the contract's value
+    (copies may exist; they may not disagree).
+``identifier-bound masks``
+    ``tag & 0xFF`` where ``tag`` is contracted at 56 bits: an all-ones
+    mask AND-ed onto an identifier that names a contracted field must
+    have exactly the contracted width.
+``uncontracted masks``
+    Any literal all-ones mask ``(1 << k) - 1`` (or its hex spelling)
+    with ``k > 8`` must use a contracted or machine width.
+``uncontracted shifts``
+    A literal shift amount beyond 8 must be a contracted field offset
+    or a machine width.  (Algorithmic mixers that legitimately shift by
+    odd amounts carry documented inline suppressions.)
+``byte/modulus widths``
+    Literal ``to_bytes``/``from_bytes`` lengths and literal moduli /
+    floor-divisors >= 8 must be contracted sizes or powers of two.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint import contracts
+from repro.lint.framework import Checker, Reporter, SourceUnit
+
+_SMALL = 8  # widths/shifts up to a byte are generic bit-twiddling
+
+_FOLD_OPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitXor: lambda a, b: a ^ b,
+}
+
+
+def fold_int(node: ast.AST) -> int | None:
+    """Evaluate an int-literal expression tree, or None."""
+    if isinstance(node, ast.Constant):
+        return node.value if type(node.value) is int else None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = fold_int(node.operand)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.BinOp):
+        op = _FOLD_OPS.get(type(node.op))
+        if op is None:
+            return None
+        left = fold_int(node.left)
+        right = fold_int(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, (ast.LShift, ast.RShift)) and (
+            right < 0 or right > 4096
+        ):
+            return None
+        try:
+            return op(left, right)
+        except (OverflowError, ValueError):
+            return None
+    return None
+
+
+def _mask_width(value: int) -> int | None:
+    """k when ``value == (1 << k) - 1`` with k >= 1, else None."""
+    if value <= 0:
+        return None
+    if value & (value + 1):
+        return None
+    return value.bit_length()
+
+
+def _terminal_identifier(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _bound_width(identifier: str) -> int | None:
+    """Contracted width of an identifier, by exact or suffix match."""
+    lowered = identifier.lower().lstrip("_")
+    for key, width in contracts.IDENTIFIER_WIDTHS.items():
+        if lowered == key or lowered.endswith("_" + key):
+            return width
+    return None
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and not value & (value - 1)
+
+
+class BitWidthContracts(Checker):
+    code = "RL001"
+    name = "bit-width-contracts"
+    description = (
+        "literal masks, shifts, moduli and byte widths must match the "
+        "declared paper layout contracts"
+    )
+    scopes = ("core/", "ecc/", "crypto/")
+
+    def check(self, unit: SourceUnit, report: Reporter) -> None:
+        allowed_widths = (
+            contracts.CONTRACT_WIDTHS | contracts.GENERIC_WIDTHS
+        )
+        allowed_shifts = (
+            contracts.CONTRACT_SHIFTS | contracts.GENERIC_WIDTHS
+        )
+        for node in ast.walk(unit.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._check_constant_drift(node, report)
+            elif isinstance(node, ast.BinOp):
+                if isinstance(node.op, ast.BitAnd):
+                    self._check_mask(node, allowed_widths, report)
+                elif isinstance(node.op, (ast.LShift, ast.RShift)):
+                    self._check_shift(node, allowed_shifts, report)
+                elif isinstance(node.op, (ast.Mod, ast.FloorDiv)):
+                    self._check_modulus(node, report)
+            elif isinstance(node, ast.Call):
+                self._check_byte_widths(node, report)
+
+    # -- rules ---------------------------------------------------------------
+
+    def _check_constant_drift(
+        self, node: ast.Assign | ast.AnnAssign, report: Reporter
+    ) -> None:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        else:
+            targets = [node.target]
+            value = node.value
+        folded = fold_int(value) if value is not None else None
+        if folded is None:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            normalized = target.id.lstrip("_").upper()
+            expected = contracts.CONTRACT_CONSTANTS.get(normalized)
+            if expected is not None and folded != expected:
+                report(
+                    node,
+                    f"{target.id} = {folded} contradicts the layout "
+                    f"contract {normalized} = {expected}",
+                )
+
+    def _check_mask(
+        self,
+        node: ast.BinOp,
+        allowed_widths: frozenset[int],
+        report: Reporter,
+    ) -> None:
+        for operand, other in (
+            (node.right, node.left),
+            (node.left, node.right),
+        ):
+            value = fold_int(operand)
+            if value is None:
+                continue
+            width = _mask_width(value)
+            if width is None:
+                continue  # not an all-ones mask (0x80-style bit tests)
+            identifier = _terminal_identifier(other)
+            if identifier is not None:
+                bound = _bound_width(identifier)
+                if bound is not None and width != bound:
+                    report(
+                        node,
+                        f"mask of width {width} applied to "
+                        f"{identifier!r}, which the layout contract "
+                        f"fixes at {bound} bits",
+                    )
+                    return
+            if width > _SMALL and width not in allowed_widths:
+                report(
+                    node,
+                    f"all-ones mask of uncontracted width {width} "
+                    "(no layout field has this width)",
+                )
+            return  # only judge one literal operand per AND
+
+    def _check_shift(
+        self,
+        node: ast.BinOp,
+        allowed_shifts: frozenset[int],
+        report: Reporter,
+    ) -> None:
+        amount = fold_int(node.right)
+        if amount is None or amount <= _SMALL:
+            return
+        if amount not in allowed_shifts:
+            report(
+                node,
+                f"shift by uncontracted amount {amount} (no layout "
+                "field starts or ends here)",
+            )
+
+    def _check_modulus(self, node: ast.BinOp, report: Reporter) -> None:
+        value = fold_int(node.right)
+        if value is None or value < _SMALL:
+            return
+        if value in contracts.CONTRACT_MODULI or _is_power_of_two(value):
+            return
+        report(
+            node,
+            f"modulus/divisor {value} is not a contracted group or "
+            "word size",
+        )
+
+    def _check_byte_widths(self, node: ast.Call, report: Reporter) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr != "to_bytes" or not node.args:
+            return
+        length = fold_int(node.args[0])
+        if length is None:
+            return
+        if length in contracts.CONTRACT_BYTE_SIZES or (
+            length <= 4 or _is_power_of_two(length)
+        ):
+            return
+        report(
+            node,
+            f"packs {length} bytes ({length * 8} bits): not a "
+            "contracted field width",
+        )
+
+
+__all__ = ["BitWidthContracts", "fold_int"]

@@ -1,0 +1,212 @@
+"""RL002: determinism in simulation paths.
+
+A simulator whose exhibits must reproduce bit-for-bit cannot consult
+wallclock time, the process-global random state, or anything else that
+varies between two runs of the same seed.  This checker flags, in the
+simulation packages (``core/``, ``memsim/``, ``resilience/``,
+``workloads/``):
+
+* **wallclock reads** -- ``time.time``/``monotonic``/``perf_counter``
+  (and ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
+* **unseeded randomness** -- module-level ``random.<fn>()`` (the shared
+  global RNG), ``random.Random()`` with no seed argument,
+  ``numpy.random.<fn>()`` / ``default_rng()`` with no seed, and
+  ``os.urandom``;
+* **unordered iteration** -- ``for``/comprehension iteration directly
+  over a ``set`` display or ``set()``/``frozenset()`` call, whose order
+  is salted per process.
+
+The observability plane (``obs/``) legitimately reads wallclock -- its
+tracer and probes measure real elapsed time -- so it is exempt, as is
+the analysis/harness layer, which is allowed to talk to the host.  This
+is the bug class the PR 2 crc32-seed fix patched by hand; now it is a
+gate.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import Checker, Reporter, SourceUnit
+
+_WALLCLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "getrandbits", "randbytes", "betavariate",
+    "expovariate", "normalvariate", "vonmisesvariate", "triangular",
+}
+
+_NUMPY_RANDOM_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "uniform", "normal", "poisson", "seed",
+}
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...]:
+    """Attribute chain as a name tuple, e.g. ``np.random.rand`` ->
+    ("np", "random", "rand"); empty when not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return tuple(parts)
+    return ()
+
+
+class _ImportMap:
+    """Local alias -> canonical module path, per file."""
+
+    def __init__(self, tree: ast.Module):
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+    def resolve(self, chain: tuple[str, ...]) -> tuple[str, ...]:
+        """Canonicalize the leading alias of a dotted chain."""
+        if not chain:
+            return chain
+        head = chain[0]
+        if head in self.modules:
+            return tuple(self.modules[head].split(".")) + chain[1:]
+        if head in self.names:
+            module, original = self.names[head]
+            return tuple(module.split(".")) + (original,) + chain[1:]
+        return chain
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    if call.args:
+        return True
+    return any(kw.arg in ("seed", "x") or kw.arg is None for kw in call.keywords)
+
+
+class DeterminismChecker(Checker):
+    code = "RL002"
+    name = "determinism"
+    description = (
+        "simulation paths must not read wallclock, use unseeded RNGs, "
+        "or iterate unordered sets"
+    )
+    scopes = ("core/", "memsim/", "resilience/", "workloads/")
+    #: wallclock is the obs plane's whole job; analysis/harness may talk
+    #: to the host.
+    exempt_scopes = ("obs/",)
+
+    def check(self, unit: SourceUnit, report: Reporter) -> None:
+        imports = _ImportMap(unit.tree)
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node, imports, report)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._check_iteration(node.iter, report)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    self._check_iteration(generator.iter, report)
+
+    def _check_call(
+        self, node: ast.Call, imports: _ImportMap, report: Reporter
+    ) -> None:
+        chain = imports.resolve(_dotted(node.func))
+        if not chain:
+            return
+        tail = chain[-2:] if len(chain) >= 2 else (chain[0],)
+
+        if len(tail) == 2 and tuple(tail) in _WALLCLOCK:
+            report(
+                node,
+                f"wallclock read {'.'.join(chain)}() in a simulation "
+                "path; derive time from simulated cycles (obs/ is the "
+                "allowlisted home for real clocks)",
+            )
+            return
+
+        if chain[0] == "random" and len(chain) == 2:
+            if chain[1] in _GLOBAL_RANDOM_FNS or chain[1] == "seed":
+                report(
+                    node,
+                    f"process-global random.{chain[1]}() is unseeded "
+                    "shared state; use a seeded random.Random instance",
+                )
+                return
+            if chain[1] == "Random" and not _has_seed_argument(node):
+                report(
+                    node,
+                    "random.Random() without a seed draws from OS "
+                    "entropy; pass an explicit seed",
+                )
+                return
+
+        if "random" in chain[:-1] and chain[-1] in _NUMPY_RANDOM_FNS | {
+            "default_rng", "RandomState"
+        }:
+            if chain[-1] in ("default_rng", "RandomState"):
+                if not _has_seed_argument(node):
+                    report(
+                        node,
+                        f"{'.'.join(chain)}() without a seed is "
+                        "non-reproducible; pass an explicit seed",
+                    )
+            else:
+                report(
+                    node,
+                    f"module-level {'.'.join(chain)}() uses numpy's "
+                    "global RNG; use a seeded Generator",
+                )
+            return
+
+        if tuple(chain) == ("os", "urandom"):
+            report(
+                node,
+                "os.urandom in a simulation path; derive keys/values "
+                "from the run seed",
+            )
+
+    def _check_iteration(self, iterable: ast.AST, report: Reporter) -> None:
+        if isinstance(iterable, ast.Set):
+            report(
+                iterable,
+                "iteration over a set display: order is hash-salted "
+                "per process; sort it or use a list/dict",
+            )
+        elif isinstance(iterable, ast.Call) and isinstance(
+            iterable.func, ast.Name
+        ):
+            if iterable.func.id in ("set", "frozenset"):
+                report(
+                    iterable,
+                    f"iteration over {iterable.func.id}(): order is "
+                    "hash-salted per process; wrap in sorted()",
+                )
+
+
+__all__ = ["DeterminismChecker"]

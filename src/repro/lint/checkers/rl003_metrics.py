@@ -1,0 +1,126 @@
+"""RL003: metric names must resolve against the central catalog.
+
+Every dotted name passed to a registry ``counter()`` / ``gauge()`` /
+``histogram()`` call -- and every absolute name declared in a
+``_VIEW_FIELDS`` table or queried via ``total()`` / ``subtree()`` --
+must resolve against :mod:`repro.obs.catalog`.  A name the catalog does
+not know is, with overwhelming likelihood, a typo that would register a
+parallel metric no report ever reads; the lint error points at the line
+instead of leaving a dashboard silently empty.
+
+f-string names are checked by their literal head (``f"probe.{name}"``
+resolves against the ``probe.*`` family).  Non-literal names (variables)
+are out of static reach and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import Checker, Reporter, SourceUnit
+from repro.obs import catalog
+
+_REGISTRATION_METHODS = {"counter", "gauge", "histogram"}
+_QUERY_METHODS = {"total", "subtree"}
+
+
+def _literal_head(node: ast.AST) -> tuple[str | None, bool]:
+    """(literal text, is_exact) of a metric-name argument.
+
+    A plain string constant is exact; an f-string yields its leading
+    literal fragment (inexact); anything else is statically unknown.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, True
+    if isinstance(node, ast.JoinedStr):
+        head = []
+        for part in node.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                head.append(part.value)
+            else:
+                break
+        return ("".join(head) or None), False
+    return None, False
+
+
+class MetricCatalogChecker(Checker):
+    code = "RL003"
+    name = "metric-catalog"
+    description = (
+        "dotted metric names must resolve against repro.obs.catalog"
+    )
+    scopes = ()  # the whole tree registers metrics
+
+    def check(self, unit: SourceUnit, report: Reporter) -> None:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node, report)
+            elif isinstance(node, ast.Assign):
+                self._check_view_fields(node, report)
+
+    def _check_call(self, node: ast.Call, report: Reporter) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _REGISTRATION_METHODS:
+            if not node.args:
+                return
+            text, exact = _literal_head(node.args[0])
+            if text is None or "." not in text:
+                return  # not a dotted literal: out of static reach
+            self._resolve(node, text, exact, report)
+        elif func.attr in _QUERY_METHODS and node.args:
+            text, exact = _literal_head(node.args[0])
+            if text is None or "." not in text:
+                return
+            if func.attr == "subtree":
+                # A subtree query names a prefix, not a full metric.
+                if not catalog.resolve_prefix(text + "."):
+                    report(
+                        node,
+                        f"metric subtree {text!r} matches nothing in "
+                        "the catalog (repro/obs/catalog.py)",
+                    )
+            else:
+                self._resolve(node, text, exact, report)
+
+    def _resolve(
+        self, node: ast.AST, text: str, exact: bool, report: Reporter
+    ) -> None:
+        if exact:
+            if catalog.resolve(text) is None:
+                report(
+                    node,
+                    f"metric name {text!r} is not in the catalog "
+                    "(repro/obs/catalog.py); typo, or add it there",
+                )
+        else:
+            if not catalog.resolve_prefix(text):
+                report(
+                    node,
+                    f"no cataloged metric starts with {text!r} "
+                    "(repro/obs/catalog.py); typo, or add the family",
+                )
+
+    def _check_view_fields(self, node: ast.Assign, report: Reporter) -> None:
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or target.id != "_VIEW_FIELDS":
+            return
+        if not isinstance(node.value, ast.Dict):
+            return
+        for value in node.value.values:
+            if not isinstance(value, ast.Constant):
+                continue
+            if not isinstance(value.value, str) or "." not in value.value:
+                continue  # relative names are prefixed at runtime
+            if catalog.resolve(value.value) is None:
+                report(
+                    value,
+                    f"view field maps to uncataloged metric "
+                    f"{value.value!r} (repro/obs/catalog.py)",
+                )
+
+
+__all__ = ["MetricCatalogChecker"]

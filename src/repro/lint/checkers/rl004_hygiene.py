@@ -1,0 +1,169 @@
+"""RL004: simulation hygiene.
+
+Three classes of quiet rot this checker turns into errors:
+
+* **mutable default arguments** -- ``def f(x=[])`` shares one list
+  across every call; in a simulator that aliases state across runs.
+* **bare except** -- ``except:`` swallows ``KeyboardInterrupt`` and
+  hides the real fault class; name the exception.
+* **stat-struct writes that bypass the RegistryView shims** -- the
+  views synthesize read/write properties for their declared fields, so
+  ``stats.row_hits += 1`` hits a shared registry counter; a typo'd
+  field name (``stats.row_hit += 1``) silently creates a plain instance
+  attribute the metrics plane never sees.  The collect pre-pass gathers
+  every declared view field across the tree; the check pass flags
+  writes through ``.stats`` / ``.counters`` receivers to names no view
+  declares.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import Checker, Reporter, SourceUnit
+
+#: attribute names treated as stat-struct receivers when written through
+_VIEW_RECEIVERS = {"stats", "counters"}
+
+#: non-field attributes of the RegistryView machinery itself
+_VIEW_BASE_ATTRS = {"_registry_", "_metrics_", "per_group_re_encryptions"}
+
+
+def _base_names(class_def: ast.ClassDef) -> set[str]:
+    names = set()
+    for base in class_def.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+class HygieneChecker(Checker):
+    code = "RL004"
+    name = "simulation-hygiene"
+    description = (
+        "no mutable default args, no bare except, no stat-struct "
+        "writes that bypass the RegistryView shims"
+    )
+    scopes = ()  # everywhere
+
+    def __init__(self) -> None:
+        #: every field name some RegistryView subclass declares, plus
+        #: instance attributes their __init__ methods assign.
+        self.known_view_fields: set[str] = set(_VIEW_BASE_ATTRS)
+        self.view_classes: set[str] = {"RegistryView"}
+
+    # -- collect pass --------------------------------------------------------
+
+    def collect(self, unit: SourceUnit) -> None:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _base_names(node) & self.view_classes:
+                continue
+            self.view_classes.add(node.name)
+            for item in node.body:
+                self._collect_class_item(item)
+
+    def _collect_class_item(self, item: ast.stmt) -> None:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    if target.id == "_VIEW_FIELDS" and isinstance(
+                        item.value, ast.Dict
+                    ):
+                        for key in item.value.keys:
+                            if isinstance(key, ast.Constant) and isinstance(
+                                key.value, str
+                            ):
+                                self.known_view_fields.add(key.value)
+                    else:
+                        self.known_view_fields.add(target.id)
+        elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Properties are readable; __init__-assigned attributes are
+            # legitimate instance state.
+            self.known_view_fields.add(item.name)
+            for sub in ast.walk(item):
+                if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        sub.targets
+                        if isinstance(sub, ast.Assign)
+                        else [sub.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            self.known_view_fields.add(target.attr)
+
+    # -- check pass ----------------------------------------------------------
+
+    def check(self, unit: SourceUnit, report: Reporter) -> None:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_defaults(node, report)
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    report(
+                        node,
+                        "bare 'except:' swallows KeyboardInterrupt and "
+                        "masks the fault class; catch a named exception",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                self._check_view_write(node, report)
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, report: Reporter
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                kind = type(default).__name__.lower()
+                report(
+                    default,
+                    f"mutable default argument ({kind} display) is "
+                    "shared across calls; default to None and build "
+                    "inside",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            ):
+                report(
+                    default,
+                    f"mutable default argument ({default.func.id}()) is "
+                    "shared across calls; default to None and build "
+                    "inside",
+                )
+
+    def _check_view_write(
+        self, node: ast.Assign | ast.AugAssign, report: Reporter
+    ) -> None:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            receiver = target.value
+            if (
+                isinstance(receiver, ast.Attribute)
+                and receiver.attr in _VIEW_RECEIVERS
+                and target.attr not in self.known_view_fields
+            ):
+                report(
+                    node,
+                    f"write to undeclared stat field "
+                    f"'.{receiver.attr}.{target.attr}': not a "
+                    "RegistryView field, so the registry never sees it; "
+                    "declare it in _VIEW_FIELDS or fix the typo",
+                )
+
+
+__all__ = ["HygieneChecker"]

@@ -1,0 +1,112 @@
+"""Diagnostics, severities and inline suppressions for ``repro.lint``.
+
+A :class:`Diagnostic` is one finding, formatted the way every other
+compiler-shaped tool formats findings::
+
+    src/repro/crypto/prf.py:22: RL001 shift by uncontracted amount 30
+
+Inline suppressions follow the pylint idiom but under our own banner so
+they cannot collide with other tools::
+
+    value = (value ^ (value >> 30)) * K  # repro-lint: disable=RL001
+
+A comment-only suppression line applies to the *next* source line (for
+statements too dense to carry a trailing comment), and
+``# repro-lint: disable-file=CODE`` anywhere in a file suppresses the
+code for the whole module.  Suppressions are deliberately per-code:
+there is no blanket ``disable=all``.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; the exit code only counts WARNING and up."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line: CODE message``."""
+
+    path: str  # repo-relative, forward slashes
+    line: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    column: int = 0
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used by baseline matching.
+
+        Line numbers are excluded on purpose: a baseline must survive
+        unrelated edits above the finding.
+        """
+        return (self.path, self.code, self.message)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<codes>[A-Z]{2}[0-9]{3}(?:\s*,\s*[A-Z]{2}[0-9]{3})*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# repro-lint:`` directives of one source file."""
+
+    #: line number -> set of codes disabled on that line
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: codes disabled for the whole file
+    file_wide: set[str] = field(default_factory=set)
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        supp = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            codes = {c.strip() for c in match.group("codes").split(",")}
+            if match.group("kind") == "disable-file":
+                supp.file_wide |= codes
+                continue
+            target = lineno
+            if text.lstrip().startswith("#"):
+                # Comment-only directive: governs the next line.
+                target = lineno + 1
+            supp.by_line.setdefault(target, set()).update(codes)
+        return supp
+
+    def hides(self, diagnostic: Diagnostic) -> bool:
+        if diagnostic.code in self.file_wide:
+            return True
+        return diagnostic.code in self.by_line.get(diagnostic.line, set())
+
+
+__all__ = ["Severity", "Diagnostic", "Suppressions"]

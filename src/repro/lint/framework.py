@@ -1,0 +1,271 @@
+"""The ``repro.lint`` driver: files in, :class:`Diagnostic` list out.
+
+The moving parts, smallest first:
+
+* :class:`SourceUnit` -- one parsed file: source text, AST, and the
+  ``subpath`` (path relative to the ``repro`` package root, e.g.
+  ``core/ecc_mac/layout.py``) that checkers scope themselves by.
+* :class:`Checker` -- one analysis.  Subclasses declare a ``code``
+  (``RL001``...), the ``scopes`` they apply to, and implement
+  :meth:`Checker.check`.  An optional :meth:`Checker.collect` pre-pass
+  runs over *every* unit before any ``check`` call, so cross-file facts
+  (e.g. the set of declared ``RegistryView`` fields) are complete before
+  judgement starts.
+* :func:`run_lint` -- discover files, parse, two-phase drive, apply
+  inline suppressions and the optional baseline, return a
+  :class:`LintResult`.
+
+The framework is dependency-free (stdlib ``ast`` only) and the checkers
+are plain classes, so tests can drive a single checker over a source
+string via :func:`lint_text` without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.diagnostics import Diagnostic, Severity, Suppressions
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {
+    "__pycache__", ".git", ".venv", "venv", "build", "dist", ".eggs",
+}
+
+
+@dataclass
+class SourceUnit:
+    """One parsed python file."""
+
+    path: str  # as given / repo-relative, forward slashes
+    subpath: str  # relative to the repro package root ("core/...", ...)
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str = "<string>", subpath: str | None = None
+    ) -> "SourceUnit":
+        if subpath is None:
+            subpath = _subpath_of(path)
+        return cls(
+            path=path,
+            subpath=subpath,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            suppressions=Suppressions.scan(source),
+        )
+
+
+def _subpath_of(path: str) -> str:
+    """Path relative to the innermost ``repro`` package directory.
+
+    ``src/repro/core/counters/delta.py`` -> ``core/counters/delta.py``;
+    paths outside a ``repro`` tree fall back to their basename, which
+    keeps fixture files scopeable by explicit override only.
+    """
+    parts = pathlib.PurePath(path).as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1 :])
+    return parts[-1]
+
+
+Reporter = Callable[[ast.AST, str], None]
+
+
+class Checker:
+    """Base class for one lint analysis."""
+
+    code: str = "RL000"
+    name: str = "base"
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    #: ``subpath`` prefixes this checker runs on; empty means everywhere.
+    scopes: tuple[str, ...] = ()
+    #: ``subpath`` prefixes explicitly exempted (wins over ``scopes``).
+    exempt_scopes: tuple[str, ...] = ()
+
+    def applies_to(self, subpath: str) -> bool:
+        if any(subpath.startswith(p) for p in self.exempt_scopes):
+            return False
+        if not self.scopes:
+            return True
+        return any(subpath.startswith(p) for p in self.scopes)
+
+    def collect(self, unit: SourceUnit) -> None:
+        """Cross-file fact gathering; runs on every unit first."""
+
+    def check(self, unit: SourceUnit, report: Reporter) -> None:
+        """Emit findings for one unit via ``report(node, message)``."""
+        raise NotImplementedError
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    grandfathered: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+    stale_baseline: list[dict[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        """True when the run should exit non-zero."""
+        findings = self.diagnostics + self.parse_errors
+        return any(d.severity >= Severity.WARNING for d in findings)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.failed else 0
+
+
+def discover_files(paths: Sequence[str | pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    out.append(sub)
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def _relative_to_cwd(path: pathlib.Path) -> str:
+    try:
+        return path.resolve().relative_to(pathlib.Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_units(
+    files: Iterable[pathlib.Path],
+) -> tuple[list[SourceUnit], list[Diagnostic]]:
+    units: list[SourceUnit] = []
+    errors: list[Diagnostic] = []
+    for path in files:
+        display = _relative_to_cwd(path)
+        try:
+            units.append(
+                SourceUnit.from_source(path.read_text(), path=display)
+            )
+        except SyntaxError as exc:
+            errors.append(
+                Diagnostic(
+                    path=display,
+                    line=exc.lineno or 1,
+                    code="RL000",
+                    message=f"syntax error: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+    return units, errors
+
+
+def lint_units(
+    units: Sequence[SourceUnit], checkers: Sequence[Checker]
+) -> tuple[list[Diagnostic], int]:
+    """Two-phase drive: collect over all units, then check.
+
+    Returns (surviving diagnostics, count suppressed inline).
+    """
+    for checker in checkers:
+        for unit in units:
+            if checker.applies_to(unit.subpath):
+                checker.collect(unit)
+
+    diagnostics: list[Diagnostic] = []
+    suppressed = 0
+    for unit in units:
+        for checker in checkers:
+            if not checker.applies_to(unit.subpath):
+                continue
+
+            def report(
+                node: ast.AST,
+                message: str,
+                *,
+                _unit: SourceUnit = unit,
+                _checker: Checker = checker,
+                severity: Severity | None = None,
+            ) -> None:
+                nonlocal suppressed
+                diagnostic = Diagnostic(
+                    path=_unit.path,
+                    line=getattr(node, "lineno", 1),
+                    column=getattr(node, "col_offset", 0),
+                    code=_checker.code,
+                    message=message,
+                    severity=(
+                        severity if severity is not None else _checker.severity
+                    ),
+                )
+                if _unit.suppressions.hides(diagnostic):
+                    suppressed += 1
+                else:
+                    diagnostics.append(diagnostic)
+
+            checker.check(unit, report)
+    diagnostics.sort()
+    return diagnostics, suppressed
+
+
+def run_lint(
+    paths: Sequence[str | pathlib.Path],
+    checkers: Sequence[Checker] | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint files/directories and return the full result."""
+    if checkers is None:
+        from repro.lint.checkers import default_checkers
+
+        checkers = default_checkers()
+    files = discover_files(paths)
+    units, parse_errors = load_units(files)
+    diagnostics, suppressed = lint_units(units, checkers)
+    result = LintResult(
+        diagnostics=diagnostics,
+        suppressed=suppressed,
+        files_checked=len(units),
+        parse_errors=parse_errors,
+    )
+    if baseline is not None:
+        result.diagnostics, result.grandfathered = baseline.split(diagnostics)
+        result.stale_baseline = baseline.unmatched(diagnostics)
+    return result
+
+
+def lint_text(
+    source: str,
+    checkers: Sequence[Checker],
+    subpath: str = "module.py",
+    path: str | None = None,
+) -> list[Diagnostic]:
+    """Lint one source string (test helper; scope set via ``subpath``)."""
+    unit = SourceUnit.from_source(
+        source, path=path or subpath, subpath=subpath
+    )
+    diagnostics, _ = lint_units([unit], checkers)
+    return diagnostics
+
+
+__all__ = [
+    "Checker",
+    "LintResult",
+    "SourceUnit",
+    "discover_files",
+    "lint_text",
+    "lint_units",
+    "load_units",
+    "run_lint",
+]

@@ -1,0 +1,74 @@
+"""Text and JSON renderings of a :class:`~repro.lint.framework.LintResult`.
+
+The text form is the grep-able ``path:line: CODE message`` stream plus a
+one-paragraph summary; the JSON form (schema ``repro.lint/1``) is the
+machine interface CI and editors consume, with the same summary as
+structured counts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import Severity
+from repro.lint.framework import LintResult
+
+REPORT_SCHEMA = "repro.lint/1"
+
+
+def _summary_counts(result: LintResult) -> dict[str, int]:
+    by_severity = {s.label: 0 for s in Severity}
+    for diagnostic in result.diagnostics + result.parse_errors:
+        by_severity[diagnostic.severity.label] += 1
+    return {
+        "files": result.files_checked,
+        "findings": len(result.diagnostics) + len(result.parse_errors),
+        "errors": by_severity["error"],
+        "warnings": by_severity["warning"],
+        "notes": by_severity["note"],
+        "suppressed": result.suppressed,
+        "grandfathered": len(result.grandfathered),
+        "stale_baseline": len(result.stale_baseline),
+    }
+
+
+def render_text(result: LintResult) -> str:
+    lines = [
+        d.format() for d in sorted(result.parse_errors + result.diagnostics)
+    ]
+    counts = _summary_counts(result)
+    summary = (
+        f"checked {counts['files']} files: {counts['errors']} errors, "
+        f"{counts['warnings']} warnings, {counts['notes']} notes"
+    )
+    extras = []
+    if counts["suppressed"]:
+        extras.append(f"{counts['suppressed']} suppressed inline")
+    if counts["grandfathered"]:
+        extras.append(f"{counts['grandfathered']} grandfathered by baseline")
+    if counts["stale_baseline"]:
+        extras.append(
+            f"{counts['stale_baseline']} stale baseline entries "
+            "(fixed findings -- regenerate the baseline)"
+        )
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, indent: int | None = 2) -> str:
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "summary": _summary_counts(result),
+        "findings": [
+            d.as_dict()
+            for d in sorted(result.parse_errors + result.diagnostics)
+        ],
+        "grandfathered": [d.as_dict() for d in sorted(result.grandfathered)],
+        "stale_baseline": list(result.stale_baseline),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+__all__ = ["REPORT_SCHEMA", "render_text", "render_json"]

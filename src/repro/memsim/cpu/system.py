@@ -19,11 +19,11 @@ their counter/MAC/tree transactions.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.memsim.cache.cache import AccessType
-from repro.memsim.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.memsim.cache.hierarchy import CacheHierarchy
 from repro.memsim.dram.system import DramSystem
 
 

@@ -20,7 +20,7 @@ interleaving).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memsim.dram.system import AddressMapping
 from repro.memsim.dram.timing import DDR3_1600, DramTiming

@@ -1,0 +1,243 @@
+"""The central metric catalog: every dotted metric name, declared once.
+
+Rationale (ISSUE 3 / RL003): a typo'd metric name does not crash -- it
+silently creates a *parallel* metric that no report, no dashboard and no
+exhibit ever reads.  This module enumerates every metric the stack may
+register, with its kind and the traffic class it contributes to, and is
+consumed from three directions:
+
+* :mod:`repro.obs.report` derives its traffic-breakdown classes from the
+  ``traffic_class`` column instead of a private table;
+* the ``RL003`` checker in :mod:`repro.lint.checkers.rl003_metrics`
+  resolves every literal metric name in the source tree against it, so
+  a typo is a lint error instead of a silently-empty dashboard;
+* DESIGN.md section 7's metric -> exhibit map documents the same names.
+
+Dynamically named families (one metric per probe site, per counter
+scheme, per error outcome) are covered either by enumerating the closed
+set of instances (counter schemes, error outcomes) or, for genuinely
+open sets, by a prefix entry (``probe.*``).
+
+This module must not import anything above the metrics plane: checkers
+and reports both pull it in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared metric name (or ``prefix.*`` family)."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    description: str
+    traffic_class: str | None = None  # report section, if a DRAM class
+
+    @property
+    def is_family(self) -> bool:
+        return self.name.endswith(".*")
+
+    @property
+    def prefix(self) -> str:
+        """The dotted prefix of a family entry (with trailing dot)."""
+        return self.name[:-1]  # "probe.*" -> "probe."
+
+
+def _engine_specs() -> list[MetricSpec]:
+    return [
+        MetricSpec("engine.read.total", "counter", "authenticated reads"),
+        MetricSpec("engine.read.mac_check", "counter", "MAC verifications"),
+        MetricSpec("engine.read.mac_fail", "counter",
+                   "MAC mismatches (integrity faults)"),
+        MetricSpec("engine.read.tree_fail", "counter",
+                   "Bonsai-tree verification failures"),
+        MetricSpec("engine.read.correction", "counter",
+                   "data blocks healed by flip-and-check"),
+        MetricSpec("engine.read.mac_self_correction", "counter",
+                   "stored MACs healed by their Hamming bits"),
+        MetricSpec("engine.write.total", "counter", "authenticated writes"),
+        MetricSpec("engine.write.group_reencrypt", "counter",
+                   "whole-group re-encryptions on counter overflow"),
+        MetricSpec("engine.traffic.demand_read", "counter",
+                   "demand data reads", traffic_class="data"),
+        MetricSpec("engine.traffic.demand_write", "counter",
+                   "demand data writes", traffic_class="data"),
+        MetricSpec("engine.traffic.counter_fetch", "counter",
+                   "counter-block DRAM reads", traffic_class="counter"),
+        MetricSpec("engine.traffic.tree_fetch", "counter",
+                   "interior-node DRAM reads", traffic_class="tree"),
+        MetricSpec("engine.traffic.mac_fetch", "counter",
+                   "separate-MAC DRAM reads", traffic_class="mac"),
+        MetricSpec("engine.traffic.metadata_writeback", "counter",
+                   "metadata write-backs",
+                   traffic_class="metadata writeback"),
+        MetricSpec("engine.traffic.reencrypt_block", "counter",
+                   "blocks rewritten by re-encryption",
+                   traffic_class="re-encryption"),
+    ]
+
+
+#: Per-scheme counter events; one full set per counter representation.
+COUNTER_SCHEMES = ("monolithic", "split", "delta", "dual_length")
+_COUNTER_EVENTS = {
+    "write": "counter-bump requests",
+    "increment": "plain increments",
+    "reset": "converged-delta resets (Figure 5b)",
+    "reencode": "delta re-encodes (Figure 5c)",
+    "widen": "dual-length widenings (Figure 6)",
+    "reencrypt": "group re-encryptions (Figure 5a)",
+    "global_reencrypt": "whole-memory re-encryptions",
+}
+
+
+def _counter_specs() -> list[MetricSpec]:
+    out = []
+    for scheme in COUNTER_SCHEMES + ("",):  # "" = bare CounterStats views
+        prefix = f"counters.{scheme}" if scheme else "counters"
+        for event, description in _COUNTER_EVENTS.items():
+            out.append(
+                MetricSpec(
+                    f"{prefix}.{event}", "counter",
+                    f"{scheme or 'scheme'}: {description}",
+                )
+            )
+    return out
+
+
+def _memsim_specs() -> list[MetricSpec]:
+    cache = [
+        MetricSpec(f"cache.{n}", "counter", d)
+        for n, d in [
+            ("read_hit", "cache read hits"),
+            ("read_miss", "cache read misses"),
+            ("write_hit", "cache write hits"),
+            ("write_miss", "cache write misses"),
+            ("writeback", "dirty evictions written back"),
+        ]
+    ]
+    dram = [
+        MetricSpec(f"dram.{n}", "counter", d)
+        for n, d in [
+            ("read", "DRAM read transactions"),
+            ("write", "DRAM write transactions"),
+            ("row_hit", "row-buffer hits"),
+            ("row_closed", "accesses to a closed row"),
+            ("row_conflict", "row-buffer conflicts"),
+            ("latency_total", "summed access latency (cycles)"),
+            ("busy_cycles", "bank-busy cycles"),
+            ("refresh_stall", "accesses delayed by refresh"),
+        ]
+    ]
+    ctrl = [
+        MetricSpec(f"dram.ctrl.{n}", "counter", d)
+        for n, d in [
+            ("serviced", "requests scheduled by FR-FCFS"),
+            ("row_hit", "scheduled as row hits"),
+            ("row_closed", "scheduled against a closed row"),
+            ("row_conflict", "scheduled as row conflicts"),
+            ("latency_total", "summed queue+service latency"),
+            ("reordered", "serviced before an older request"),
+        ]
+    ]
+    return cache + dram + ctrl
+
+
+def _resilience_specs() -> list[MetricSpec]:
+    outcomes = [
+        "ce_retry", "ce_mac_repair", "ce_flip_and_check",
+        "due", "sdc", "retired", "degraded",
+    ]
+    out = [
+        MetricSpec(f"resilience.outcome.{o}", "counter",
+                   f"error events resolved as {o}")
+        for o in outcomes
+    ]
+    out += [
+        MetricSpec("resilience.cycles_spent", "counter",
+                   "recovery cycles charged"),
+        MetricSpec("resilience.spares_remaining", "gauge",
+                   "spare blocks left in the quarantine pool"),
+        MetricSpec("scrub.blocks_scanned", "counter",
+                   "blocks swept by the parity scrubber"),
+        MetricSpec("scrub.blocks_skipped", "counter",
+                   "quarantined blocks skipped by the scrubber"),
+        MetricSpec("scrub.data_parity_fail", "counter",
+                   "scrub-detected data parity failures"),
+        MetricSpec("scrub.mac_parity_fail", "counter",
+                   "scrub-detected MAC parity failures"),
+        MetricSpec("scrub.repair_read", "counter",
+                   "full authenticated re-reads issued by scrub"),
+    ]
+    return out
+
+
+_SPECS: list[MetricSpec] = (
+    _engine_specs()
+    + _counter_specs()
+    + _memsim_specs()
+    + _resilience_specs()
+    + [
+        MetricSpec("probe.*", "histogram",
+                   "wallclock span per probe point (one per site)"),
+    ]
+)
+
+CATALOG: dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}
+FAMILIES: tuple[MetricSpec, ...] = tuple(
+    spec for spec in _SPECS if spec.is_family
+)
+
+
+def resolve(name: str) -> MetricSpec | None:
+    """The spec a concrete metric name falls under, or None."""
+    spec = CATALOG.get(name)
+    if spec is not None:
+        return spec
+    for family in FAMILIES:
+        if name.startswith(family.prefix):
+            return family
+    return None
+
+
+def resolve_prefix(prefix: str) -> bool:
+    """Whether any cataloged name could start with ``prefix``.
+
+    Used for f-string metric names, where only the literal head is
+    statically known (``f"resilience.outcome.{outcome.value}"``).
+    """
+    for name in CATALOG:
+        if name.startswith(prefix):
+            return True
+    return any(
+        family.prefix.startswith(prefix) or prefix.startswith(family.prefix)
+        for family in FAMILIES
+    )
+
+
+def metric_names() -> list[str]:
+    """All concrete cataloged names, sorted (families excluded)."""
+    return sorted(name for name in CATALOG if not name.endswith(".*"))
+
+
+def traffic_classes() -> dict[str, tuple[str, ...]]:
+    """Traffic class -> contributing metric names, in catalog order."""
+    out: dict[str, list[str]] = {}
+    for spec in _SPECS:
+        if spec.traffic_class is not None:
+            out.setdefault(spec.traffic_class, []).append(spec.name)
+    return {cls: tuple(names) for cls, names in out.items()}
+
+
+__all__ = [
+    "CATALOG",
+    "COUNTER_SCHEMES",
+    "FAMILIES",
+    "MetricSpec",
+    "metric_names",
+    "resolve",
+    "resolve_prefix",
+    "traffic_classes",
+]

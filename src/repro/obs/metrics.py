@@ -35,8 +35,16 @@ from __future__ import annotations
 import json
 import pathlib
 from contextlib import contextmanager
+from typing import Any, Iterator, TypeVar
 
 SNAPSHOT_SCHEMA = "repro.metrics/1"
+
+#: label set attached to a metric identity
+Labels = dict[str, str]
+#: one serialized metric in a snapshot (heterogeneous by metric type)
+SnapshotEntry = dict[str, Any]
+_MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+_MetricT = TypeVar("_MetricT", bound="Counter | Histogram")
 
 
 class Counter:
@@ -45,18 +53,18 @@ class Counter:
     kind = "counter"
     __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str, labels: dict | None = None):
+    def __init__(self, name: str, labels: Labels | None = None) -> None:
         self.name = name
         self.labels = dict(labels or {})
-        self.value = 0
+        self.value: int | float = 0
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: int | float = 1) -> None:
         self.value += amount
 
     def reset(self) -> None:
         self.value = 0
 
-    def snapshot_entry(self) -> dict:
+    def snapshot_entry(self) -> SnapshotEntry:
         return {
             "name": self.name,
             "type": self.kind,
@@ -64,7 +72,7 @@ class Counter:
             "value": self.value,
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<{self.kind} {self.name}{self.labels or ''}={self.value}>"
 
 
@@ -74,10 +82,10 @@ class Gauge(Counter):
     kind = "gauge"
     __slots__ = ()
 
-    def set(self, value) -> None:
+    def set(self, value: int | float) -> None:
         self.value = value
 
-    def dec(self, amount=1) -> None:
+    def dec(self, amount: int | float = 1) -> None:
         self.value -= amount
 
 
@@ -95,17 +103,22 @@ class Histogram:
         "count", "total", "min", "max",
     )
 
-    def __init__(self, name: str, labels: dict | None = None, buckets=()):
+    def __init__(
+        self,
+        name: str,
+        labels: Labels | None = None,
+        buckets: tuple[float, ...] = (),
+    ) -> None:
         self.name = name
         self.labels = dict(labels or {})
         self.buckets = tuple(sorted(buckets))
         self.bucket_counts = [0] * (len(self.buckets) + 1)
         self.count = 0
         self.total = 0.0
-        self.min = None
-        self.max = None
+        self.min: float | None = None
+        self.max: float | None = None
 
-    def observe(self, value) -> None:
+    def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -130,8 +143,8 @@ class Histogram:
         self.min = None
         self.max = None
 
-    def snapshot_entry(self) -> dict:
-        entry = {
+    def snapshot_entry(self) -> SnapshotEntry:
+        entry: SnapshotEntry = {
             "name": self.name,
             "type": self.kind,
             "labels": dict(self.labels),
@@ -148,7 +161,7 @@ class Histogram:
             }
         return entry
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"<histogram {self.name}{self.labels or ''} "
             f"count={self.count} mean={self.mean:.3g}>"
@@ -158,15 +171,17 @@ class Histogram:
 class MetricRegistry:
     """Get-or-create store of metrics keyed by ``(name, labels)``."""
 
-    def __init__(self):
-        self._metrics: dict = {}
-        self._instance_seq: dict = {}
+    def __init__(self) -> None:
+        self._metrics: dict[_MetricKey, Counter | Histogram] = {}
+        self._instance_seq: dict[str, int] = {}
 
     @staticmethod
-    def _key(name: str, labels: dict) -> tuple:
+    def _key(name: str, labels: Labels) -> _MetricKey:
         return name, tuple(sorted(labels.items()))
 
-    def _get_or_create(self, cls, name: str, labels: dict, **kwargs):
+    def _get_or_create(
+        self, cls: type[_MetricT], name: str, labels: Labels, **kwargs: Any
+    ) -> _MetricT:
         key = self._key(name, labels)
         metric = self._metrics.get(key)
         if metric is None:
@@ -179,13 +194,15 @@ class MetricRegistry:
             )
         return metric
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: str) -> Counter:
         return self._get_or_create(Counter, name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: str) -> Gauge:
         return self._get_or_create(Gauge, name, labels)
 
-    def histogram(self, name: str, buckets=(), **labels) -> Histogram:
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = (), **labels: str
+    ) -> Histogram:
         return self._get_or_create(Histogram, name, labels, buckets=buckets)
 
     def instance(self, kind: str) -> str:
@@ -196,16 +213,16 @@ class MetricRegistry:
 
     # -- inspection ---------------------------------------------------------
 
-    def metrics(self) -> list:
+    def metrics(self) -> list[Counter | Histogram]:
         return list(self._metrics.values())
 
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Counter | Histogram]:
         return iter(self._metrics.values())
 
-    def total(self, name: str):
+    def total(self, name: str) -> int | float:
         """Sum of one counter/gauge name across all label sets."""
         return sum(
             m.value
@@ -213,9 +230,9 @@ class MetricRegistry:
             if m.name == name and isinstance(m, Counter)
         )
 
-    def subtree(self, prefix: str) -> dict:
+    def subtree(self, prefix: str) -> dict[str, int | float]:
         """name -> cross-label total for every name under a dotted prefix."""
-        out: dict = {}
+        out: dict[str, int | float] = {}
         dotted = prefix + "."
         for metric in self._metrics.values():
             if not isinstance(metric, Counter):
@@ -224,7 +241,7 @@ class MetricRegistry:
                 out[metric.name] = out.get(metric.name, 0) + metric.value
         return out
 
-    def snapshot(self) -> "MetricsSnapshot":
+    def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(
             [m.snapshot_entry() for m in self._metrics.values()]
         )
@@ -238,36 +255,36 @@ class MetricRegistry:
 class MetricsSnapshot:
     """Immutable-ish capture of a registry, diffable and JSON-portable."""
 
-    def __init__(self, entries: list):
+    def __init__(self, entries: list[SnapshotEntry]) -> None:
         self.entries = list(entries)
 
     @staticmethod
-    def _entry_key(entry: dict) -> tuple:
+    def _entry_key(entry: SnapshotEntry) -> _MetricKey:
         return entry["name"], tuple(sorted(entry.get("labels", {}).items()))
 
-    def totals(self) -> dict:
+    def totals(self) -> dict[str, int | float]:
         """name -> cross-label sum for counters and gauges."""
-        out: dict = {}
+        out: dict[str, int | float] = {}
         for entry in self.entries:
             if entry["type"] in ("counter", "gauge"):
                 out[entry["name"]] = out.get(entry["name"], 0) + entry["value"]
         return out
 
-    def value(self, name: str, **labels):
+    def value(self, name: str, **labels: str) -> int | float | None:
         key = (name, tuple(sorted(labels.items())))
         for entry in self.entries:
             if self._entry_key(entry) == key:
                 return entry.get("value", entry.get("count"))
         return None
 
-    def diff(self, older: "MetricsSnapshot") -> "MetricsSnapshot":
+    def diff(self, older: MetricsSnapshot) -> MetricsSnapshot:
         """What happened between ``older`` and this snapshot.
 
         Counters and histogram count/total subtract; gauges keep their
         newer value (a gauge is a level, not a flow).
         """
         old = {self._entry_key(e): e for e in older.entries}
-        out = []
+        out: list[SnapshotEntry] = []
         for entry in self.entries:
             before = old.get(self._entry_key(entry))
             entry = dict(entry)
@@ -283,7 +300,7 @@ class MetricsSnapshot:
             out.append(entry)
         return MetricsSnapshot(out)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "schema": SNAPSHOT_SCHEMA,
             "totals": self.totals(),
@@ -293,13 +310,13 @@ class MetricsSnapshot:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
-    def dump(self, path) -> None:
+    def dump(self, path: str | pathlib.Path) -> None:
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(self.to_json() + "\n")
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "MetricsSnapshot":
+    def from_dict(cls, payload: dict[str, Any]) -> MetricsSnapshot:
         if payload.get("schema") != SNAPSHOT_SCHEMA:
             raise ValueError(
                 f"unsupported metrics schema {payload.get('schema')!r} "
@@ -308,7 +325,7 @@ class MetricsSnapshot:
         return cls(payload["metrics"])
 
     @classmethod
-    def load(cls, path) -> "MetricsSnapshot":
+    def load(cls, path: str | pathlib.Path) -> MetricsSnapshot:
         return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
 
 
@@ -316,10 +333,10 @@ class MetricsSnapshot:
 
 
 def _view_property(attr: str) -> property:
-    def _get(self):
+    def _get(self: RegistryView) -> int | float:
         return self._metrics_[attr].value
 
-    def _set(self, value):
+    def _set(self: RegistryView, value: int | float) -> None:
         self._metrics_[attr].value = value
 
     return property(_get, _set)
@@ -339,9 +356,9 @@ class RegistryView:
     old standalone-dataclass semantics (tests construct these bare).
     """
 
-    _VIEW_FIELDS: dict = {}
+    _VIEW_FIELDS: dict[str, str] = {}
 
-    def __init_subclass__(cls, **kwargs):
+    def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
         for attr in cls._VIEW_FIELDS:
             setattr(cls, attr, _view_property(attr))
@@ -350,10 +367,10 @@ class RegistryView:
         self,
         *,
         registry: MetricRegistry | None = None,
-        labels: dict | None = None,
+        labels: Labels | None = None,
         prefix: str | None = None,
-        **initial,
-    ):
+        **initial: int,
+    ) -> None:
         unknown = set(initial) - set(self._VIEW_FIELDS)
         if unknown:
             raise TypeError(
@@ -363,7 +380,7 @@ class RegistryView:
         registry = registry if registry is not None else MetricRegistry()
         labels = labels or {}
         self._registry_ = registry
-        self._metrics_ = {}
+        self._metrics_: dict[str, Counter] = {}
         for attr, metric_name in self._VIEW_FIELDS.items():
             if prefix:
                 metric_name = f"{prefix}.{metric_name}"
@@ -377,17 +394,17 @@ class RegistryView:
         """The shared Counter object behind one view attribute."""
         return self._metrics_[attr]
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int | float]:
         return {attr: self._metrics_[attr].value for attr in self._VIEW_FIELDS}
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
         return f"{type(self).__name__}({body})"
 
 
 # -- default registry ---------------------------------------------------------
 
-_REGISTRY_STACK: list = [MetricRegistry()]
+_REGISTRY_STACK: list[MetricRegistry] = [MetricRegistry()]
 
 
 def get_registry() -> MetricRegistry:
@@ -401,7 +418,7 @@ def default_registry() -> MetricRegistry:
 
 
 @contextmanager
-def use_registry(registry: MetricRegistry):
+def use_registry(registry: MetricRegistry) -> Iterator[MetricRegistry]:
     """Scope ``registry`` as the default for components built inside."""
     _REGISTRY_STACK.append(registry)
     try:

@@ -22,8 +22,10 @@ from __future__ import annotations
 import functools
 import time
 from contextlib import contextmanager
+from types import TracebackType
+from typing import Any, Callable, Iterator, TypeVar
 
-from repro.obs.metrics import MetricRegistry, get_registry
+from repro.obs.metrics import Histogram, MetricRegistry, get_registry
 from repro.obs.trace import get_tracer
 
 
@@ -45,7 +47,7 @@ def set_probes(enabled: bool) -> bool:
 
 
 @contextmanager
-def probes(enabled: bool = True):
+def probes(enabled: bool = True) -> Iterator[None]:
     """Scope the global probe flag over a block of code."""
     previous = set_probes(enabled)
     try:
@@ -68,7 +70,7 @@ class ProbePoint:
         name: str,
         cat: str = "probe",
         registry: MetricRegistry | None = None,
-    ):
+    ) -> None:
         self.name = name
         self.cat = cat
         registry = registry if registry is not None else get_registry()
@@ -76,12 +78,17 @@ class ProbePoint:
         self._hist = registry.histogram(f"probe.{name}")
         self._start_ns = 0
 
-    def __enter__(self):
+    def __enter__(self) -> ProbePoint:
         if _ProbeState.enabled:
             self._start_ns = time.perf_counter_ns()
         return self
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         start = self._start_ns
         if start and _ProbeState.enabled:
             self._start_ns = 0
@@ -95,32 +102,35 @@ class ProbePoint:
         return False
 
     @property
-    def histogram(self):
+    def histogram(self) -> Histogram:
         """The registry histogram this point observes into."""
         return self._hist
+
+
+_F = TypeVar("_F", bound=Callable[..., Any])
 
 
 def profiled(
     name: str | None = None,
     cat: str = "probe",
     registry: MetricRegistry | None = None,
-):
+) -> Callable[[_F], _F]:
     """Decorator form: profile every call of a function.
 
     The probe point (and its histogram) binds at decoration time, i.e.
     against the registry active when the function is defined.
     """
 
-    def wrap(fn):
+    def wrap(fn: _F) -> _F:
         point = ProbePoint(name or fn.__qualname__, cat=cat, registry=registry)
 
         @functools.wraps(fn)
-        def inner(*args, **kwargs):
+        def inner(*args: Any, **kwargs: Any) -> Any:
             with point:
                 return fn(*args, **kwargs)
 
-        inner.__probe__ = point
-        return inner
+        inner.__probe__ = point  # type: ignore[attr-defined]
+        return inner  # type: ignore[return-value]
 
     return wrap
 

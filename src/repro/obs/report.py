@@ -18,45 +18,39 @@ The same renderer backs ``repro stats <metrics.json>`` and the
 
 from __future__ import annotations
 
+from repro.obs.catalog import traffic_classes
 from repro.obs.metrics import MetricRegistry, MetricsSnapshot
 
 
-def _format_table(title, headers, rows):
+def _format_table(
+    title: str, headers: list[str], rows: list[list[object]]
+) -> str:
     # Imported lazily: repro.harness pulls in the engine stack, which
     # itself imports repro.obs -- a module-level import would be a cycle.
     from repro.harness.reporting import format_table
 
     return format_table(title, headers, rows)
 
-#: metadata-class -> contributing metric names (all emitted by
-#: :class:`repro.core.engine.timing.TimingStats`)
-TRAFFIC_CLASSES = {
-    "data": (
-        "engine.traffic.demand_read",
-        "engine.traffic.demand_write",
-    ),
-    "counter": ("engine.traffic.counter_fetch",),
-    "tree": ("engine.traffic.tree_fetch",),
-    "mac": ("engine.traffic.mac_fetch",),
-    "metadata writeback": ("engine.traffic.metadata_writeback",),
-    "re-encryption": ("engine.traffic.reencrypt_block",),
-}
+#: metadata-class -> contributing metric names, derived from the central
+#: metric catalog's ``traffic_class`` column so the report, the RL003
+#: checker and DESIGN section 7 all read the same declaration.
+TRAFFIC_CLASSES = traffic_classes()
 
 
-def traffic_breakdown(totals: dict) -> dict:
+def traffic_breakdown(totals: dict[str, int | float]) -> dict[str, int | float]:
     """DRAM transactions per metadata class, from snapshot totals.
 
     Returns ``{class: count, ..., "total": sum}``; classes with no
     contributing metrics present count zero.
     """
-    out = {}
+    out: dict[str, int | float] = {}
     for cls, names in TRAFFIC_CLASSES.items():
         out[cls] = sum(totals.get(name, 0) for name in names)
     out["total"] = sum(out.values())
     return out
 
 
-def _snapshot_of(source) -> MetricsSnapshot:
+def _snapshot_of(source: MetricRegistry | MetricsSnapshot) -> MetricsSnapshot:
     if isinstance(source, MetricRegistry):
         return source.snapshot()
     if isinstance(source, MetricsSnapshot):
@@ -67,12 +61,12 @@ def _snapshot_of(source) -> MetricsSnapshot:
     )
 
 
-def _traffic_section(totals: dict) -> str | None:
+def _traffic_section(totals: dict[str, int | float]) -> str | None:
     breakdown = traffic_breakdown(totals)
     total = breakdown.pop("total")
     if not total:
         return None
-    rows = [
+    rows: list[list[object]] = [
         [cls, count, f"{count / total:.1%}"]
         for cls, count in breakdown.items()
     ]
@@ -84,8 +78,8 @@ def _traffic_section(totals: dict) -> str | None:
     )
 
 
-def _counters_section(totals: dict) -> str | None:
-    by_component: dict = {}
+def _counters_section(totals: dict[str, int | float]) -> str | None:
+    by_component: dict[str, list[tuple[str, int | float]]] = {}
     for name, value in sorted(totals.items()):
         component = name.split(".", 1)[0]
         if component == "probe":
@@ -93,7 +87,7 @@ def _counters_section(totals: dict) -> str | None:
         by_component.setdefault(component, []).append((name, value))
     if not by_component:
         return None
-    rows = []
+    rows: list[list[object]] = []
     for component in sorted(by_component):
         for name, value in by_component[component]:
             rows.append([name, value])
@@ -115,7 +109,7 @@ def _spans_section(snapshot: MetricsSnapshot, top: int) -> str | None:
     if not spans:
         return None
     spans.sort(key=lambda e: e["total"], reverse=True)
-    rows = []
+    rows: list[list[object]] = []
     for entry in spans[:top]:
         rows.append(
             [
@@ -133,19 +127,21 @@ def _spans_section(snapshot: MetricsSnapshot, top: int) -> str | None:
     )
 
 
-def render_report(source, top_spans: int = 12) -> str:
+def render_report(
+    source: MetricRegistry | MetricsSnapshot, top_spans: int = 12
+) -> str:
     """Render the full stats report from a registry or snapshot."""
     snapshot = _snapshot_of(source)
     totals = snapshot.totals()
-    sections = [
+    sections: list[str | None] = [
         _traffic_section(totals),
         _counters_section(totals),
         _spans_section(snapshot, top_spans),
     ]
-    sections = [s for s in sections if s]
-    if not sections:
+    kept = [s for s in sections if s]
+    if not kept:
         return "no metrics recorded"
-    return "\n\n".join(sections)
+    return "\n\n".join(kept)
 
 
 __all__ = ["TRAFFIC_CLASSES", "traffic_breakdown", "render_report"]

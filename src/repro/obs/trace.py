@@ -26,8 +26,12 @@ import pathlib
 import time
 from collections import deque
 from contextlib import contextmanager
+from typing import Any, Iterator
 
 TRACE_SCHEMA = "repro.trace/1"
+
+#: one Chrome trace-event dict (heterogeneous by phase)
+TraceEvent = dict[str, Any]
 
 #: trace-event "process" ids for the two timebases
 WALL_PID = 1
@@ -39,15 +43,15 @@ _PROCESS_NAMES = {WALL_PID: "wallclock", SIM_PID: "simulated-cycles"}
 class EventTracer:
     """Bounded-buffer tracer emitting Chrome trace-event dicts."""
 
-    def __init__(self, capacity: int = 100_000, enabled: bool = False):
+    def __init__(self, capacity: int = 100_000, enabled: bool = False) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.enabled = enabled
-        self.events: deque = deque(maxlen=capacity)
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
         self.emitted = 0
         self._t0_ns = time.perf_counter_ns()
-        self._tids: dict = {}
+        self._tids: dict[tuple[int, str], int] = {}
 
     # -- plumbing -----------------------------------------------------------
 
@@ -68,7 +72,7 @@ class EventTracer:
             self._tids[key] = tid
         return tid
 
-    def _emit(self, event: dict) -> None:
+    def _emit(self, event: TraceEvent) -> None:
         self.events.append(event)
         self.emitted += 1
 
@@ -85,13 +89,13 @@ class EventTracer:
         tid: str = "main",
         clock: str = "wall",
         ts: float | None = None,
-        **args,
+        **args: Any,
     ) -> None:
         """A zero-duration marker (re-encryption fired, block retired...)."""
         if not self.enabled:
             return
         pid = self._pid(clock)
-        event = {
+        event: TraceEvent = {
             "name": name,
             "ph": "i",
             "s": "t",
@@ -112,13 +116,13 @@ class EventTracer:
         cat: str = "span",
         tid: str = "main",
         clock: str = "sim",
-        **args,
+        **args: Any,
     ) -> None:
         """A slice with explicit start and duration (trace-event "X")."""
         if not self.enabled:
             return
         pid = self._pid(clock)
-        event = {
+        event: TraceEvent = {
             "name": name,
             "ph": "X",
             "cat": cat,
@@ -137,7 +141,7 @@ class EventTracer:
         dur_us: float,
         cat: str = "span",
         tid: str = "main",
-        **args,
+        **args: Any,
     ) -> None:
         """A wallclock slice ending now and lasting ``dur_us``."""
         if not self.enabled:
@@ -155,7 +159,7 @@ class EventTracer:
     def counter(
         self,
         name: str,
-        value,
+        value: int | float,
         tid: str = "counters",
         clock: str = "wall",
         ts: float | None = None,
@@ -176,7 +180,9 @@ class EventTracer:
         )
 
     @contextmanager
-    def span(self, name: str, cat: str = "span", tid: str = "main", **args):
+    def span(
+        self, name: str, cat: str = "span", tid: str = "main", **args: Any
+    ) -> Iterator[None]:
         """Measure a wallclock slice around a block of work."""
         if not self.enabled:
             yield
@@ -201,9 +207,9 @@ class EventTracer:
 
     # -- export -------------------------------------------------------------
 
-    def chrome_trace(self) -> dict:
+    def chrome_trace(self) -> dict[str, Any]:
         """The full trace as a Chrome trace-event JSON object."""
-        metadata = []
+        metadata: list[TraceEvent] = []
         for pid, process in _PROCESS_NAMES.items():
             metadata.append(
                 {
@@ -237,18 +243,19 @@ class EventTracer:
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.chrome_trace(), indent=indent)
 
-    def write(self, path) -> int:
+    def write(self, path: str | pathlib.Path) -> int:
         """Write the Chrome trace JSON; returns the event count written."""
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         trace = self.chrome_trace()
         path.write_text(json.dumps(trace) + "\n")
-        return len(trace["traceEvents"])
+        events: list[TraceEvent] = trace["traceEvents"]
+        return len(events)
 
 
 # -- default tracer -----------------------------------------------------------
 
-_TRACER_STACK: list = [EventTracer(enabled=False)]
+_TRACER_STACK: list[EventTracer] = [EventTracer(enabled=False)]
 
 
 def get_tracer() -> EventTracer:
@@ -257,7 +264,7 @@ def get_tracer() -> EventTracer:
 
 
 @contextmanager
-def use_tracer(tracer: EventTracer):
+def use_tracer(tracer: EventTracer) -> Iterator[EventTracer]:
     """Scope ``tracer`` as the default for code run inside."""
     _TRACER_STACK.append(tracer)
     try:

@@ -1,0 +1,108 @@
+"""Text and JSON reporters: formats, schema, and the CLI surface."""
+
+import json
+
+from repro.cli import main
+from repro.lint import REPORT_SCHEMA, render_json, render_text, run_lint
+from repro.lint.checkers.rl004_hygiene import HygieneChecker
+
+_FINDING_KEYS = {"path", "line", "column", "code", "severity", "message"}
+
+
+def _result(tmp_path):
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text(
+        "def f(x=[]):\n"
+        "    try:\n"
+        "        return x\n"
+        "    except:\n"
+        "        pass\n"
+    )
+    return run_lint([fixture], checkers=[HygieneChecker()])
+
+
+class TestTextReporter:
+    def test_grepable_lines_and_summary(self, tmp_path):
+        result = _result(tmp_path)
+        text = render_text(result)
+        lines = text.splitlines()
+        assert len(lines) == 3  # two findings + summary
+        for line in lines[:-1]:
+            path, lineno, rest = line.split(":", 2)
+            assert path.endswith("fixture.py")
+            assert int(lineno) > 0
+            assert rest.lstrip().startswith("RL004 ")
+        assert "checked 1 files: 2 errors" in lines[-1]
+
+    def test_suppressed_count_in_summary(self, tmp_path):
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text(
+            "def f(x=[]):  # repro-lint: disable=RL004\n    return x\n"
+        )
+        result = run_lint([fixture], checkers=[HygieneChecker()])
+        assert "1 suppressed inline" in render_text(result)
+
+
+class TestJsonReporter:
+    def test_schema_and_finding_shape(self, tmp_path):
+        payload = json.loads(render_json(_result(tmp_path)))
+        assert payload["schema"] == REPORT_SCHEMA == "repro.lint/1"
+        assert set(payload) == {
+            "schema", "summary", "findings", "grandfathered",
+            "stale_baseline",
+        }
+
+        summary = payload["summary"]
+        assert summary["files"] == 1
+        assert summary["findings"] == summary["errors"] == 2
+        assert summary["warnings"] == summary["notes"] == 0
+
+        assert len(payload["findings"]) == 2
+        for finding in payload["findings"]:
+            assert set(finding) == _FINDING_KEYS
+            assert finding["code"] == "RL004"
+            assert finding["severity"] == "error"
+            assert isinstance(finding["line"], int)
+
+    def test_findings_sorted(self, tmp_path):
+        payload = json.loads(render_json(_result(tmp_path)))
+        lines = [f["line"] for f in payload["findings"]]
+        assert lines == sorted(lines)
+
+
+class TestCli:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors, 0 warnings" in out
+
+    def test_lint_json_output(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["findings"] == []
+
+    def test_lint_nonzero_on_findings(self, tmp_path, capsys):
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text("def f(x=[]):\n    return x\n")
+        assert main(["lint", str(fixture)]) == 1
+        assert "RL004" in capsys.readouterr().out
+
+    def test_list_checks(self, capsys):
+        assert main(["lint", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL004"):
+            assert code in out
+
+    def test_write_and_reuse_baseline(self, tmp_path, capsys):
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text("def f(x=[]):\n    return x\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", str(fixture), "--write-baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["lint", str(fixture), "--baseline", str(baseline)]
+        ) == 0
+        assert "grandfathered" in capsys.readouterr().out

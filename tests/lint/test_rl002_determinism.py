@@ -1,0 +1,94 @@
+"""RL002 determinism: wallclock, unseeded RNGs, unordered iteration."""
+
+from repro.lint import lint_text
+from repro.lint.checkers.rl002_determinism import DeterminismChecker
+
+
+def findings(source, subpath="core/fixture.py"):
+    return lint_text(source, [DeterminismChecker()], subpath=subpath)
+
+
+class TestWallclock:
+    def test_flags_time_time(self):
+        out = findings("import time\nstamp = time.time()\n")
+        assert len(out) == 1
+        assert "wallclock" in out[0].message
+
+    def test_flags_aliased_from_import(self):
+        out = findings(
+            "from time import perf_counter\nstart = perf_counter()\n"
+        )
+        assert len(out) == 1
+        assert "time.perf_counter" in out[0].message
+
+    def test_flags_datetime_now(self):
+        out = findings(
+            "from datetime import datetime\nwhen = datetime.now()\n"
+        )
+        assert len(out) == 1
+
+    def test_simulated_cycles_pass(self):
+        assert findings("cycle = dram.access(cycle, address)\n") == []
+
+
+class TestRandomness:
+    def test_flags_global_random(self):
+        out = findings("import random\nx = random.random()\n")
+        assert len(out) == 1
+        assert "process-global" in out[0].message
+
+    def test_flags_unseeded_random_instance(self):
+        out = findings("import random\nrng = random.Random()\n")
+        assert len(out) == 1
+        assert "seed" in out[0].message
+
+    def test_seeded_random_instance_passes(self):
+        assert findings("import random\nrng = random.Random(1234)\n") == []
+
+    def test_flags_unseeded_numpy_generator(self):
+        out = findings("import numpy as np\nrng = np.random.default_rng()\n")
+        assert len(out) == 1
+
+    def test_seeded_numpy_generator_passes(self):
+        assert findings(
+            "import numpy as np\nrng = np.random.default_rng(7)\n"
+        ) == []
+
+    def test_flags_os_urandom(self):
+        out = findings("import os\nkey = os.urandom(16)\n")
+        assert len(out) == 1
+        assert "run seed" in out[0].message
+
+
+class TestSetIteration:
+    def test_flags_set_display_iteration(self):
+        out = findings("for x in {1, 2, 3}:\n    pass\n")
+        assert len(out) == 1
+        assert "hash-salted" in out[0].message
+
+    def test_flags_set_call_in_comprehension(self):
+        out = findings("out = [x for x in set(items)]\n")
+        assert len(out) == 1
+
+    def test_sorted_set_passes(self):
+        assert findings("for x in sorted(set(items)):\n    pass\n") == []
+
+    def test_list_iteration_passes(self):
+        assert findings("for x in [1, 2, 3]:\n    pass\n") == []
+
+
+class TestScoping:
+    def test_obs_plane_is_exempt(self):
+        bad = "import time\nstamp = time.time()\n"
+        assert findings(bad, subpath="obs/fixture.py") == []
+
+    def test_analysis_layer_is_out_of_scope(self):
+        bad = "import time\nstamp = time.time()\n"
+        assert findings(bad, subpath="analysis/fixture.py") == []
+
+    def test_simulation_packages_are_in_scope(self):
+        bad = "import time\nstamp = time.time()\n"
+        for subpath in (
+            "core/x.py", "memsim/x.py", "resilience/x.py", "workloads/x.py"
+        ):
+            assert len(findings(bad, subpath=subpath)) == 1

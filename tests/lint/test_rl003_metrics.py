@@ -1,0 +1,86 @@
+"""RL003 metric catalog: dotted names must resolve against repro.obs.catalog."""
+
+from repro.lint import lint_text
+from repro.lint.checkers.rl003_metrics import MetricCatalogChecker
+from repro.obs import catalog
+
+
+def findings(source, subpath="memsim/fixture.py"):
+    return lint_text(source, [MetricCatalogChecker()], subpath=subpath)
+
+
+class TestRegistrationCalls:
+    def test_flags_uncataloged_name(self):
+        out = findings('m = registry.counter("nosuch.metric_name")\n')
+        assert len(out) == 1
+        assert "not in the catalog" in out[0].message
+
+    def test_accepts_cataloged_name(self):
+        assert findings('m = registry.counter("scrub.blocks_scanned")\n') == []
+
+    def test_accepts_every_cataloged_name(self):
+        for name in catalog.metric_names():
+            assert findings(f'm = registry.counter("{name}")\n') == []
+
+    def test_fstring_checked_by_literal_head(self):
+        assert findings('m = registry.counter(f"cache.{kind}_hit")\n') == []
+        out = findings('m = registry.counter(f"cashe.{kind}_hit")\n')
+        assert len(out) == 1
+        assert "starts with" in out[0].message
+
+    def test_variable_names_are_out_of_reach(self):
+        assert findings("m = registry.counter(name)\n") == []
+
+    def test_undotted_names_pass(self):
+        # Relative names are prefixed at runtime; only dotted literals
+        # are judged statically.
+        assert findings('m = registry.counter("hits")\n') == []
+
+
+class TestQueries:
+    def test_flags_uncataloged_total(self):
+        out = findings('v = snapshot.total("engine.read.totl")\n')
+        assert len(out) == 1
+
+    def test_accepts_cataloged_total(self):
+        assert findings('v = snapshot.total("engine.read.total")\n') == []
+
+    def test_flags_empty_subtree(self):
+        out = findings('v = registry.subtree("nosuch.family")\n')
+        assert len(out) == 1
+        assert "matches nothing" in out[0].message
+
+    def test_accepts_populated_subtree(self):
+        assert findings('v = registry.subtree("engine.traffic")\n') == []
+
+
+class TestViewFields:
+    def test_flags_uncataloged_view_field_target(self):
+        source = '_VIEW_FIELDS = {"hits": "cache.read_hitz"}\n'
+        out = findings(source)
+        assert len(out) == 1
+        assert "uncataloged" in out[0].message
+
+    def test_accepts_cataloged_and_relative_targets(self):
+        source = (
+            '_VIEW_FIELDS = {"hits": "cache.read_hit", "local": "hits"}\n'
+        )
+        assert findings(source) == []
+
+
+class TestCatalogApi:
+    def test_resolve_and_prefix_agree(self):
+        assert catalog.resolve("engine.read.total") is not None
+        assert catalog.resolve("engine.read.totl") is None
+        assert catalog.resolve_prefix("scrub.")
+        assert not catalog.resolve_prefix("nosuch.")
+
+    def test_metric_names_sorted_unique(self):
+        names = catalog.metric_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_traffic_classes_resolve(self):
+        for names in catalog.traffic_classes().values():
+            for name in names:
+                assert catalog.resolve(name) is not None, name

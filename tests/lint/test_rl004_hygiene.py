@@ -1,0 +1,78 @@
+"""RL004 simulation hygiene: mutable defaults, bare except, view writes."""
+
+from repro.lint import default_checkers, lint_text
+from repro.lint.checkers.rl004_hygiene import HygieneChecker
+
+
+def findings(source, subpath="memsim/fixture.py"):
+    return lint_text(source, [HygieneChecker()], subpath=subpath)
+
+
+class TestMutableDefaults:
+    def test_flags_list_display_default(self):
+        out = findings("def f(x=[]):\n    return x\n")
+        assert len(out) == 1
+        assert "mutable default" in out[0].message
+
+    def test_flags_dict_call_default(self):
+        out = findings("def f(*, x=dict()):\n    return x\n")
+        assert len(out) == 1
+
+    def test_none_default_passes(self):
+        assert findings("def f(x=None):\n    return x or []\n") == []
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        out = findings("try:\n    work()\nexcept:\n    pass\n")
+        assert len(out) == 1
+        assert "bare" in out[0].message
+
+    def test_named_except_passes(self):
+        assert findings(
+            "try:\n    work()\nexcept ValueError:\n    pass\n"
+        ) == []
+
+
+_VIEW_SOURCE = """\
+class CacheStats(RegistryView):
+    _VIEW_FIELDS = {"read_hits": "cache.read_hit"}
+
+    def __init__(self):
+        self.tag = None
+
+
+class Cache:
+    def touch(self):
+        self.stats.read_hits += 1
+"""
+
+
+class TestViewWrites:
+    def test_declared_field_write_passes(self):
+        assert findings(_VIEW_SOURCE) == []
+
+    def test_flags_typoed_field_write(self):
+        source = _VIEW_SOURCE + "        self.stats.read_hit += 1\n"
+        out = findings(source)
+        assert len(out) == 1
+        assert "read_hit" in out[0].message
+        assert "_VIEW_FIELDS" in out[0].message
+
+    def test_init_assigned_attributes_are_known(self):
+        source = _VIEW_SOURCE + "        self.stats.tag = 3\n"
+        assert findings(source) == []
+
+    def test_non_stat_receivers_ignored(self):
+        assert findings("self.engine.anything = 1\n") == []
+
+
+class TestCheckerFactory:
+    def test_default_checkers_returns_fresh_instances(self):
+        # RL004 accumulates collect-pass state; sharing instances across
+        # runs would leak view fields between unrelated lint calls.
+        first = default_checkers()
+        second = default_checkers()
+        assert {c.code for c in first} == {"RL001", "RL002", "RL003", "RL004"}
+        for a, b in zip(first, second):
+            assert a is not b

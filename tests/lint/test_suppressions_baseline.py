@@ -1,0 +1,134 @@
+"""Inline suppressions and baseline files: round-trips and precedence."""
+
+from repro.lint import Baseline, lint_text, run_lint
+from repro.lint.baseline import BASELINE_SCHEMA
+from repro.lint.checkers.rl001_bitwidth import BitWidthContracts
+from repro.lint.checkers.rl004_hygiene import HygieneChecker
+from repro.lint.framework import SourceUnit, lint_units
+
+
+def _unit(source, subpath="core/fixture.py"):
+    return SourceUnit.from_source(source, path=subpath, subpath=subpath)
+
+
+class TestInlineSuppressions:
+    def test_trailing_comment_hides_finding(self):
+        source = "x = value >> 30  # repro-lint: disable=RL001\n"
+        diags, suppressed = lint_units(
+            [_unit(source)], [BitWidthContracts()]
+        )
+        assert diags == []
+        assert suppressed == 1
+
+    def test_comment_line_governs_next_line(self):
+        source = (
+            "# repro-lint: disable=RL001\n"
+            "x = value >> 30\n"
+        )
+        diags, suppressed = lint_units(
+            [_unit(source)], [BitWidthContracts()]
+        )
+        assert diags == []
+        assert suppressed == 1
+
+    def test_disable_file_covers_whole_module(self):
+        source = (
+            "# repro-lint: disable-file=RL001\n"
+            "x = value >> 30\n"
+            "y = value >> 31\n"
+        )
+        diags, suppressed = lint_units(
+            [_unit(source)], [BitWidthContracts()]
+        )
+        assert diags == []
+        assert suppressed == 2
+
+    def test_suppression_is_per_code(self):
+        # An RL004 directive does not hide an RL001 finding.
+        source = "x = value >> 30  # repro-lint: disable=RL004\n"
+        diags, suppressed = lint_units(
+            [_unit(source)], [BitWidthContracts()]
+        )
+        assert len(diags) == 1
+        assert suppressed == 0
+
+
+class TestBaselineRoundTrip:
+    def test_dump_load_split(self, tmp_path):
+        source = "x = value >> 30\ny = value >> 31\n"
+        diags = lint_text(source, [BitWidthContracts()],
+                          subpath="core/fixture.py")
+        assert len(diags) == 2
+
+        path = tmp_path / "lint-baseline.json"
+        Baseline.from_diagnostics(diags).dump(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+
+        fresh, known = loaded.split(diags)
+        assert fresh == []
+        assert sorted(known) == sorted(diags)
+        assert loaded.unmatched(diags) == []
+
+    def test_new_findings_survive_baseline(self, tmp_path):
+        old = lint_text("x = value >> 30\n", [BitWidthContracts()],
+                        subpath="core/fixture.py")
+        baseline = Baseline.from_diagnostics(old)
+
+        both = lint_text("x = value >> 30\ny = value >> 31\n",
+                         [BitWidthContracts()], subpath="core/fixture.py")
+        fresh, known = baseline.split(both)
+        assert len(fresh) == 1 and "31" in fresh[0].message
+        assert len(known) == 1 and "30" in known[0].message
+
+    def test_stale_entries_are_reported(self):
+        old = lint_text("x = value >> 30\n", [BitWidthContracts()],
+                        subpath="core/fixture.py")
+        baseline = Baseline.from_diagnostics(old)
+        stale = baseline.unmatched([])
+        assert len(stale) == 1
+        assert stale[0]["code"] == "RL001"
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        import json
+
+        import pytest
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9", "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_schema_constant_matches_dump(self, tmp_path):
+        import json
+
+        path = tmp_path / "empty.json"
+        Baseline().dump(path)
+        assert json.loads(path.read_text())["schema"] == BASELINE_SCHEMA
+
+
+class TestRunLintWithBaseline:
+    def test_grandfathered_findings_do_not_fail(self, tmp_path):
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text("def f(x=[]):\n    return x\n")
+
+        first = run_lint([fixture], checkers=[HygieneChecker()])
+        assert len(first.diagnostics) == 1
+        assert first.failed
+
+        baseline = Baseline.from_diagnostics(first.diagnostics)
+        second = run_lint(
+            [fixture], checkers=[HygieneChecker()], baseline=baseline
+        )
+        assert second.diagnostics == []
+        assert len(second.grandfathered) == 1
+        assert not second.failed
+        assert second.exit_code == 0
+
+    def test_parse_errors_fail_the_run(self, tmp_path):
+        fixture = tmp_path / "broken.py"
+        fixture.write_text("def f(:\n")
+        result = run_lint([fixture], checkers=[HygieneChecker()])
+        assert len(result.parse_errors) == 1
+        assert result.parse_errors[0].code == "RL000"
+        assert result.failed

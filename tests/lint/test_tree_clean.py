@@ -1,0 +1,52 @@
+"""The shipped tree must lint clean -- this is the gate the ISSUE requires.
+
+No baseline is checked in: every finding in ``src/repro`` is either fixed
+or carries a documented inline suppression.  The suppression budget is
+pinned so new ones cannot slip in unreviewed.
+"""
+
+import pathlib
+
+from repro.lint import run_lint
+from repro.lint.diagnostics import Suppressions
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Documented suppressions at head: the three SplitMix64 mixer shifts in
+#: crypto/prf.py (30/27/31 are algorithm constants, not layout fields).
+EXPECTED_SUPPRESSIONS = 3
+
+
+def test_tree_is_clean():
+    result = run_lint([SRC])
+    messages = [d.format() for d in result.diagnostics + result.parse_errors]
+    assert messages == []
+    assert result.files_checked > 60
+
+
+def test_suppression_budget_is_pinned():
+    result = run_lint([SRC])
+    assert result.suppressed == EXPECTED_SUPPRESSIONS
+
+
+def test_no_baseline_file_shipped():
+    # Policy: the contracted packages stay clean at head; adopting a
+    # baseline for src/repro would silently weaken the gate.
+    repo_root = SRC.parents[1]
+    assert not list(repo_root.glob("*lint-baseline*"))
+
+
+def test_no_dead_suppressions():
+    """Every directive outside ``lint/`` itself (whose docstrings carry
+    example directives) must actually hide a finding: the scanned count
+    must equal the count ``run_lint`` reports as suppressed.  A dead
+    directive is a mute with nothing behind it -- delete it."""
+    scanned = 0
+    for path in sorted(SRC.rglob("*.py")):
+        if "lint" in path.relative_to(SRC).parts:
+            continue
+        supp = Suppressions.scan(path.read_text())
+        scanned += sum(len(codes) for codes in supp.by_line.values())
+        scanned += len(supp.file_wide)
+    assert scanned == EXPECTED_SUPPRESSIONS
+    assert run_lint([SRC]).suppressed == scanned
