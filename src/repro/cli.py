@@ -21,6 +21,7 @@ the test machinery.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import random
@@ -49,6 +50,12 @@ from repro.obs.metrics import MetricRegistry, MetricsSnapshot, use_registry
 from repro.obs.probe import probes
 from repro.obs.report import render_report
 from repro.obs.trace import EventTracer, use_tracer
+from repro.persist.crashsim import (
+    CrashSimSpec,
+    parse_point,
+    run_matrix,
+    run_point,
+)
 from repro.resilience.campaign import FaultCampaign, default_models
 from repro.resilience.recovery import RetryPolicy
 from repro.resilience.runtime import ResilientMemory
@@ -276,7 +283,56 @@ def _cmd_resilience(args) -> int:
     print(f"\nfinal ground-truth sweep: {mismatches} mismatches over "
           f"{len(campaign.shadow)} written blocks")
     sound = report.reconciles() and report.sdc_total == 0 and not mismatches
+    if args.json_out:
+        artifact = report.as_dict()
+        artifact["ground_truth_mismatches"] = mismatches
+        artifact["sound"] = sound
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote campaign report to {args.json_out}", file=sys.stderr)
     return 0 if sound else 1
+
+
+# Small field widths per preset so the crash workload actually exercises
+# the overflow paths (reset, re-encode, group/global re-encrypt).
+_CRASH_SCHEME_KWARGS = {
+    "bmt_baseline": (("counter_bits", 3),),
+    "mac_in_ecc": (("counter_bits", 3),),
+    "delta_only": (("delta_bits", 2),),
+    "combined": (("delta_bits", 2),),
+    "combined_dual": (("base_delta_bits", 2), ("extension_bits", 2)),
+}
+
+
+def _cmd_crash(args) -> int:
+    spec = CrashSimSpec(
+        preset=args.preset,
+        scheme_kwargs=_CRASH_SCHEME_KWARGS[args.preset],
+        group_count=args.groups,
+        workload_blocks=args.blocks,
+        ops=args.ops,
+        seed=args.seed,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    if args.point is not None:
+        # Single-point repro mode: same arming, bit-for-bit same crash.
+        try:
+            plan = parse_point(args.point)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            raise SystemExit(2) from err
+        outcome = run_point(spec, plan)
+        print(json.dumps(outcome.to_json(), indent=2, sort_keys=True))
+        return 0 if outcome.clean else 1
+    report = run_matrix(spec, limit=args.limit, stride=args.stride)
+    print(report.format_summary())
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote crash matrix to {args.json_out}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args) -> int:
@@ -407,8 +463,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write-fraction", type=float, default=0.25)
     p.add_argument("--scrub-interval", type=int, default=1000,
                    help="operations between scrub sweeps (0 disables)")
+    p.add_argument("--json-out", metavar="FILE", default=None,
+                   help="write the campaign report (including the seed) "
+                        "as a JSON artifact")
     obs_options(p)
     p.set_defaults(func=_cmd_resilience)
+
+    p = sub.add_parser(
+        "crash",
+        help="crash-point injection matrix over the journaled engine "
+             "(exhaustive by default; --point replays one crash)",
+    )
+    p.add_argument("--preset", default="combined",
+                   choices=sorted(_CRASH_SCHEME_KWARGS))
+    p.add_argument("--ops", type=int, default=20,
+                   help="writes in the recorded workload")
+    p.add_argument("--seed", type=int, default=0xDAC2018)
+    p.add_argument("--groups", type=int, default=2,
+                   help="counter block-groups in the protected region")
+    p.add_argument("--blocks", type=int, default=4,
+                   help="distinct addresses the workload touches")
+    p.add_argument("--checkpoint-interval", type=int, default=4,
+                   help="commits between epoch checkpoints")
+    p.add_argument("--point", metavar="STEP[:PHASE]", default=None,
+                   help="replay a single crash point (PHASE: skip|torn) "
+                        "instead of the matrix")
+    p.add_argument("--limit", type=int, default=None,
+                   help="bound the matrix to N points (CI smoke)")
+    p.add_argument("--stride", type=int, default=1,
+                   help="run every Nth point of the matrix")
+    p.add_argument("--json-out", metavar="FILE", default=None,
+                   help="write the matrix report as a JSON artifact")
+    p.set_defaults(func=_cmd_crash)
 
     p = sub.add_parser(
         "stats", help="render the report from a saved metrics snapshot"

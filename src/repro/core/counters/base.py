@@ -142,6 +142,17 @@ class CounterScheme(abc.ABC):
         failure semantics.
         """
 
+    @abc.abstractmethod
+    def restore_group_metadata(self, group_index: int, data: bytes) -> None:
+        """Load one group's counter state back from its serialization.
+
+        The inverse of :meth:`group_metadata`, used by crash recovery to
+        rebuild the scheme from checkpointed/journaled metadata blocks.
+        Must round-trip byte-identically: after restoring,
+        ``group_metadata(group_index)`` returns exactly ``data`` (so the
+        rebuilt Bonsai leaves hash to the recorded root).
+        """
+
     def metadata_block_of_group(self, group_index: int) -> int:
         """Index of the (first) metadata block storing a group's counters."""
         self._check_group(group_index)

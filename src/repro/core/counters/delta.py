@@ -213,5 +213,13 @@ class DeltaCounters(CounterScheme):
             for _ in range(self.blocks_per_group)
         ]
 
+    def restore_group_metadata(self, group_index: int, data: bytes) -> None:
+        self._check_group(group_index)
+        reader = BitReader(data)
+        self._references[group_index] = reader.read(self.reference_bits)
+        for block in self.blocks_in_group(group_index):
+            self._deltas[block] = reader.read(self.delta_bits)
+        self._recompute_aggregates(group_index)
+
 
 __all__ = ["DeltaCounters"]

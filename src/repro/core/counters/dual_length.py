@@ -322,5 +322,27 @@ class DualLengthDeltaCounters(CounterScheme):
                 deltas[start + offset] |= high << self.base_delta_bits
         return [reference + d for d in deltas]
 
+    def restore_group_metadata(self, group_index: int, data: bytes) -> None:
+        self._check_group(group_index)
+        reader = BitReader(data)
+        self._references[group_index] = reader.read(self.reference_bits)
+        base = [
+            reader.read(self.base_delta_bits)
+            for _ in range(self.blocks_per_group)
+        ]
+        extension = [
+            reader.read(self.extension_bits)
+            for _ in range(self.deltas_per_delta_group)
+        ]
+        widened = reader.read(WIDEN_INDEX_BITS)
+        valid = reader.read(WIDEN_VALID_BITS)
+        if valid:
+            start = widened * self.deltas_per_delta_group
+            for offset, high in enumerate(extension):
+                base[start + offset] |= high << self.base_delta_bits
+        self._widened[group_index] = widened if valid else None
+        self._deltas[self._group_slice(group_index)] = base
+        self._recompute_aggregates(group_index)
+
 
 __all__ = ["DualLengthDeltaCounters"]

@@ -76,5 +76,11 @@ class MonolithicCounters(CounterScheme):
             for _ in range(self.blocks_per_group)
         ]
 
+    def restore_group_metadata(self, group_index: int, data: bytes) -> None:
+        self._check_group(group_index)
+        reader = BitReader(data)
+        for block in self.blocks_in_group(group_index):
+            self._counters[block] = reader.read(self.counter_bits)
+
 
 __all__ = ["MonolithicCounters"]

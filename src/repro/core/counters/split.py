@@ -90,6 +90,13 @@ class SplitCounters(CounterScheme):
             for _ in range(self.blocks_per_group)
         ]
 
+    def restore_group_metadata(self, group_index: int, data: bytes) -> None:
+        self._check_group(group_index)
+        reader = BitReader(data)
+        self._majors[group_index] = reader.read(self.major_bits)
+        for block in self.blocks_in_group(group_index):
+            self._minors[block] = reader.read(self.minor_bits)
+
     def major(self, group_index: int) -> int:
         """Expose the major counter (used by tests and reporting)."""
         self._check_group(group_index)

@@ -46,6 +46,9 @@ from repro.obs.metrics import (
 )
 from repro.obs.probe import ProbePoint
 from repro.obs.trace import get_tracer
+from repro.persist.config import DurabilityConfig
+from repro.persist.journal import DataImage
+from repro.persist.manager import PersistenceManager, SnapshotState
 
 # One cache line per ciphertext block -- a layout contract, shared with
 # the RL001 checker via the contract table.
@@ -130,6 +133,7 @@ class SecureMemory:
         key: bytes,
         correction_method: CorrectionMethod = CorrectionMethod.ACCELERATED,
         registry: MetricRegistry | None = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         if len(key) < 48:
             raise ValueError(
@@ -189,6 +193,77 @@ class SecureMemory:
             ]
             | None
         ) = None
+        #: write-ahead persistence (None = volatile engine, the default)
+        self.persist: PersistenceManager | None = None
+        #: optional resilience-plane state provider folded into durable
+        #: snapshots (installed by ResilientMemory when durability is on)
+        self.resilience_state: Callable[[], dict[str, Any]] | None = None
+        if durability is not None and durability.enabled:
+            self.attach_persistence(
+                PersistenceManager(durability, registry=registry)
+            )
+
+    # -- durability ----------------------------------------------------------
+
+    def attach_persistence(
+        self, manager: PersistenceManager, bootstrap: bool = True
+    ) -> None:
+        """Wire a persistence manager to this engine.
+
+        Binds the durable-state snapshot provider and (unless resuming on
+        a recovered store) seals the epoch-0 checkpoint so recovery always
+        has a redo base.
+        """
+        manager.bind(self._durable_snapshot)
+        self.persist = manager
+        if bootstrap:
+            manager.bootstrap()
+
+    def _durable_snapshot(self) -> SnapshotState:
+        """Everything a checkpoint must capture to rebuild this engine."""
+        data: dict[int, DataImage] = {}
+        for block, ciphertext in self.ciphertexts.items():
+            ecc = self.ecc_fields.get(block)
+            data[block] = DataImage(
+                ciphertext=ciphertext,
+                ecc=ecc.pack() if ecc is not None else None,
+                mac=self.mac_store.get(block),
+            )
+        return {
+            "data": data,
+            "meta": dict(self.counter_storage),
+            "root": self.tree.root_digest(),
+            "scheme_epoch": getattr(self.scheme, "epoch", 0),
+            "resilience": (
+                self.resilience_state()
+                if self.resilience_state is not None
+                else {}
+            ),
+        }
+
+    def restore_block_image(self, block: int, image: DataImage) -> None:
+        """Recovery redo: reinstall one durable data-block image."""
+        self.ciphertexts[block] = image.ciphertext
+        if image.ecc is not None:
+            self.ecc_fields[block] = EccField.unpack(image.ecc)
+        if image.mac is not None:
+            self.mac_store[block] = image.mac
+
+    def restore_group_metadata(self, group: int, metadata: bytes) -> None:
+        """Recovery redo: reinstall one group's serialized counters.
+
+        Feeds the scheme (so in-object state matches storage), the
+        counter storage, and the tree leaf -- after replaying every
+        group the rebuilt root must equal the journaled digest.
+        """
+        self.scheme.restore_group_metadata(group, metadata)
+        self.counter_storage[group] = metadata
+        self.tree.update_leaf(group, self._pad_leaf(metadata))
+
+    def restore_scheme_epoch(self, scheme_epoch: int) -> None:
+        """Recovery redo: reinstall the global re-encryption epoch."""
+        if hasattr(self.scheme, "epoch"):
+            self.scheme.epoch = scheme_epoch
 
     # -- helpers -------------------------------------------------------------
 
@@ -244,25 +319,72 @@ class SecureMemory:
             self.ecc_fields[block] = self._codec.build(
                 ciphertext, address, nonce
             )
+            if self.persist is not None and self.persist.in_txn:
+                self.persist.record_data(
+                    block,
+                    DataImage(
+                        ciphertext=ciphertext,
+                        ecc=self.ecc_fields[block].pack(),
+                    ),
+                )
         else:
             self.mac_store[block] = self._mac.tag(ciphertext, address, nonce)
+            if self.persist is not None and self.persist.in_txn:
+                self.persist.record_data(
+                    block,
+                    DataImage(
+                        ciphertext=ciphertext, mac=self.mac_store[block]
+                    ),
+                )
 
     def _commit_metadata(self, group: int) -> None:
         metadata = self.scheme.group_metadata(group)
         self.counter_storage[group] = metadata
         self.tree.update_leaf(group, self._pad_leaf(metadata))
+        if self.persist is not None and self.persist.in_txn:
+            self.persist.record_meta(group, metadata)
 
     # -- public API -------------------------------------------------------------
 
     def write(self, address: int, data: bytes) -> None:
-        """Encrypt and store one 64-byte block."""
+        """Encrypt and store one 64-byte block.
+
+        With persistence attached, the whole write -- including any
+        overflow-triggered group or global re-encryption -- is one
+        journal transaction: every stored block image and every touched
+        group's metadata land in a single sealed record, so recovery
+        replays it atomically or not at all.
+        """
         if len(data) != BLOCK_BYTES:
             raise ValueError(f"data must be {BLOCK_BYTES} bytes")
+        if self.persist is not None:
+            self.persist.begin_txn()
+        try:
+            global_reencrypt = self._write_inner(address, data)
+        except BaseException:
+            if self.persist is not None:
+                self.persist.abort_txn()
+            raise
+        if self.persist is not None:
+            force = (
+                global_reencrypt
+                and self.persist.config.checkpoint_on_global_reencrypt
+            )
+            self.persist.commit_txn(
+                root=self.tree.root_digest(),
+                scheme_epoch=getattr(self.scheme, "epoch", 0),
+                force_checkpoint=force,
+            )
+
+    def _write_inner(self, address: int, data: bytes) -> bool:
+        """The write data path; returns True on a global re-encryption."""
+        global_reencrypt = False
         with self._probe_write:
             block = self._block_index(address)
             outcome = self.scheme.on_write(block)
             self.counters.writes += 1
             if outcome.has(CounterEvent.GLOBAL_RE_ENCRYPT):
+                global_reencrypt = True
                 self._trace_reencrypt("engine.global_reencrypt", address)
                 with self._probe_reencrypt:
                     self._global_reencrypt(skip_block=block)
@@ -283,6 +405,7 @@ class SecureMemory:
             ciphertext = self._cipher.encrypt(data, nonce, address)
             self._store_block(block, ciphertext, nonce)
             self._commit_metadata(self.scheme.group_of(block))
+        return global_reencrypt
 
     @staticmethod
     def _trace_reencrypt(name: str, address: int, **args: Any) -> None:

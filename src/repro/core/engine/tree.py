@@ -238,6 +238,25 @@ class BonsaiMerkleTree:
         if not leaf or len(leaf) % 8:
             raise ValueError("leaves must be a positive multiple of 8 bytes")
 
+    def root_digest(self) -> int:
+        """Single 64-bit digest of the trusted on-chip level.
+
+        Folds every on-chip node (or bare leaf hash, in the degenerate
+        all-on-chip case) in index order through the keyed mixer.  Two
+        trees over identical counter storage produce identical digests,
+        so checkpoints and journal records can carry "the root" as one
+        integer and recovery can verify a rebuilt tree against it.
+        """
+        acc = splitmix64(self._key ^ 0xB0A541)
+        for index in sorted(self.onchip):
+            node = self.onchip[index]
+            if isinstance(node, bytes):
+                value = node_hash(self._key, node, self._top_level, index)
+            else:
+                value = node  # degenerate case: bare 64-bit leaf hash
+            acc = splitmix64(acc ^ value ^ (index << 1))
+        return acc & _MASK64
+
     def path_nodes(self, index: int) -> list[tuple[int, int]]:
         """(level, node_index) pairs a verify of this leaf touches."""
         out: list[tuple[int, int]] = []

@@ -3,8 +3,8 @@
 A simulator whose exhibits must reproduce bit-for-bit cannot consult
 wallclock time, the process-global random state, or anything else that
 varies between two runs of the same seed.  This checker flags, in the
-simulation packages (``core/``, ``memsim/``, ``resilience/``,
-``workloads/``):
+simulation packages (``core/``, ``memsim/``, ``persist/``,
+``resilience/``, ``workloads/``):
 
 * **wallclock reads** -- ``time.time``/``monotonic``/``perf_counter``
   (and ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
@@ -115,7 +115,7 @@ class DeterminismChecker(Checker):
         "simulation paths must not read wallclock, use unseeded RNGs, "
         "or iterate unordered sets"
     )
-    scopes = ("core/", "memsim/", "resilience/", "workloads/")
+    scopes = ("core/", "memsim/", "persist/", "resilience/", "workloads/")
     #: wallclock is the obs plane's whole job; analysis/harness may talk
     #: to the host.
     exempt_scopes = ("obs/",)

@@ -170,8 +170,54 @@ def _resilience_specs() -> list[MetricSpec]:
                    "scrub-detected MAC parity failures"),
         MetricSpec("scrub.repair_read", "counter",
                    "full authenticated re-reads issued by scrub"),
+        MetricSpec("resilience.errlog.evicted", "counter",
+                   "error-log records rotated out of the bounded window"),
+        MetricSpec("resilience.spares_exhausted", "counter",
+                   "retirements refused because the spare pool was empty"),
     ]
     return out
+
+
+def _persist_specs() -> list[MetricSpec]:
+    """The durability plane: write-ahead journal, checkpoints, recovery."""
+    return [
+        MetricSpec("persist.txn.commit", "counter",
+                   "journaled write transactions sealed (the ack point)"),
+        MetricSpec("persist.txn.data_blocks", "counter",
+                   "data-block images carried by committed records"),
+        MetricSpec("persist.txn.meta_groups", "counter",
+                   "counter-metadata blocks carried by committed records"),
+        MetricSpec("persist.journal.append", "counter",
+                   "journal record payload writes"),
+        MetricSpec("persist.journal.seal", "counter",
+                   "journal record seals (atomic commit marks)"),
+        MetricSpec("persist.journal.bytes", "counter",
+                   "journal payload bytes appended"),
+        MetricSpec("persist.journal.truncate", "counter",
+                   "journal truncations (post-checkpoint)"),
+        MetricSpec("persist.journal.live_records", "gauge",
+                   "records currently in the journal region"),
+        MetricSpec("persist.checkpoint.write", "counter",
+                   "epoch checkpoints written and sealed"),
+        MetricSpec("persist.checkpoint.bytes", "counter",
+                   "ciphertext bytes captured by checkpoints"),
+        MetricSpec("persist.resilience.append", "counter",
+                   "resilience-plane events journaled"),
+        MetricSpec("recovery.run", "counter",
+                   "recovery state-machine invocations"),
+        MetricSpec("recovery.redo.records", "counter",
+                   "journal records replayed by redo"),
+        MetricSpec("recovery.discarded.torn", "counter",
+                   "torn journal tails discarded by the scan"),
+        MetricSpec("recovery.discarded.unsealed", "counter",
+                   "unsealed journal tails discarded by the scan"),
+        MetricSpec("recovery.verify.root_ok", "counter",
+                   "recoveries whose rebuilt root matched"),
+        MetricSpec("recovery.verify.fail", "counter",
+                   "recoveries refused by the verify phase"),
+        MetricSpec("recovery.resilience.replayed", "counter",
+                   "resilience events surfaced during recovery"),
+    ]
 
 
 _SPECS: list[MetricSpec] = (
@@ -179,6 +225,7 @@ _SPECS: list[MetricSpec] = (
     + _counter_specs()
     + _memsim_specs()
     + _resilience_specs()
+    + _persist_specs()
     + [
         MetricSpec("probe.*", "histogram",
                    "wallclock span per probe point (one per site)"),

@@ -1,0 +1,41 @@
+"""repro.persist: crash-consistent metadata for the secure-memory engine.
+
+The paper's delta-encoded counters pack all 64 counters of a 4 KB
+block-group into one 64-byte metadata block (Section 4), so a single
+torn or lost metadata write has a 64-block blast radius -- and with
+MAC-in-ECC (Section 3) there is no independent parity lane to notice.
+This package supplies the durability layer the detector itself lacks:
+
+* :mod:`repro.persist.store` -- the simulated stable-storage device,
+  with numbered mutation steps and deterministic crash injection;
+* :mod:`repro.persist.journal` -- CRC-framed write-ahead records
+  (physical redo: data blocks + counter metadata + tree root per
+  transaction);
+* :mod:`repro.persist.checkpoint` -- shadow-slot epoch checkpoints that
+  bound journal growth and recovery time;
+* :mod:`repro.persist.manager` -- :class:`PersistenceManager`, the
+  engine-facing write-ahead pipeline behind a :class:`DurabilityConfig`;
+* :mod:`repro.persist.recovery` -- the explicit recovery state machine
+  (scan -> redo -> rebuild root -> verify -> resume) with typed
+  :class:`RecoveryReport`\\ s;
+* :mod:`repro.persist.crashsim` -- the exhaustive crash-point injection
+  harness behind ``repro crash``.
+"""
+
+from repro.persist.config import DurabilityConfig
+from repro.persist.manager import PersistenceManager
+from repro.persist.store import CrashPlan, DurableStore, SimulatedCrash
+
+# NOTE: repro.persist.recovery and repro.persist.crashsim are *not*
+# re-exported here: they import the engine, and the engine imports this
+# package (for DurabilityConfig / PersistenceManager), so pulling them in
+# at package-import time would close an import cycle.  Import them by
+# their full module path.
+
+__all__ = [
+    "CrashPlan",
+    "DurabilityConfig",
+    "DurableStore",
+    "PersistenceManager",
+    "SimulatedCrash",
+]

@@ -1,0 +1,115 @@
+"""Epoch checkpoints: the journal's garbage collector and redo base.
+
+A checkpoint is a full serialization of the engine's durable state --
+every stored data-block image, every group's counter metadata, the
+Bonsai root digest, the counter-scheme epoch, and the resilience plane
+(quarantine map, error log).  Checkpoints are written shadow-paged: the
+body lands in the inactive slot (tearable), the seal validates it
+atomically, and only then is the journal truncated -- so at every
+instant at least one sealed checkpoint plus a suffix of sealed journal
+records reconstructs the last acknowledged state.
+
+The same CRC framing as journal records guards the body; a torn
+checkpoint body fails its CRC and recovery falls back to the previous
+epoch's slot.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.persist.journal import DataImage, RecordCorrupt
+from repro.persist.store import DurableStore
+
+_CRC_BYTES = 4
+
+
+@dataclass
+class Checkpoint:
+    """One full durable-state snapshot."""
+
+    epoch: int
+    next_lsn: int  # first journal LSN not folded into this snapshot
+    data: dict[int, DataImage] = field(default_factory=dict)
+    meta: dict[int, bytes] = field(default_factory=dict)
+    root: int = 0
+    scheme_epoch: int = 0
+    #: opaque resilience-plane state (quarantine/errlog ``state_dict``\ s)
+    resilience: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "next_lsn": self.next_lsn,
+            "data": {str(b): img.to_json() for b, img in self.data.items()},
+            "meta": {str(g): m.hex() for g, m in self.meta.items()},
+            "root": self.root,
+            "scheme_epoch": self.scheme_epoch,
+            "resilience": self.resilience,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict[str, Any]) -> Checkpoint:
+        return cls(
+            epoch=obj["epoch"],
+            next_lsn=obj["next_lsn"],
+            data={
+                int(b): DataImage.from_json(img)
+                for b, img in obj["data"].items()
+            },
+            meta={int(g): bytes.fromhex(m) for g, m in obj["meta"].items()},
+            root=obj["root"],
+            scheme_epoch=obj.get("scheme_epoch", 0),
+            resilience=obj.get("resilience", {}),
+        )
+
+
+def encode_checkpoint(checkpoint: Checkpoint) -> bytes:
+    body = json.dumps(
+        checkpoint.to_json(), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return body + zlib.crc32(body).to_bytes(_CRC_BYTES, "little")
+
+
+def decode_checkpoint(payload: bytes) -> Checkpoint:
+    if len(payload) <= _CRC_BYTES:
+        raise RecordCorrupt("checkpoint shorter than its CRC frame")
+    body, crc = payload[:-_CRC_BYTES], payload[-_CRC_BYTES:]
+    if zlib.crc32(body) != int.from_bytes(crc, "little"):
+        raise RecordCorrupt("checkpoint CRC mismatch (torn write)")
+    try:
+        return Checkpoint.from_json(json.loads(body.decode("utf-8")))
+    except (KeyError, ValueError, TypeError) as err:
+        raise RecordCorrupt(f"malformed checkpoint: {err}") from err
+
+
+def write_checkpoint(store: DurableStore, checkpoint: Checkpoint) -> None:
+    """Shadow-write, seal, then truncate the journal (three steps)."""
+    slot = store.inactive_slot()
+    store.checkpoint_write(
+        slot, encode_checkpoint(checkpoint), checkpoint.epoch
+    )
+    store.checkpoint_seal(slot, checkpoint.epoch)
+    store.journal_truncate()
+
+
+def load_latest_checkpoint(store: DurableStore) -> Checkpoint | None:
+    """Newest sealed checkpoint whose body validates, or None."""
+    for slot in store.sealed_checkpoints():
+        try:
+            return decode_checkpoint(slot.payload)
+        except RecordCorrupt:
+            continue  # sealed-but-unreadable slot: fall back one epoch
+    return None
+
+
+__all__ = [
+    "Checkpoint",
+    "decode_checkpoint",
+    "encode_checkpoint",
+    "load_latest_checkpoint",
+    "write_checkpoint",
+]

@@ -1,0 +1,225 @@
+"""PersistenceManager: the engine's write-ahead pipeline.
+
+Sits between :class:`~repro.core.engine.secure_memory.SecureMemory` and
+the :class:`~repro.persist.store.DurableStore`, below the engine in the
+import graph (it never imports it; the engine hands state over through
+callbacks and explicit arguments).
+
+Protocol, per engine write::
+
+    manager.begin_txn()
+    ... engine stores blocks / commits group metadata, mirroring each
+        into the open transaction via record_data()/record_meta() ...
+    manager.commit_txn(root=tree.root_digest(), scheme_epoch=epoch)
+
+``commit_txn`` appends one CRC-framed :class:`TxnRecord` and seals it --
+the seal is the *acknowledgement barrier*: a write whose seal step
+completed must survive any later crash, a write whose seal never landed
+may vanish (but can never leave mixed state, because redo replays whole
+records only).  Checkpoint cadence (every ``checkpoint_interval``
+commits, on journal overflow, and after global re-encryptions) folds the
+journal into a shadow-slot snapshot obtained from the bound provider.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricRegistry, get_registry
+from repro.persist.checkpoint import Checkpoint, write_checkpoint
+from repro.persist.config import DurabilityConfig
+from repro.persist.journal import (
+    DataImage,
+    ResilienceRecord,
+    TxnRecord,
+    encode_record,
+)
+from repro.persist.store import DurableStore
+
+#: what the engine's snapshot provider must return (Checkpoint fields
+#: minus the epoch/LSN bookkeeping, which the manager owns)
+SnapshotState = dict[str, Any]
+
+
+class PersistenceManager:
+    """Write-ahead journaling + epoch checkpointing for one engine."""
+
+    def __init__(
+        self,
+        config: DurabilityConfig,
+        store: DurableStore | None = None,
+        registry: MetricRegistry | None = None,
+    ) -> None:
+        registry = registry if registry is not None else get_registry()
+        self.config = config
+        self.store = store if store is not None else DurableStore()
+        self._snapshot_fn: Callable[[], SnapshotState] | None = None
+        self._next_lsn = 0
+        self._epoch = 0
+        self._commits_since_checkpoint = 0
+        self._txn_data: dict[int, DataImage] | None = None
+        self._txn_meta: dict[int, bytes] | None = None
+        self._m_commit = registry.counter("persist.txn.commit")
+        self._m_data_blocks = registry.counter("persist.txn.data_blocks")
+        self._m_meta_groups = registry.counter("persist.txn.meta_groups")
+        self._m_append = registry.counter("persist.journal.append")
+        self._m_seal = registry.counter("persist.journal.seal")
+        self._m_bytes = registry.counter("persist.journal.bytes")
+        self._m_truncate = registry.counter("persist.journal.truncate")
+        self._g_live = registry.gauge("persist.journal.live_records")
+        self._m_cp_write = registry.counter("persist.checkpoint.write")
+        self._m_cp_bytes = registry.counter("persist.checkpoint.bytes")
+        self._m_res_append = registry.counter("persist.resilience.append")
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, snapshot_fn: Callable[[], SnapshotState]) -> None:
+        """Install the durable-state provider (the engine's snapshot)."""
+        self._snapshot_fn = snapshot_fn
+
+    def bootstrap(self) -> None:
+        """Seal the epoch-0 checkpoint on a fresh store.
+
+        A store that already holds a sealed checkpoint (recovery resume)
+        is left alone -- call :meth:`resume` instead.
+        """
+        if not self.store.sealed_checkpoints():
+            self.checkpoint()
+
+    def resume(self, next_lsn: int, epoch: int) -> None:
+        """Continue on a recovered store: LSNs and epochs keep growing."""
+        self._next_lsn = next_lsn
+        self._epoch = epoch
+        self._commits_since_checkpoint = 0
+        self._g_live.set(self.store.live_records)
+
+    # -- transactions ---------------------------------------------------------
+
+    @property
+    def in_txn(self) -> bool:
+        return self._txn_data is not None
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    def begin_txn(self) -> None:
+        if self.in_txn:
+            raise RuntimeError("transaction already open")
+        self._txn_data = {}
+        self._txn_meta = {}
+
+    def record_data(self, block: int, image: DataImage) -> None:
+        """Mirror one stored data block into the open transaction."""
+        if self._txn_data is None:
+            raise RuntimeError("no open transaction")
+        self._txn_data[block] = image
+
+    def record_meta(self, group: int, metadata: bytes) -> None:
+        """Mirror one committed counter-metadata block."""
+        if self._txn_meta is None:
+            raise RuntimeError("no open transaction")
+        self._txn_meta[group] = metadata
+
+    def commit_txn(
+        self,
+        root: int,
+        scheme_epoch: int = 0,
+        *,
+        force_checkpoint: bool = False,
+    ) -> int:
+        """Append + seal the record; returns its LSN (the ack point)."""
+        if self._txn_data is None or self._txn_meta is None:
+            raise RuntimeError("no open transaction")
+        record = TxnRecord(
+            lsn=self._next_lsn,
+            data=self._txn_data,
+            meta=self._txn_meta,
+            root=root,
+            scheme_epoch=scheme_epoch,
+        )
+        self._txn_data = None
+        self._txn_meta = None
+        lsn = self._append_sealed(record, f"lsn={record.lsn}")
+        self._m_commit.inc()
+        self._m_data_blocks.inc(len(record.data))
+        self._m_meta_groups.inc(len(record.meta))
+        self._commits_since_checkpoint += 1
+        self._maybe_checkpoint(force=force_checkpoint)
+        return lsn
+
+    def abort_txn(self) -> None:
+        """Drop an open transaction without journaling anything.
+
+        Nothing reached the store yet (mirroring is in-memory until
+        :meth:`commit_txn`), so aborting is purely local bookkeeping.
+        """
+        self._txn_data = None
+        self._txn_meta = None
+
+    def append_resilience(self, event: str, payload: dict[str, Any]) -> int:
+        """Journal one resilience-plane event as its own sealed record."""
+        record = ResilienceRecord(
+            lsn=self._next_lsn, event=event, payload=payload
+        )
+        lsn = self._append_sealed(record, f"res:{event}")
+        self._m_res_append.inc()
+        self._maybe_checkpoint()
+        return lsn
+
+    def _append_sealed(self, record: Any, label: str) -> int:
+        payload = encode_record(record)
+        index = self.store.journal_append(payload, label)
+        self._m_append.inc()
+        self._m_bytes.inc(len(payload))
+        self.store.journal_seal(index, label)
+        self._m_seal.inc()
+        self._next_lsn = record.lsn + 1
+        self._g_live.set(self.store.live_records)
+        return record.lsn
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _maybe_checkpoint(self, force: bool = False) -> None:
+        interval = self.config.checkpoint_interval
+        capacity = self.config.journal_capacity_records
+        due = (
+            force
+            or (interval and self._commits_since_checkpoint >= interval)
+            or (capacity and self.store.live_records >= capacity)
+        )
+        if due:
+            self.checkpoint()
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the bound engine state into the next epoch's slot."""
+        state: SnapshotState = (
+            self._snapshot_fn() if self._snapshot_fn is not None else {}
+        )
+        checkpoint = Checkpoint(
+            epoch=self._epoch,
+            next_lsn=self._next_lsn,
+            data=state.get("data", {}),
+            meta=state.get("meta", {}),
+            root=state.get("root", 0),
+            scheme_epoch=state.get("scheme_epoch", 0),
+            resilience=state.get("resilience", {}),
+        )
+        payload_size = sum(
+            len(img.ciphertext) for img in checkpoint.data.values()
+        )
+        write_checkpoint(self.store, checkpoint)
+        self._m_cp_write.inc()
+        self._m_cp_bytes.inc(payload_size)
+        self._m_truncate.inc()
+        self._g_live.set(self.store.live_records)
+        self._epoch += 1
+        self._commits_since_checkpoint = 0
+        return checkpoint
+
+
+__all__ = ["PersistenceManager", "SnapshotState"]

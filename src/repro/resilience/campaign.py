@@ -243,6 +243,36 @@ class CampaignReport:
         """Every injected fault terminated in exactly one primary outcome."""
         return self.injected_total == self.primary_total
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``repro resilience --json-out`` artifact).
+
+        Carries the seed so any emitted result can be re-run exactly.
+        """
+        return {
+            "operations": self.operations,
+            "seed": self.seed,
+            "injected": dict(sorted(self.injected.items())),
+            "primary": {
+                model: dict(sorted(counts.items()))
+                for model, counts in sorted(self.primary.items())
+            },
+            "injected_total": self.injected_total,
+            "primary_total": self.primary_total,
+            "reconciles": self.reconciles(),
+            "due_rewrites": self.due_rewrites,
+            "reads": self.reads,
+            "writes": self.writes,
+            "sdc_total": self.sdc_total,
+            "cycles_spent": self.cycles_spent,
+            "log_events": self.log_events,
+            "ce_total": self.ce_total,
+            "due_total": self.due_total,
+            "retired_blocks": self.retired_blocks,
+            "degraded_blocks": self.degraded_blocks,
+            "spares_remaining": self.spares_remaining,
+            "capacity_blocks": self.capacity_blocks,
+        }
+
     def format(self) -> str:
         """Reliability summary tables (harness/reporting style)."""
         rows = []

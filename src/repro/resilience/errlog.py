@@ -73,11 +73,34 @@ class ErrorRecord:
 
 
 class ErrorLog:
-    """Append-only event log with CE/DUE/SDC accounting."""
+    """Bounded event log with *lifetime* CE/DUE/SDC accounting.
 
-    def __init__(self, registry: MetricRegistry | None = None):
+    Like a real MCA bank, the record window is finite: ``capacity``
+    bounds ``records``, and once full the oldest entries rotate out
+    (counted by ``evicted`` and the ``resilience.errlog.evicted``
+    metric).  All accounting -- the CE/DUE/SDC totals, cycle charge, and
+    the per-fault-class outcome matrix -- is maintained as running
+    lifetime totals on append, so rotation never skews reconciliation:
+    campaigns can drop the window to a few entries and the summary table
+    still balances against the injection count.
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry | None = None,
+        capacity: int | None = 4096,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
         registry = registry if registry is not None else get_registry()
+        self.capacity = capacity
         self.records: list[ErrorRecord] = []
+        #: lifetime count of records rotated out of the window
+        self.evicted = 0
+        self._seq = 0
+        self._lifetime: Counter = Counter()  # EventOutcome -> count
+        self._lifetime_cycles = 0
+        self._lifetime_by_class: dict[str, Counter] = {}
         # One registry counter per outcome class, pre-created so the
         # CE/DUE/SDC rows exist (at zero) in every snapshot.
         self._m_outcomes = {
@@ -85,6 +108,7 @@ class ErrorLog:
             for outcome in EventOutcome
         }
         self._m_cycles = registry.counter("resilience.cycles_spent")
+        self._m_evicted = registry.counter("resilience.errlog.evicted")
 
     def log(
         self,
@@ -102,7 +126,7 @@ class ErrorLog:
         detail: str = "",
     ) -> ErrorRecord:
         record = ErrorRecord(
-            seq=len(self.records),
+            seq=self._seq,
             cycle=cycle,
             address=address,
             logical_address=logical_address,
@@ -115,23 +139,39 @@ class ErrorLog:
             fault_id=fault_id,
             detail=detail,
         )
+        self._seq += 1
         self.records.append(record)
+        if self.capacity is not None and len(self.records) > self.capacity:
+            overflow = len(self.records) - self.capacity
+            del self.records[:overflow]
+            self.evicted += overflow
+            self._m_evicted.inc(overflow)
+        self._lifetime[outcome] += 1
+        self._lifetime_by_class.setdefault(fault_class, Counter())[
+            outcome
+        ] += 1
         self._m_outcomes[outcome].inc()
         if cycles_spent:
+            self._lifetime_cycles += cycles_spent
             self._m_cycles.inc(cycles_spent)
         return record
 
-    # -- accounting ---------------------------------------------------------
+    # -- accounting (lifetime totals; rotation-proof) ------------------------
 
     def __len__(self) -> int:
-        return len(self.records)
+        """Lifetime event count (the window may hold fewer records)."""
+        return self._seq
 
     def count(self, outcome: EventOutcome) -> int:
-        return sum(1 for r in self.records if r.outcome is outcome)
+        return self._lifetime[outcome]
 
     @property
     def ce_total(self) -> int:
-        return sum(1 for r in self.records if r.outcome.is_ce)
+        return sum(
+            count
+            for outcome, count in self._lifetime.items()
+            if outcome.is_ce
+        )
 
     @property
     def due_total(self) -> int:
@@ -147,18 +187,74 @@ class ErrorLog:
 
     @property
     def cycles_total(self) -> int:
-        return sum(r.cycles_spent for r in self.records)
+        return self._lifetime_cycles
 
     def events_for(self, address: int) -> list[ErrorRecord]:
-        """All events on one physical block address, in order."""
+        """Windowed events on one physical block address, in order."""
         return [r for r in self.records if r.address == address]
 
     def by_fault_class(self) -> dict[str, Counter]:
-        """fault class -> Counter of outcomes."""
-        out: dict[str, Counter] = {}
-        for record in self.records:
-            out.setdefault(record.fault_class, Counter())[record.outcome] += 1
-        return out
+        """fault class -> Counter of outcomes (lifetime)."""
+        return {
+            fault_class: Counter(counts)
+            for fault_class, counts in self._lifetime_by_class.items()
+        }
+
+    # -- durable state (persist checkpoints) ---------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe lifetime accounting for durable checkpoints.
+
+        The record *window* is deliberately excluded: it is diagnostic
+        detail, while the totals are what reconciliation (and the
+        anti-replay audit trail) must never lose.
+        """
+        return {
+            "seq": self._seq,
+            "evicted": self.evicted,
+            "cycles": self._lifetime_cycles,
+            "outcomes": {
+                outcome.value: count
+                for outcome, count in sorted(
+                    self._lifetime.items(), key=lambda kv: kv[0].value
+                )
+                if count
+            },
+            "by_class": {
+                fault_class: {
+                    outcome.value: count
+                    for outcome, count in sorted(
+                        counts.items(), key=lambda kv: kv[0].value
+                    )
+                    if count
+                }
+                for fault_class, counts in sorted(
+                    self._lifetime_by_class.items()
+                )
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reload lifetime accounting (crash recovery)."""
+        self._seq = state["seq"]
+        self.evicted = state["evicted"]
+        self._lifetime_cycles = state["cycles"]
+        self._lifetime = Counter(
+            {
+                EventOutcome(value): count
+                for value, count in state["outcomes"].items()
+            }
+        )
+        self._lifetime_by_class = {
+            fault_class: Counter(
+                {
+                    EventOutcome(value): count
+                    for value, count in counts.items()
+                }
+            )
+            for fault_class, counts in state["by_class"].items()
+        }
+        self.records = []
 
     # -- reporting ----------------------------------------------------------
 

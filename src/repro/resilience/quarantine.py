@@ -33,6 +33,26 @@ from dataclasses import dataclass, field
 BLOCK_BYTES = 64
 
 
+class SparesExhausted(RuntimeError):
+    """Retirement was requested but the spare pool is empty.
+
+    Typed (rather than a ``None`` return) so callers cannot silently
+    ignore the capacity event: the runtime catches it, bumps the
+    ``resilience.spares_exhausted`` metric, and degrades gracefully; an
+    uncaught escape names the logical block and pool size instead of
+    failing opaquely downstream.  The logical block is marked degraded
+    *before* raising, so even a careless caller leaves the map honest.
+    """
+
+    def __init__(self, logical: int, spare_blocks: int) -> None:
+        super().__init__(
+            f"cannot retire logical block {logical}: all "
+            f"{spare_blocks} spare blocks are in use"
+        )
+        self.logical = logical
+        self.spare_blocks = spare_blocks
+
+
 @dataclass
 class BlockHealth:
     """Per-physical-block error history."""
@@ -135,15 +155,16 @@ class QuarantineMap:
 
     # -- retirement ---------------------------------------------------------
 
-    def retire(self, logical: int) -> int | None:
+    def retire(self, logical: int) -> int:
         """Retire the block serving ``logical``; return its new physical
-        block, or None when the spare pool is exhausted (the logical
-        block is then marked degraded and keeps its current mapping)."""
+        block.  Raises :class:`SparesExhausted` when the pool is empty
+        (the logical block is then marked degraded and keeps its current
+        mapping)."""
         self._check_logical(logical)
         old_physical = self.physical(logical)
         if not self._free_spares:
             self._degraded.add(logical)
-            return None
+            raise SparesExhausted(logical, self.spare_blocks)
         spare = self._free_spares.popleft()
         self._retired[old_physical] = logical
         self._reverse.pop(old_physical, None)  # spare being re-retired
@@ -182,5 +203,48 @@ class QuarantineMap:
         """Current non-identity logical->physical mappings."""
         return dict(self._map)
 
+    # -- durable state (persist checkpoints) ---------------------------------
 
-__all__ = ["QuarantineMap", "BlockHealth", "BLOCK_BYTES"]
+    def state_dict(self) -> dict:
+        """JSON-safe translation + health state for durable checkpoints.
+
+        A crash must not resurrect a retired block (it would serve
+        traffic from known-bad cells) nor forget a remapping (reads
+        would hit the wrong physical block and fail authentication), so
+        the whole map rides in every checkpoint.
+        """
+        return {
+            "map": {str(k): v for k, v in sorted(self._map.items())},
+            "free_spares": list(self._free_spares),
+            "retired": {
+                str(k): v for k, v in sorted(self._retired.items())
+            },
+            "degraded": sorted(self._degraded),
+            "health": {
+                str(physical): {
+                    "ce": health.ce_events,
+                    "due": health.due_events,
+                    "classes": sorted(health.fault_classes),
+                }
+                for physical, health in sorted(self.health.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reload translation + health state (crash recovery)."""
+        self._map = {int(k): v for k, v in state["map"].items()}
+        self._reverse = {v: k for k, v in self._map.items()}
+        self._free_spares = deque(state["free_spares"])
+        self._retired = {int(k): v for k, v in state["retired"].items()}
+        self._degraded = set(state["degraded"])
+        self.health = {
+            int(physical): BlockHealth(
+                ce_events=entry["ce"],
+                due_events=entry["due"],
+                fault_classes=set(entry["classes"]),
+            )
+            for physical, entry in state["health"].items()
+        }
+
+
+__all__ = ["QuarantineMap", "BlockHealth", "SparesExhausted", "BLOCK_BYTES"]

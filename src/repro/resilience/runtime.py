@@ -35,8 +35,9 @@ from repro.core.engine.config import EngineConfig
 from repro.core.engine.secure_memory import BLOCK_BYTES, SecureMemory
 from repro.obs.metrics import MetricRegistry, get_registry
 from repro.obs.probe import ProbePoint
+from repro.persist.config import DurabilityConfig
 from repro.resilience.errlog import ErrorLog, EventOutcome
-from repro.resilience.quarantine import QuarantineMap
+from repro.resilience.quarantine import QuarantineMap, SparesExhausted
 from repro.resilience.recovery import (
     RecoveredRead,
     RecoveryPolicy,
@@ -75,10 +76,14 @@ class ResilientMemory:
         due_threshold: int = 2,
         retry_policy: RetryPolicy | None = None,
         registry: MetricRegistry | None = None,
+        durability: DurabilityConfig | None = None,
+        errlog_capacity: int | None = 4096,
     ):
         registry = registry if registry is not None else get_registry()
         self.registry = registry
-        self.memory = SecureMemory(config, key, registry=registry)
+        self.memory = SecureMemory(
+            config, key, registry=registry, durability=durability
+        )
         total = self.memory.scheme.total_blocks
         if spare_blocks is None:
             # Default: ~1.5% of capacity, at least one block.
@@ -93,7 +98,7 @@ class ResilientMemory:
             retry_policy or RetryPolicy(),
             mac_check_cycles=config.mac_check_cycles,
         )
-        self.log = ErrorLog(registry=registry)
+        self.log = ErrorLog(registry=registry, capacity=errlog_capacity)
         self.scrubber = (
             Scrubber(self.memory.codec, registry=registry)
             if config.mac_in_ecc
@@ -102,6 +107,13 @@ class ResilientMemory:
         self._m_repair_reads = registry.counter("scrub.repair_read")
         self._g_spares = registry.gauge("resilience.spares_remaining")
         self._g_spares.set(self.quarantine.spares_remaining)
+        self._m_spares_exhausted = registry.counter(
+            "resilience.spares_exhausted"
+        )
+        # Fold quarantine/errlog state into durable checkpoints, and
+        # journal retirement events, so a crash cannot resurrect a
+        # retired block or lose the CE history that retired it.
+        self.memory.resilience_state = self._resilience_state
         self._probe_read = ProbePoint("resilience.read", registry=registry)
         self.cycle = 0  # simulated clock, advanced by recovery work
         # Registered faults, all keyed by *physical* block index.
@@ -250,6 +262,17 @@ class ResilientMemory:
                 self._retire(logical, physical, None, fault_class)
         return rec
 
+    def _resilience_state(self) -> dict:
+        """Durable-snapshot provider installed on the engine."""
+        return {
+            "quarantine": self.quarantine.state_dict(),
+            "errlog": self.log.state_dict(),
+        }
+
+    def _journal_resilience(self, event: str, payload: dict) -> None:
+        if self.memory.persist is not None:
+            self.memory.persist.append_resilience(event, payload)
+
     def _retire(
         self,
         logical: int,
@@ -257,10 +280,11 @@ class ResilientMemory:
         data: bytes | None,
         fault_class: str,
     ) -> None:
-        spare = self.quarantine.retire(logical)
-        self._g_spares.set(self.quarantine.spares_remaining)
         fault_id = self._fault_id.get(physical)
-        if spare is None:
+        try:
+            spare = self.quarantine.retire(logical)
+        except SparesExhausted as exhausted:
+            self._m_spares_exhausted.inc()
             self.log.log(
                 cycle=self.cycle,
                 address=physical * BLOCK_BYTES,
@@ -268,9 +292,13 @@ class ResilientMemory:
                 fault_class=fault_class,
                 outcome=EventOutcome.DEGRADED,
                 fault_id=fault_id,
-                detail="spare pool exhausted; serving degraded",
+                detail=f"serving degraded: {exhausted}",
+            )
+            self._journal_resilience(
+                "degrade", {"logical": logical, "physical": physical}
             )
             return
+        self._g_spares.set(self.quarantine.spares_remaining)
         if data is not None:
             # Relocate through the normal write path: fresh counter,
             # fresh MAC -- the remapped block authenticates cleanly.
@@ -286,6 +314,10 @@ class ResilientMemory:
                 f"remapped to physical block {spare}"
                 + ("" if data is not None else " (data lost)")
             ),
+        )
+        self._journal_resilience(
+            "retire",
+            {"logical": logical, "physical": physical, "spare": spare},
         )
 
     # -- scrubbing ----------------------------------------------------------

@@ -1,0 +1,128 @@
+"""The exhaustive crash-point matrix: coverage, determinism, verdicts."""
+
+import json
+
+import pytest
+
+from repro.persist.crashsim import (
+    CrashSimSpec,
+    build_workload,
+    enumerate_points,
+    parse_point,
+    point_id,
+    run_matrix,
+    run_point,
+    run_workload,
+)
+from repro.persist.store import CrashPlan
+
+#: Small enough for an exhaustive matrix in a unit test, big enough to
+#: cross a checkpoint boundary and overflow the 2-bit deltas.
+SMALL = CrashSimSpec(ops=8, checkpoint_interval=3)
+
+
+class TestWorkloadDeterminism:
+    def test_workload_is_pure_function_of_seed(self):
+        assert build_workload(SMALL) == build_workload(SMALL)
+        other = CrashSimSpec(ops=8, checkpoint_interval=3, seed=7)
+        assert build_workload(other) != build_workload(SMALL)
+
+    def test_baseline_trace_is_stable(self):
+        first = run_workload(SMALL).trace
+        second = run_workload(SMALL).trace
+        assert first == second
+        assert first[0].label.startswith("checkpoint.write")  # bootstrap
+
+
+class TestPointEnumeration:
+    def test_skip_everywhere_torn_on_tearable(self):
+        trace = run_workload(SMALL).trace
+        points = enumerate_points(trace)
+        skips = [p for p in points if p.phase == "skip"]
+        torns = [p for p in points if p.phase == "torn"]
+        assert len(skips) == len(trace)
+        assert len(torns) == sum(1 for r in trace if r.tearable)
+
+    def test_point_id_round_trips(self):
+        for plan in (CrashPlan(0), CrashPlan(17, "torn")):
+            assert parse_point(point_id(plan)) == plan
+        assert parse_point("5") == CrashPlan(5, "skip")
+
+    @pytest.mark.parametrize("bad", ["", "x:skip", "3:melt", "-1:skip"])
+    def test_bad_points_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_point(bad)
+
+
+class TestSinglePoint:
+    def test_point_reproduces_bit_for_bit(self):
+        """`repro crash --point` twice must agree on everything -- the
+        acceptance criterion for deterministic reproduction."""
+        plan = enumerate_points(run_workload(SMALL).trace)[5]
+        first = run_point(SMALL, plan)
+        second = run_point(SMALL, plan)
+        assert json.dumps(first.to_json(), sort_keys=True) == json.dumps(
+            second.to_json(), sort_keys=True
+        )
+
+    def test_unreached_step_is_flagged(self):
+        outcome = run_point(SMALL, CrashPlan(10_000, "skip"))
+        assert not outcome.crashed
+        assert not outcome.clean
+        assert outcome.violations == ["armed step was never reached"]
+        assert outcome.label == "<never reached>"
+
+    def test_outcome_json_names_the_step(self):
+        plan = CrashPlan(0, "torn")
+        obj = run_point(SMALL, plan).to_json()
+        assert obj["point"] == "0:torn"
+        assert obj["label"].startswith("checkpoint.write")
+        assert obj["crashed"] and obj["recovered"]
+
+
+class TestMatrix:
+    def test_exhaustive_matrix_is_clean(self):
+        report = run_matrix(SMALL)
+        assert report.exhaustive
+        assert report.ok, report.format_summary()
+        assert report.clean_points == report.total_points > 0
+
+    def test_bounded_subset_spreads_evenly(self):
+        report = run_matrix(SMALL, limit=5, stride=3)
+        assert report.run_points == 5
+        assert not report.exhaustive
+        steps = [parse_point(o.point).step for o in report.outcomes]
+        assert steps == sorted(steps)
+
+    def test_summary_and_json_agree(self):
+        report = run_matrix(SMALL, limit=3)
+        obj = report.to_json()
+        assert obj["run_points"] == 3
+        assert obj["ok"] == report.ok
+        assert "points clean" in report.format_summary()
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            run_matrix(SMALL, stride=0)
+
+
+class TestCrossSchemeSmoke:
+    """One bounded pass per preset family: the matrix must stay clean
+    regardless of the counter representation and MAC lane."""
+
+    @pytest.mark.parametrize(
+        "preset,kwargs",
+        [
+            ("bmt_baseline", (("counter_bits", 3),)),
+            ("mac_in_ecc", (("counter_bits", 3),)),
+            ("combined_dual",
+             (("base_delta_bits", 2), ("extension_bits", 2))),
+        ],
+    )
+    def test_bounded_matrix_clean(self, preset, kwargs):
+        spec = CrashSimSpec(
+            preset=preset, scheme_kwargs=kwargs, ops=6,
+            checkpoint_interval=3,
+        )
+        report = run_matrix(spec, stride=4)
+        assert report.ok, report.format_summary()

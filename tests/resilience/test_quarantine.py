@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.resilience.quarantine import QuarantineMap
+from repro.resilience.quarantine import QuarantineMap, SparesExhausted
 
 
 @pytest.fixture
@@ -81,7 +81,10 @@ class TestRetirement:
         for logical in range(4):
             assert qmap.retire(logical) is not None
         assert qmap.spares_remaining == 0
-        assert qmap.retire(20) is None
+        with pytest.raises(SparesExhausted) as excinfo:
+            qmap.retire(20)
+        assert excinfo.value.logical == 20
+        assert excinfo.value.spare_blocks == 4
         assert qmap.is_degraded(20)
         assert qmap.physical(20) == 20  # keeps serving in place
         assert qmap.degraded_count == 1
@@ -89,7 +92,8 @@ class TestRetirement:
     def test_degraded_block_recovers_flag_if_later_retired(self):
         qmap = QuarantineMap(8, 1, ce_threshold=1)
         assert qmap.retire(0) == 7
-        assert qmap.retire(1) is None
+        with pytest.raises(SparesExhausted):
+            qmap.retire(1)
         assert qmap.is_degraded(1)
         # No spares ever return in this model; the flag stays.
         assert qmap.degraded_count == 1

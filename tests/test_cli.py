@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -100,6 +102,57 @@ class TestResilience:
              "--stuck-rate", "0.0"]
         )
         assert code == 0
+
+
+class TestResilienceJsonOut:
+    def test_artifact_records_seed_and_soundness(self, tmp_path, capsys):
+        path = tmp_path / "campaign.json"
+        code = main(
+            ["resilience", "--operations", "300", "--region-kb", "16",
+             "--seed", "11", "--json-out", str(path)]
+        )
+        assert code == 0
+        obj = json.loads(path.read_text())
+        assert obj["seed"] == 11
+        assert obj["sound"] is True
+        assert obj["ground_truth_mismatches"] == 0
+
+
+class TestCrash:
+    def test_bounded_matrix_exit_zero(self, capsys):
+        code = main(
+            ["crash", "--ops", "6", "--checkpoint-interval", "3",
+             "--stride", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crash matrix" in out and "points clean" in out
+
+    def test_single_point_repro(self, capsys):
+        code = main(
+            ["crash", "--ops", "6", "--checkpoint-interval", "3",
+             "--point", "0:torn"]
+        )
+        assert code == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["point"] == "0:torn"
+        assert obj["clean"] is True
+
+    def test_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "matrix.json"
+        code = main(
+            ["crash", "--ops", "6", "--checkpoint-interval", "3",
+             "--limit", "4", "--json-out", str(path)]
+        )
+        assert code == 0
+        obj = json.loads(path.read_text())
+        assert obj["run_points"] == 4
+        assert obj["ok"] is True
+        assert obj["spec"]["seed"] == 0xDAC2018
+
+    def test_bad_point_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["crash", "--point", "banana"])
 
 
 class TestMicroWorkloads:
