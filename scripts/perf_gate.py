@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Performance-regression gate for the batched kernel path.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_gate.py [--min-speedup 5.0]
+
+Times the same figure-8-style workload twice:
+
+* **scalar baseline** -- every write-back and read-back issued one at a
+  time through ``SecureMemory.write`` / ``SecureMemory.read``, single
+  process;
+* **batched** -- the identical operation stream through
+  ``BatchSecureMemory`` in ``fast`` mode, applications sharded across
+  worker processes (``repro bench`` semantics).
+
+Both runs use ``keystream_mode="aes"`` so the hot loop is the real AES
+round function -- the path the batch kernels exist to accelerate --
+and both verify their read-backs, so neither side can win by skipping
+work.  The measured speedup is recorded in ``BENCH_perf.json`` and the
+script exits non-zero if it falls below the floor (default 5x, the
+acceptance criterion), making a perf regression a red build instead of
+a silent slowdown.
+
+Wall-clock numbers vary across hosts; the committed ``BENCH_perf.json``
+is a recorded baseline for comparison, not a byte-reproducible
+artifact like the ``repro bench`` payloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.engine.config import preset  # noqa: E402
+from repro.core.engine.secure_memory import SecureMemory  # noqa: E402
+from repro.harness.parallel import (  # noqa: E402
+    BENCH_SCHEMA,
+    BenchSpec,
+    _app_key,
+    _payload_for,
+    _resolve_profile,
+    run_bench,
+)
+from repro.harness.runner import BLOCK_BYTES, WritebackFilter  # noqa: E402
+from repro.obs.metrics import MetricRegistry, use_registry  # noqa: E402
+
+DEFAULT_APPS = ("canneal", "dedup", "facesim", "ferret")
+
+
+def app_workload(app: str, spec: BenchSpec) -> list:
+    """The (block, payload) write stream one app replays, both sides."""
+    app_profile = _resolve_profile(app)
+    region_blocks = spec.region_mb * 1024 * 1024 // BLOCK_BYTES
+    traces = app_profile.traces(
+        spec.accesses, region_blocks, spec.cores, spec.seed
+    )
+    writebacks, _ = WritebackFilter().filter(traces)
+    return [
+        (block, _payload_for(app, spec.seed, block, sequence))
+        for sequence, block in enumerate(writebacks)
+    ]
+
+
+def run_scalar_baseline(spec: BenchSpec) -> float:
+    """One-at-a-time scalar engine replay; returns wall-clock seconds."""
+    started = time.perf_counter()
+    for app in sorted(spec.apps):
+        workload = app_workload(app, spec)
+        registry = MetricRegistry()
+        with use_registry(registry):
+            config = preset(
+                spec.preset,
+                protected_bytes=spec.region_mb * 1024 * 1024,
+                keystream_mode=spec.keystream,
+            )
+            engine = SecureMemory(config, _app_key(app, spec.seed))
+            latest: dict[int, bytes] = {}
+            for block, payload in workload:
+                engine.write(block * BLOCK_BYTES, payload)
+                latest[block] = payload
+            for block in sorted(latest):
+                result = engine.read(block * BLOCK_BYTES)
+                if result.data != latest[block]:
+                    raise AssertionError(
+                        f"scalar read-back mismatch: {app} block {block}"
+                    )
+    return time.perf_counter() - started
+
+
+def run_batched(spec: BenchSpec, workers: int) -> tuple[float, dict]:
+    started = time.perf_counter()
+    payload = run_bench(spec, workers=workers)
+    elapsed = time.perf_counter() - started
+    mismatches = sum(
+        result["readback_mismatches"]
+        for result in payload["results"].values()
+    )
+    if mismatches:
+        raise AssertionError(f"batched read-back mismatches: {mismatches}")
+    return elapsed, payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", nargs="+", default=list(DEFAULT_APPS))
+    parser.add_argument("--accesses", type=int, default=8_000)
+    parser.add_argument("--region-mb", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--json-out", default=str(REPO_ROOT / "BENCH_perf.json")
+    )
+    args = parser.parse_args(argv)
+
+    spec = BenchSpec(
+        apps=tuple(args.apps),
+        mode="fast",
+        accesses=args.accesses,
+        region_mb=args.region_mb,
+        seed=args.seed,
+        keystream="aes",
+    )
+    scalar_seconds = run_scalar_baseline(spec)
+    batched_seconds, bench_payload = run_batched(spec, args.workers)
+    speedup = scalar_seconds / batched_seconds if batched_seconds else 0.0
+    passed = speedup >= args.min_speedup
+
+    blocks = sum(
+        result["writebacks"] for result in bench_payload["results"].values()
+    )
+    print(
+        f"perf_gate: scalar {scalar_seconds:.2f}s, batched "
+        f"(workers={args.workers}) {batched_seconds:.2f}s over {blocks} "
+        f"write-backs: {speedup:.1f}x speedup "
+        f"(floor {args.min_speedup:.1f}x) -> "
+        f"{'PASS' if passed else 'FAIL'}"
+    )
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "bench": "perf",
+        "config": {
+            **spec.config_dict(),
+            "workers": args.workers,
+            "min_speedup": args.min_speedup,
+        },
+        "results": {
+            "scalar_seconds": round(scalar_seconds, 3),
+            "batched_seconds": round(batched_seconds, 3),
+            "speedup": round(speedup, 2),
+            "writebacks": blocks,
+            "pass": passed,
+        },
+        "metrics": bench_payload["metrics"],
+    }
+    path = pathlib.Path(args.json_out)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"perf_gate: wrote {path}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,8 @@ from repro.analysis.storage import (
 )
 from repro.core.engine.config import preset
 from repro.core.engine.secure_memory import SecureMemory
+from repro.fast.kernels import MODES as KERNEL_MODES
+from repro.harness.parallel import BenchSpec, dump_payload, run_bench
 from repro.harness.reporting import format_table
 from repro.harness.runner import PerformanceExperiment, ReencryptionExperiment
 from repro.lint import (
@@ -173,6 +175,53 @@ def _cmd_figure8(args) -> int:
         )
     )
     return 0
+
+
+def _cmd_bench(args) -> int:
+    spec = BenchSpec(
+        apps=tuple(args.apps),
+        mode=args.mode,
+        accesses=args.accesses,
+        region_mb=args.region_mb,
+        seed=args.seed,
+        preset=args.preset,
+        keystream=args.keystream,
+    )
+    payload = run_bench(spec, workers=args.workers)
+    rows = [
+        [
+            app,
+            res["writebacks"],
+            res["unique_blocks"],
+            res["readback_mismatches"],
+            res["state_digest"][:12],
+        ]
+        for app, res in payload["results"].items()
+    ]
+    print(
+        format_table(
+            f"Batched engine bench (mode={args.mode}, "
+            f"workers={args.workers})",
+            ["program", "writebacks", "blocks", "mismatches", "digest"],
+            rows,
+        )
+    )
+    metrics = payload["metrics"]
+    print(
+        f"\nkernel calls: {metrics.get('fast.kernel.calls', 0)}   "
+        f"blocks: {metrics.get('fast.kernel.blocks', 0)}   "
+        f"scalar fallbacks: {metrics.get('fast.fallback.scalar', 0)}   "
+        f"paranoid divergences: "
+        f"{metrics.get('fast.paranoid.divergence', 0)}"
+    )
+    if args.json_out:
+        path = dump_payload(payload, args.json_out)
+        print(f"wrote merged bench payload to {path}", file=sys.stderr)
+    mismatches = sum(
+        res["readback_mismatches"] for res in payload["results"].values()
+    )
+    divergences = metrics.get("fast.paranoid.divergence", 0)
+    return 0 if not mismatches and not divergences else 1
 
 
 def _cmd_figure1(args) -> int:
@@ -418,6 +467,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--accesses", type=int, default=60_000)
     obs_options(p)
     p.set_defaults(func=_cmd_figure8)
+
+    p = sub.add_parser(
+        "bench",
+        help="parallel batched-engine benchmark (merged BENCH JSON is "
+             "byte-identical for any --workers count on the same seed)",
+    )
+    common(p, default_region=8)
+    p.add_argument("--apps", nargs="+", default=figure8_apps(),
+                   choices=table2_apps() + sorted(MICRO_PROFILES),
+                   metavar="APP")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes to shard applications across")
+    p.add_argument("--mode", choices=list(KERNEL_MODES), default="fast",
+                   help="kernel dispatch: fast, reference, or paranoid "
+                        "(runs both and cross-checks)")
+    p.add_argument("--accesses", type=int, default=20_000,
+                   help="trace accesses per core")
+    p.add_argument("--preset", default="combined",
+                   choices=["bmt_baseline", "mac_in_ecc", "delta_only",
+                            "combined", "combined_dual"])
+    p.add_argument("--keystream", choices=["fast", "aes"], default="fast",
+                   help="keystream generator (aes = real batched AES)")
+    p.add_argument("--json-out", metavar="FILE", default=None,
+                   help="write the merged bench payload as JSON")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("figure1", help="storage overhead (Figure 1)")
     common(p, default_region=512)

@@ -272,6 +272,21 @@ class SecureMemory:
         """The MAC/ECC codec (for scrubbers and fault harnesses)."""
         return self._codec
 
+    @property
+    def cipher(self) -> CtrModeCipher:
+        """The block cipher (for the batch-kernel façade)."""
+        return self._cipher
+
+    @property
+    def mac(self) -> CarterWegmanMac:
+        """The MAC (for the batch-kernel façade)."""
+        return self._mac
+
+    @property
+    def corrector(self) -> FlipAndCheckCorrector:
+        """The flip-and-check corrector (for the batch-kernel façade)."""
+        return self._corrector
+
     @staticmethod
     def _pad_leaf(metadata: bytes) -> bytes:
         """Tree leaves hash whole group metadata (any multiple of 64B)."""

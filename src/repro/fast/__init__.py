@@ -1,0 +1,30 @@
+"""Vectorized batch kernels for the engine's hot paths.
+
+Every scalar hot path in the library -- AES-CTR keystream generation,
+Carter-Wegman MAC evaluation, flip-and-check correction, and delta-group
+counter pack/unpack -- has a numpy-batched twin in this package that
+processes N blocks per call instead of one.  The pairing is explicit: each
+fast kernel registers against its scalar reference in a
+:class:`repro.fast.kernels.KernelPair`, and the kernel table can run in
+``fast`` (batched only), ``reference`` (scalar only) or ``paranoid``
+(run both, cross-check every call) mode.  The differential test suite
+(`tests/fast/test_differential.py`) property-tests ``fast(x) ==
+reference(x)`` for every pair, so the speedup never costs bit-exactness.
+
+:class:`repro.fast.batch_memory.BatchSecureMemory` composes the kernels
+into a façade over :class:`repro.core.engine.secure_memory.SecureMemory`
+that queues reads/writes, groups them per 4 KB block-group, and flushes
+them through the batch kernels while leaving the underlying engine in a
+state indistinguishable from having performed the same operations
+scalar-ly, one at a time.
+"""
+
+from repro.fast.batch_memory import BatchSecureMemory
+from repro.fast.kernels import KernelDivergence, KernelPair, KernelTable
+
+__all__ = [
+    "BatchSecureMemory",
+    "KernelDivergence",
+    "KernelPair",
+    "KernelTable",
+]

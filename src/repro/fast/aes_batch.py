@@ -1,0 +1,87 @@
+"""Batched AES-128 over N 16-byte blocks (numpy byte-plane implementation).
+
+The scalar :class:`repro.crypto.aes.AES128` processes one block per call;
+this module applies the identical FIPS-197 round function to a whole
+``(N, 16)`` uint8 array at once:
+
+* SubBytes is a single table gather through the S-box,
+* ShiftRows is a fixed index permutation of the 16 column-major state
+  bytes,
+* MixColumns uses the classic xtime identity
+  ``a' = a ^ t ^ xtime(a ^ b)`` (with ``t = a^b^c^d``) evaluated on byte
+  planes through a precomputed 256-entry xtime table,
+* AddRoundKey broadcasts the same 16 round-key bytes across the batch.
+
+Round keys come from the scalar key schedule, so the two implementations
+can never disagree about key expansion.  Equivalence with the scalar
+cipher is property-tested in ``tests/fast/test_differential.py`` and both
+are pinned to the FIPS-197 vectors in ``tests/crypto/test_kat.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.aes import AES128, ROUNDS, SBOX, _xtime
+
+_SBOX_TABLE = np.array(SBOX, dtype=np.uint8)
+_XTIME_TABLE = np.array([_xtime(a) for a in range(256)], dtype=np.uint8)
+# ShiftRows on the flat column-major state: output byte r + 4c comes from
+# input byte r + 4*((c + r) % 4)  (row r rotates left by r).
+_SHIFT_ROWS = np.array(
+    [r + 4 * ((c + r) % 4) for c in range(4) for r in range(4)],
+    dtype=np.intp,
+)
+
+
+class BatchAes128:
+    """AES-128 encryption of ``(N, 16)`` uint8 block arrays."""
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = self._pack_round_keys(AES128._expand_key(key))
+
+    @classmethod
+    def from_scalar(cls, aes: AES128) -> "BatchAes128":
+        """Bind to an existing scalar cipher's expanded key schedule."""
+        batch = cls.__new__(cls)
+        batch._round_keys = cls._pack_round_keys(aes._round_keys)
+        return batch
+
+    @staticmethod
+    def _pack_round_keys(round_keys: list[bytes]) -> np.ndarray:
+        return np.array([list(rk) for rk in round_keys], dtype=np.uint8)
+
+    @staticmethod
+    def _mix_columns(state: np.ndarray) -> np.ndarray:
+        # Columns are the four consecutive byte quads of the flat state.
+        cols = state.reshape(-1, 4, 4)
+        a = cols[:, :, 0]
+        b = cols[:, :, 1]
+        c = cols[:, :, 2]
+        d = cols[:, :, 3]
+        t = a ^ b ^ c ^ d
+        mixed = np.empty_like(cols)
+        mixed[:, :, 0] = a ^ t ^ _XTIME_TABLE[a ^ b]
+        mixed[:, :, 1] = b ^ t ^ _XTIME_TABLE[b ^ c]
+        mixed[:, :, 2] = c ^ t ^ _XTIME_TABLE[c ^ d]
+        mixed[:, :, 3] = d ^ t ^ _XTIME_TABLE[d ^ a]
+        return mixed.reshape(-1, 16)
+
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Encrypt a ``(N, 16)`` uint8 array of plaintext blocks."""
+        if blocks.ndim != 2 or blocks.shape[1] != 16:
+            raise ValueError("blocks must have shape (N, 16)")
+        state = blocks.astype(np.uint8, copy=True)
+        state ^= self._round_keys[0]
+        for r in range(1, ROUNDS):
+            state = _SBOX_TABLE[state]
+            state = state[:, _SHIFT_ROWS]
+            state = self._mix_columns(state)
+            state ^= self._round_keys[r]
+        state = _SBOX_TABLE[state]
+        state = state[:, _SHIFT_ROWS]
+        state ^= self._round_keys[ROUNDS]
+        return state
+
+
+__all__ = ["BatchAes128"]

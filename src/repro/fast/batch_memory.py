@@ -1,0 +1,377 @@
+"""Batched façade over :class:`SecureMemory` with scalar-equivalent state.
+
+``BatchSecureMemory`` queues reads and writes, then flushes them through
+the batch kernels.  The contract is *state equivalence*: after a flush,
+the underlying engine's externally observable state -- ciphertexts, ECC
+fields / MAC store, serialized counter storage, tree leaves and root,
+scheme state, and every ``engine.*`` / ``counters.*`` metric -- is
+bit-identical to what the scalar ``engine.write`` / ``engine.read`` loop
+would have produced for the same operation sequence.  The equivalence
+test suite asserts exactly that.
+
+How the write path keeps the scalar semantics while batching:
+
+* ``scheme.on_write`` runs per block, in order (counter state machines
+  are inherently sequential), but the expensive keystream + MAC work is
+  deferred into per-run batches;
+* before each ``on_write``, any group whose serialized storage lags the
+  scheme (written earlier in the run) is re-serialized into
+  ``counter_storage`` -- that is what the scalar engine's per-write
+  metadata commit would have left there, and it is what the overflow
+  re-encryption path reads its old counters from;
+* overflow re-encryptions (group or global) are rare and intricate, so
+  they fall back to the engine's own scalar handlers after the pending
+  batch is flushed (metered as ``fast.fallback.scalar``);
+* Merkle-tree leaf updates are deferred to one commit per touched group
+  at the end of the run (intermediate leaf states are unobservable --
+  no read can happen inside a write run).
+
+The read path verifies each touched group's tree leaf once, decodes its
+counters with the batch kernel, batch-verifies MACs over the stored
+ciphertexts and batch-decrypts the clean blocks; any anomaly (Hamming
+status not clean, MAC mismatch, lazily-initialized block, perturb hook
+installed) falls back to the scalar ``engine.read`` for that block, in
+queue order, so corrections, heal-writebacks, metrics and raised
+``IntegrityError``\\ s are exactly the scalar ones.
+
+Engines with persistence attached are rejected: the journal's
+transaction-per-write shape is inherently scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.counters.events import CounterEvent
+from repro.core.ecc_mac.detection import CheckOutcome
+from repro.core.ecc_mac.layout import EccField
+from repro.core.engine.secure_memory import (
+    IntegrityError,
+    ReadResult,
+    SecureMemory,
+)
+from repro.ecc.hamming import DecodeStatus
+from repro.ecc.parity import parity_of_bytes
+from repro.fast.kernels import KernelTable, build_kernel_table
+from repro.lint.contracts import BLOCK_BYTES
+
+
+class BatchSecureMemory:
+    """Queue/flush façade running an engine through the batch kernels."""
+
+    def __init__(self, engine: SecureMemory, mode: str = "fast") -> None:
+        if engine.persist is not None:
+            raise ValueError(
+                "BatchSecureMemory does not support persistence-attached "
+                "engines (journal transactions are per scalar write)"
+            )
+        self.engine = engine
+        self.kernels: KernelTable = build_kernel_table(
+            engine.cipher,
+            engine.mac,
+            engine.corrector,
+            engine.scheme,
+            mode=mode,
+        )
+        self._has_counter_kernels = "counters.encode" in self.kernels.pairs
+        registry = engine.registry
+        inst = registry.instance("batch")
+        self._m_reads = registry.counter("fast.batch.reads", inst=inst)
+        self._m_writes = registry.counter("fast.batch.writes", inst=inst)
+        self._m_flushes = registry.counter("fast.batch.flushes", inst=inst)
+        self._m_groups = registry.counter("fast.batch.groups", inst=inst)
+        self._m_fallback = registry.counter(
+            "fast.fallback.scalar", inst=inst
+        )
+        #: queued operations: ("write", address, data) / ("read", address)
+        self._queue: list[tuple[str, int, bytes | None]] = []
+
+    @property
+    def mode(self) -> str:
+        return self.kernels.mode
+
+    # -- queueing ----------------------------------------------------------
+
+    def queue_write(self, address: int, data: bytes) -> None:
+        """Queue one 64-byte block write (validated immediately)."""
+        if len(data) != BLOCK_BYTES:
+            raise ValueError(f"data must be {BLOCK_BYTES} bytes")
+        self.engine._block_index(address)
+        self._queue.append(("write", address, bytes(data)))
+
+    def queue_read(self, address: int) -> None:
+        """Queue one block read (validated immediately)."""
+        self.engine._block_index(address)
+        self._queue.append(("read", address, None))
+
+    def write_many(self, writes: Iterable[tuple[int, bytes]]) -> None:
+        """Queue and flush a sequence of (address, data) writes."""
+        for address, data in writes:
+            self.queue_write(address, data)
+        self.flush()
+
+    def read_many(self, addresses: Sequence[int]) -> list[ReadResult]:
+        """Flush pending work, then read ``addresses`` as one batch."""
+        self.flush()
+        for address in addresses:
+            self.queue_read(address)
+        return self.flush()
+
+    def flush(self) -> list[ReadResult]:
+        """Run the queue through the kernels; returns queued reads' results.
+
+        On :class:`IntegrityError` the failing operation raises exactly as
+        the scalar loop would at that point; operations queued after it
+        are discarded.
+        """
+        queue, self._queue = self._queue, []
+        if not queue:
+            return []
+        self._m_flushes.inc()
+        results: list[ReadResult] = []
+        start = 0
+        while start < len(queue):
+            op = queue[start][0]
+            stop = start
+            while stop < len(queue) and queue[stop][0] == op:
+                stop += 1
+            if op == "write":
+                self._flush_writes(
+                    [(address, data) for _, address, data in queue[start:stop]]
+                )
+            else:
+                results.extend(
+                    self._flush_reads(
+                        [address for _, address, _ in queue[start:stop]]
+                    )
+                )
+            start = stop
+        return results
+
+    # -- write path --------------------------------------------------------
+
+    def _serialize_group(self, group: int) -> bytes:
+        if self._has_counter_kernels:
+            metadata = self.kernels.run("counters.encode", group)
+            assert isinstance(metadata, bytes)
+            return metadata
+        return self.engine.scheme.group_metadata(group)
+
+    def _commit_group(self, group: int) -> None:
+        engine = self.engine
+        metadata = self._serialize_group(group)
+        engine.counter_storage[group] = metadata
+        engine.tree.update_leaf(group, engine._pad_leaf(metadata))
+
+    def _flush_writes(self, writes: list[tuple[int, bytes]]) -> None:
+        engine = self.engine
+        scheme = engine.scheme
+        self._m_writes.inc(len(writes))
+        #: writes encrypted/stored lazily: (block, address, nonce, data)
+        pending: list[tuple[int, int, int, bytes]] = []
+        #: groups whose counter_storage lags the scheme state
+        stale: dict[int, None] = {}
+        #: groups needing a final tree-leaf commit
+        dirty: dict[int, None] = {}
+        for address, data in writes:
+            block = engine._block_index(address)
+            group = scheme.group_of(block)
+            if stale:
+                # What the scalar per-write commit would have left in
+                # storage -- the overflow handlers read old counters here.
+                for lagging in stale:
+                    engine.counter_storage[lagging] = self._serialize_group(
+                        lagging
+                    )
+                stale.clear()
+            outcome = scheme.on_write(block)
+            engine.counters.writes += 1
+            if outcome.has(CounterEvent.GLOBAL_RE_ENCRYPT):
+                self._flush_pending(pending)
+                pending = []
+                engine._trace_reencrypt("engine.global_reencrypt", address)
+                engine._global_reencrypt(skip_block=block)
+                self._m_fallback.inc()
+                # The global handler commits storage + tree for every
+                # group from current scheme state.
+                dirty.clear()
+            elif outcome.reencrypted_group is not None:
+                self._flush_pending(pending)
+                pending = []
+                engine._trace_reencrypt(
+                    "engine.group_reencrypt",
+                    address,
+                    group=outcome.reencrypted_group,
+                )
+                engine._reencrypt_group(
+                    outcome.reencrypted_group,
+                    outcome.group_counter,
+                    skip_block=block,
+                )
+                engine.counters.group_reencryptions += 1
+                self._m_fallback.inc()
+            pending.append(
+                (block, address, engine._nonce(outcome.counter), data)
+            )
+            stale[group] = None
+            dirty[group] = None
+        self._flush_pending(pending)
+        self._m_groups.inc(len(dirty))
+        for group in dirty:
+            self._commit_group(group)
+
+    def _flush_pending(
+        self, pending: list[tuple[int, int, int, bytes]]
+    ) -> None:
+        if not pending:
+            return
+        engine = self.engine
+        count = len(pending)
+        addresses = [entry[1] for entry in pending]
+        nonces = [entry[2] for entry in pending]
+        data = np.frombuffer(
+            b"".join(entry[3] for entry in pending), dtype=np.uint8
+        ).reshape(count, BLOCK_BYTES)
+        ciphertexts = self.kernels.run(
+            "ctr.encrypt", data, nonces, addresses, blocks=count
+        )
+        tags = self.kernels.run(
+            "mac.tags", ciphertexts, addresses, nonces, blocks=count
+        )
+        if engine.config.mac_in_ecc:
+            hamming = engine.codec.mac_hamming
+            for row, entry, tag in zip(ciphertexts, pending, tags):
+                ciphertext = row.tobytes()
+                tag_value = int(tag)
+                engine.ciphertexts[entry[0]] = ciphertext
+                engine.ecc_fields[entry[0]] = EccField(
+                    mac=tag_value,
+                    mac_check=hamming.encode(tag_value),
+                    ct_parity=parity_of_bytes(ciphertext),
+                )
+        else:
+            for row, entry, tag in zip(ciphertexts, pending, tags):
+                engine.ciphertexts[entry[0]] = row.tobytes()
+                engine.mac_store[entry[0]] = int(tag)
+
+    # -- read path ---------------------------------------------------------
+
+    def _flush_reads(self, addresses: list[int]) -> list[ReadResult]:
+        engine = self.engine
+        scheme = engine.scheme
+        self._m_reads.inc(len(addresses))
+        blocks = [engine._block_index(address) for address in addresses]
+
+        # Per-group pre-pass: verify the tree leaf once, decode counters.
+        group_counters: dict[int, list[int] | None] = {}
+        for block in blocks:
+            group = scheme.group_of(block)
+            if group in group_counters:
+                continue
+            metadata = engine._stored_metadata(group)
+            if not engine.tree.verify_leaf(group, engine._pad_leaf(metadata)):
+                group_counters[group] = None  # raises at its queue position
+            elif self._has_counter_kernels:
+                group_counters[group] = self.kernels.run(
+                    "counters.decode", metadata
+                )
+            else:
+                group_counters[group] = scheme.decode_metadata(metadata)
+        self._m_groups.inc(len(group_counters))
+
+        # Classification pre-pass (no engine mutation): "tree" failures,
+        # scalar fallbacks, and candidates for batched verify+decrypt.
+        scalar_all = engine.read_perturb is not None
+        entries: list[tuple[str, int, bytes, int]] = []
+        for address, block in zip(addresses, blocks):
+            counters = group_counters[scheme.group_of(block)]
+            if counters is None:
+                entries.append(("tree", 0, b"", 0))
+                continue
+            if scalar_all or block not in engine.ciphertexts:
+                # Untouched blocks lazily initialize storage on read; let
+                # the scalar path do that so pre-pass stays mutation-free.
+                entries.append(("scalar", 0, b"", 0))
+                continue
+            nonce = engine._nonce(counters[scheme.slot_of(block)])
+            ciphertext = engine.ciphertexts[block]
+            if engine.config.mac_in_ecc:
+                ecc = engine.ecc_fields.get(block)
+                if ecc is None:
+                    entries.append(("scalar", 0, b"", 0))
+                    continue
+                recovery = engine.codec.recover_mac(ecc)
+                if recovery.status is not DecodeStatus.CLEAN:
+                    entries.append(("scalar", 0, b"", 0))
+                    continue
+                entries.append(("verify", nonce, ciphertext, recovery.data))
+            else:
+                stored = engine.mac_store.get(block)
+                if stored is None:
+                    entries.append(("scalar", 0, b"", 0))
+                else:
+                    entries.append(("verify", nonce, ciphertext, stored))
+
+        # Batched MAC verification; mismatches fall back to scalar.
+        verify_at = [i for i, e in enumerate(entries) if e[0] == "verify"]
+        decrypted: dict[int, bytes] = {}
+        if verify_at:
+            count = len(verify_at)
+            messages = np.frombuffer(
+                b"".join(entries[i][2] for i in verify_at), dtype=np.uint8
+            ).reshape(count, BLOCK_BYTES)
+            v_addresses = [addresses[i] for i in verify_at]
+            v_nonces = [entries[i][1] for i in verify_at]
+            tags = self.kernels.run(
+                "mac.tags", messages, v_addresses, v_nonces, blocks=count
+            )
+            clean_rows = [
+                row
+                for row, (position, tag) in enumerate(zip(verify_at, tags))
+                if int(tag) == entries[position][3]
+            ]
+            clean_row_set = frozenset(clean_rows)
+            for row, position in enumerate(verify_at):
+                if row not in clean_row_set:
+                    entries[position] = ("scalar", 0, b"", 0)
+            if clean_rows:
+                plains = self.kernels.run(
+                    "ctr.encrypt",
+                    messages[clean_rows],
+                    [v_nonces[row] for row in clean_rows],
+                    [v_addresses[row] for row in clean_rows],
+                    blocks=len(clean_rows),
+                )
+                for row, plain in zip(clean_rows, plains):
+                    decrypted[verify_at[row]] = plain.tobytes()
+
+        # Queue-order pass: mutations and raises happen exactly where the
+        # scalar loop would have performed them.
+        results: list[ReadResult] = []
+        for position, entry in enumerate(entries):
+            kind = entry[0]
+            if kind == "tree":
+                engine.counters.reads += 1
+                engine._m_tree_fails.inc()
+                raise IntegrityError(
+                    "tree",
+                    addresses[position],
+                    "counter storage failed tree verification",
+                )
+            if kind == "scalar":
+                self._m_fallback.inc()
+                results.append(engine.read(addresses[position]))
+                continue
+            engine.counters.reads += 1
+            engine._m_mac_checks.inc()
+            results.append(
+                ReadResult(
+                    data=decrypted[position], outcome=CheckOutcome.CLEAN
+                )
+            )
+        return results
+
+
+__all__ = ["BatchSecureMemory"]

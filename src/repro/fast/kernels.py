@@ -1,0 +1,239 @@
+"""The kernel-pair table: every fast kernel bound to its scalar reference.
+
+A :class:`KernelPair` names one batched kernel and the scalar loop it
+claims to be bit-identical to.  :class:`KernelTable` dispatches calls by
+mode:
+
+* ``fast``      -- run the batched kernel (production),
+* ``reference`` -- run the scalar loop (debugging / baseline timing),
+* ``paranoid``  -- run *both* on every call, compare, and raise
+  :class:`KernelDivergence` on the first mismatch (the acceptance mode:
+  a full figure-8 run in paranoid mode must complete with zero
+  divergences).
+
+The table for a given engine is built by :func:`build_kernel_table`,
+which binds each pair to that engine's cipher, MAC, corrector and
+counter-scheme geometry.  Calls are metered under ``fast.kernel.*`` /
+``fast.paranoid.*`` in the active metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.ecc_mac.correction import FlipAndCheckCorrector
+from repro.crypto.ctr import CtrModeCipher
+from repro.crypto.mac import CarterWegmanMac
+from repro.fast.ctr_batch import BatchCtrCipher
+from repro.fast.ecc_batch import BatchFlipAndCheck
+from repro.fast.mac_batch import BatchCarterWegmanMac
+from repro.fast import counters_batch
+from repro.obs.metrics import get_registry
+
+MODES = ("fast", "reference", "paranoid")
+
+
+class KernelDivergence(AssertionError):
+    """A paranoid-mode cross-check found fast != reference."""
+
+    def __init__(self, kernel: str, detail: str) -> None:
+        super().__init__(
+            f"kernel {kernel!r}: fast and reference outputs diverge ({detail})"
+        )
+        self.kernel = kernel
+
+
+def _default_equal(fast: Any, reference: Any) -> bool:
+    if isinstance(fast, np.ndarray) or isinstance(reference, np.ndarray):
+        return bool(np.array_equal(np.asarray(fast), np.asarray(reference)))
+    return bool(fast == reference)
+
+
+@dataclass(frozen=True)
+class KernelPair:
+    """One fast kernel and the scalar reference it must match."""
+
+    name: str
+    fast: Callable[..., Any]
+    reference: Callable[..., Any]
+    equal: Callable[[Any, Any], bool] = field(default=_default_equal)
+
+
+class KernelTable:
+    """Mode-dispatched registry of kernel pairs."""
+
+    def __init__(self, pairs: Sequence[KernelPair], mode: str = "fast") -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown kernel mode {mode!r}")
+        self.mode = mode
+        self.pairs: dict[str, KernelPair] = {}
+        for pair in pairs:
+            if pair.name in self.pairs:
+                raise ValueError(f"duplicate kernel pair {pair.name!r}")
+            self.pairs[pair.name] = pair
+        registry = get_registry()
+        inst = registry.instance("kernels")
+        self._m_calls = registry.counter("fast.kernel.calls", inst=inst)
+        self._m_blocks = registry.counter("fast.kernel.blocks", inst=inst)
+        self._m_checks = registry.counter("fast.paranoid.checks", inst=inst)
+        self._m_divergence = registry.counter(
+            "fast.paranoid.divergence", inst=inst
+        )
+
+    def run(self, name: str, *args: Any, blocks: int = 1) -> Any:
+        """Execute one kernel under the table's mode."""
+        pair = self.pairs[name]
+        if self.mode == "reference":
+            return pair.reference(*args)
+        result = pair.fast(*args)
+        self._m_calls.inc()
+        self._m_blocks.inc(blocks)
+        if self.mode == "paranoid":
+            reference = pair.reference(*args)
+            self._m_checks.inc()
+            if not pair.equal(result, reference):
+                self._m_divergence.inc()
+                raise KernelDivergence(
+                    name, f"batch of {blocks} block(s)"
+                )
+        return result
+
+
+# -- scalar reference loops -------------------------------------------------
+
+
+def _reference_ctr_encrypt(
+    cipher: CtrModeCipher,
+) -> Callable[[np.ndarray, Sequence[int], Sequence[int]], np.ndarray]:
+    def encrypt(
+        data: np.ndarray, counters: Sequence[int], addresses: Sequence[int]
+    ) -> np.ndarray:
+        out = [
+            cipher.encrypt(bytes(row), counter, address)
+            for row, counter, address in zip(data, counters, addresses)
+        ]
+        return np.frombuffer(b"".join(out), dtype=np.uint8).reshape(
+            len(out), -1
+        )
+
+    return encrypt
+
+
+def _reference_mac_tags(
+    mac: CarterWegmanMac,
+) -> Callable[[np.ndarray, Sequence[int], Sequence[int]], np.ndarray]:
+    def tags(
+        messages: np.ndarray,
+        addresses: Sequence[int],
+        counters: Sequence[int],
+    ) -> np.ndarray:
+        return np.array(
+            [
+                mac.tag(bytes(row), address, counter)
+                for row, address, counter in zip(
+                    messages, addresses, counters
+                )
+            ],
+            dtype=np.uint64,
+        )
+
+    return tags
+
+
+def build_kernel_table(
+    cipher: CtrModeCipher,
+    mac: CarterWegmanMac,
+    corrector: FlipAndCheckCorrector,
+    scheme: Any,
+    mode: str = "fast",
+) -> KernelTable:
+    """Bind the full kernel-pair set to one engine's primitives."""
+    batch_cipher = BatchCtrCipher(cipher)
+    batch_mac = BatchCarterWegmanMac(mac)
+    batch_corrector = BatchFlipAndCheck(corrector)
+    pairs = [
+        KernelPair(
+            name="ctr.encrypt",
+            fast=batch_cipher.xor_blocks,
+            reference=_reference_ctr_encrypt(cipher),
+        ),
+        KernelPair(
+            name="mac.tags",
+            fast=batch_mac.tags,
+            reference=_reference_mac_tags(mac),
+        ),
+        KernelPair(
+            name="ecc.flip_and_check",
+            fast=batch_corrector.correct_accelerated,
+            reference=corrector.correct_accelerated,
+        ),
+    ]
+    scheme_name = getattr(scheme, "name", None)
+    if scheme_name == "delta":
+        pairs.append(
+            KernelPair(
+                name="counters.decode",
+                fast=lambda data: counters_batch.delta_decode(
+                    data,
+                    scheme.reference_bits,
+                    scheme.delta_bits,
+                    scheme.blocks_per_group,
+                ),
+                reference=scheme.decode_metadata,
+            )
+        )
+        pairs.append(
+            KernelPair(
+                name="counters.encode",
+                fast=lambda group: counters_batch.delta_encode(
+                    scheme.reference(group),
+                    scheme.deltas(group),
+                    scheme.reference_bits,
+                    scheme.delta_bits,
+                ),
+                reference=scheme.group_metadata,
+            )
+        )
+    elif scheme_name == "dual_length":
+        pairs.append(
+            KernelPair(
+                name="counters.decode",
+                fast=lambda data: counters_batch.dual_length_decode(
+                    data,
+                    scheme.reference_bits,
+                    scheme.base_delta_bits,
+                    scheme.extension_bits,
+                    scheme.blocks_per_group,
+                    scheme.deltas_per_delta_group,
+                ),
+                reference=scheme.decode_metadata,
+            )
+        )
+        pairs.append(
+            KernelPair(
+                name="counters.encode",
+                fast=lambda group: counters_batch.dual_length_encode(
+                    scheme.reference(group),
+                    scheme.deltas(group),
+                    scheme.widened_delta_group(group),
+                    scheme.reference_bits,
+                    scheme.base_delta_bits,
+                    scheme.extension_bits,
+                    scheme.deltas_per_delta_group,
+                ),
+                reference=scheme.group_metadata,
+            )
+        )
+    return KernelTable(pairs, mode=mode)
+
+
+__all__ = [
+    "KernelDivergence",
+    "KernelPair",
+    "KernelTable",
+    "MODES",
+    "build_kernel_table",
+]

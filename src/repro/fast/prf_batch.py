@@ -1,0 +1,44 @@
+"""Vectorized SplitMix64 mixing (fast-mode keystream and MAC masks).
+
+Mirrors :mod:`repro.crypto.prf` on uint64 numpy arrays.  All arithmetic is
+modulo 2^64 by construction of the dtype; the explicit ``errstate`` guard
+silences the (intentional) wrap-around overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.prf import SplitMix64
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64_batch(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (matches ``splitmix64``)."""
+    v = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        v += _GOLDEN
+        v = (v ^ (v >> np.uint64(30))) * _MIX1
+        v = (v ^ (v >> np.uint64(27))) * _MIX2
+    return v ^ (v >> np.uint64(31))
+
+
+class BatchSplitMix64:
+    """Vector twin of :class:`repro.crypto.prf.SplitMix64`."""
+
+    def __init__(self, prf: SplitMix64) -> None:
+        self._k0 = np.uint64(prf._k0)
+        self._k1 = np.uint64(prf._k1)
+
+    def value(self, x: np.ndarray) -> np.ndarray:
+        """``prf(x) = mix(mix(x ^ k0) + k1)`` over a uint64 array."""
+        mixed = splitmix64_batch(x.astype(np.uint64) ^ self._k0)
+        with np.errstate(over="ignore"):
+            mixed += self._k1
+        return splitmix64_batch(mixed)
+
+
+__all__ = ["splitmix64_batch", "BatchSplitMix64"]

@@ -1,0 +1,218 @@
+"""Parallel benchmark runner: shard applications across worker processes.
+
+``repro bench`` replays each application's DRAM write-back stream (the
+same :class:`~repro.harness.runner.WritebackFilter` stream that drives
+Table 2) through a functional :class:`SecureMemory` engine wrapped in the
+:class:`~repro.fast.batch_memory.BatchSecureMemory` facade, then reads
+every written block back and checks the payloads round-tripped.  Each
+application runs under its own fresh :class:`MetricRegistry`; the
+per-app registries are merged into one ``BENCH_*.json``-shaped payload.
+
+Determinism contract (pinned by ``tests/fast/test_parallel_bench.py``):
+the merged payload is **byte-identical** for any worker count on the
+same seed.  Three rules keep it that way:
+
+* apps are independent -- each worker builds its whole world (traces,
+  engine, key) from ``(app, seed)`` alone, never from shared state;
+* the payload carries no wall-clock, PID, hostname or worker count;
+* every dict in the payload is emitted with sorted keys.
+
+``workers=1`` runs inline (no pool), so single-process debugging hits
+the exact same code path the pool workers execute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import pathlib
+from dataclasses import dataclass
+
+from repro.core.engine.config import preset
+from repro.core.engine.secure_memory import SecureMemory
+from repro.fast.batch_memory import BatchSecureMemory
+from repro.harness.runner import BLOCK_BYTES, WritebackFilter
+from repro.obs.metrics import MetricRegistry, use_registry
+from repro.workloads.micro import MICRO_PROFILES, micro_profile
+from repro.workloads.parsec import profile
+
+BENCH_SCHEMA = "repro.bench/1"
+
+#: writes/reads per batch flush -- large enough to amortize the batched
+#: kernels, small enough to keep peak memory flat.
+FLUSH_CHUNK = 256
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """Everything that determines one bench run's payload (and nothing
+    that doesn't -- worker count is deliberately absent)."""
+
+    apps: tuple = ()
+    mode: str = "fast"
+    accesses: int = 20_000
+    region_mb: int = 8
+    cores: int = 4
+    seed: int = 1
+    preset: str = "combined"
+    keystream: str = "fast"
+
+    def config_dict(self) -> dict:
+        return {
+            "apps": sorted(self.apps),
+            "mode": self.mode,
+            "accesses": self.accesses,
+            "region_mb": self.region_mb,
+            "cores": self.cores,
+            "seed": self.seed,
+            "preset": self.preset,
+            "keystream": self.keystream,
+        }
+
+
+def _resolve_profile(name: str):
+    if name in MICRO_PROFILES:
+        return micro_profile(name)
+    return profile(name)
+
+
+def _app_key(app: str, seed: int) -> bytes:
+    """48-byte engine key derived from (app, seed) alone."""
+    return hashlib.sha384(f"repro.bench/{app}/{seed}".encode()).digest()
+
+
+def _payload_for(app: str, seed: int, block: int, sequence: int) -> bytes:
+    """Deterministic 64-byte block payload for one write-back."""
+    return hashlib.sha512(
+        f"{app}/{seed}/{block}/{sequence}".encode()
+    ).digest()
+
+
+def _state_digest(engine: SecureMemory) -> str:
+    """Hash of the engine's externally observable end state.
+
+    Two runs that produce the same digest wrote bit-identical
+    ciphertexts, counter metadata and tree root -- the strongest
+    cross-worker / cross-mode equivalence signal one number can carry.
+    """
+    h = hashlib.sha256()
+    for block in sorted(engine.ciphertexts):
+        h.update(block.to_bytes(8, "little"))
+        h.update(engine.ciphertexts[block])
+    for group in sorted(engine.counter_storage):
+        h.update(group.to_bytes(8, "little"))
+        h.update(engine.counter_storage[group])
+    h.update(engine.tree.root_digest().to_bytes(32, "little"))
+    return h.hexdigest()
+
+
+def run_app(app: str, spec: BenchSpec) -> tuple[dict, dict]:
+    """Run one application; returns (app results, metric totals)."""
+    registry = MetricRegistry()
+    with use_registry(registry):
+        app_profile = _resolve_profile(app)
+        region_bytes = spec.region_mb * 1024 * 1024
+        region_blocks = region_bytes // BLOCK_BYTES
+        traces = app_profile.traces(
+            spec.accesses, region_blocks, spec.cores, spec.seed
+        )
+        writebacks, instructions = WritebackFilter().filter(traces)
+
+        config = preset(
+            spec.preset,
+            protected_bytes=region_bytes,
+            keystream_mode=spec.keystream,
+        )
+        engine = SecureMemory(config, _app_key(app, spec.seed))
+        batch = BatchSecureMemory(engine, mode=spec.mode)
+
+        payloads: dict[int, bytes] = {}
+        for start in range(0, len(writebacks), FLUSH_CHUNK):
+            chunk = writebacks[start : start + FLUSH_CHUNK]
+            writes = []
+            for offset, block in enumerate(chunk):
+                data = _payload_for(app, spec.seed, block, start + offset)
+                payloads[block] = data
+                writes.append((block * BLOCK_BYTES, data))
+            batch.write_many(writes)
+
+        mismatches = 0
+        written = sorted(payloads)
+        for start in range(0, len(written), FLUSH_CHUNK):
+            chunk = written[start : start + FLUSH_CHUNK]
+            results = batch.read_many(
+                [block * BLOCK_BYTES for block in chunk]
+            )
+            for block, result in zip(chunk, results):
+                if result.data != payloads[block]:
+                    mismatches += 1
+
+        app_results = {
+            "instructions": instructions,
+            "writebacks": len(writebacks),
+            "unique_blocks": len(written),
+            "readback_mismatches": mismatches,
+            "state_digest": _state_digest(engine),
+        }
+    return app_results, registry.snapshot().totals()
+
+
+def _worker(task: tuple) -> tuple:
+    app, spec = task
+    return app, run_app(app, spec)
+
+
+def run_bench(spec: BenchSpec, workers: int = 1) -> dict:
+    """Run every app in ``spec`` and merge into one payload.
+
+    ``workers`` only chooses *where* apps run (inline vs a process
+    pool); it must never change the payload.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    tasks = [(app, spec) for app in sorted(spec.apps)]
+    if workers == 1:
+        outcomes = [_worker(task) for task in tasks]
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        with context.Pool(min(workers, len(tasks) or 1)) as pool:
+            outcomes = pool.map(_worker, tasks)
+
+    results = {}
+    merged: dict[str, int] = {}
+    for app, (app_results, totals) in sorted(outcomes):
+        results[app] = app_results
+        for name in sorted(totals):
+            merged[name] = merged.get(name, 0) + totals[name]
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": "parallel",
+        "config": spec.config_dict(),
+        "results": results,
+        "metrics": {name: merged[name] for name in sorted(merged)},
+    }
+
+
+def render_payload(payload: dict) -> str:
+    """The canonical byte form every worker count must reproduce."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def dump_payload(payload: dict, path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(render_payload(payload))
+    return path
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchSpec",
+    "dump_payload",
+    "render_payload",
+    "run_app",
+    "run_bench",
+]

@@ -115,7 +115,9 @@ class DeterminismChecker(Checker):
         "simulation paths must not read wallclock, use unseeded RNGs, "
         "or iterate unordered sets"
     )
-    scopes = ("core/", "memsim/", "persist/", "resilience/", "workloads/")
+    scopes = (
+        "core/", "fast/", "memsim/", "persist/", "resilience/", "workloads/",
+    )
     #: wallclock is the obs plane's whole job; analysis/harness may talk
     #: to the host.
     exempt_scopes = ("obs/",)

@@ -159,6 +159,27 @@ class Cache:
             cache_set.clear()
         return dirty
 
+    def dirty_addresses(self) -> list:
+        """Byte addresses of all resident dirty lines, ascending."""
+        dirty = [
+            line << self._line_shift
+            for cache_set in self._sets
+            for line, flag in cache_set.items()
+            if flag
+        ]
+        dirty.sort()
+        return dirty
+
+    def clean_all(self) -> int:
+        """Mark every resident line clean; returns how many were dirty."""
+        cleaned = 0
+        for cache_set in self._sets:
+            for line, flag in cache_set.items():
+                if flag:
+                    cache_set[line] = False
+                    cleaned += 1
+        return cleaned
+
     @property
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)

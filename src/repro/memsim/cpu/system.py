@@ -167,6 +167,12 @@ class TraceDrivenSystem:
                 heapq.heappush(heap, (cycle, core_id, record))
 
         total = max((r.cycles for r in results), default=0.0)
+        # Drain resident dirty lines: posted write-backs that stream out
+        # after the last instruction retires, so they cost no core cycles
+        # but do count as DRAM write traffic.  Without this, write sets
+        # that fit in the L3 are never charged as writes at all.
+        for address in self.hierarchy.drain():
+            self.backend.write_block(total, address)
         return SimulationResult(cores=results, total_cycles=total)
 
 

@@ -178,6 +178,30 @@ def _resilience_specs() -> list[MetricSpec]:
     return out
 
 
+def _fast_specs() -> list[MetricSpec]:
+    """The batched-kernel plane: kernel table and batch facade."""
+    return [
+        MetricSpec("fast.kernel.calls", "counter",
+                   "batched kernel invocations"),
+        MetricSpec("fast.kernel.blocks", "counter",
+                   "blocks processed by batched kernels"),
+        MetricSpec("fast.paranoid.checks", "counter",
+                   "paranoid-mode fast/reference cross-checks"),
+        MetricSpec("fast.paranoid.divergence", "counter",
+                   "paranoid-mode divergences (must stay zero)"),
+        MetricSpec("fast.batch.reads", "counter",
+                   "reads queued through the batch facade"),
+        MetricSpec("fast.batch.writes", "counter",
+                   "writes queued through the batch facade"),
+        MetricSpec("fast.batch.flushes", "counter",
+                   "batch queue flushes"),
+        MetricSpec("fast.batch.groups", "counter",
+                   "block-group commits performed by batch flushes"),
+        MetricSpec("fast.fallback.scalar", "counter",
+                   "queued operations handed back to the scalar engine"),
+    ]
+
+
 def _persist_specs() -> list[MetricSpec]:
     """The durability plane: write-ahead journal, checkpoints, recovery."""
     return [
@@ -225,6 +249,7 @@ _SPECS: list[MetricSpec] = (
     + _counter_specs()
     + _memsim_specs()
     + _resilience_specs()
+    + _fast_specs()
     + _persist_specs()
     + [
         MetricSpec("probe.*", "histogram",

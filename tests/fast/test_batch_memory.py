@@ -1,0 +1,272 @@
+"""State-equivalence tests: BatchSecureMemory vs the scalar engine.
+
+The facade's contract is that after any queued operation sequence the
+engine's externally observable state (ciphertexts, ECC fields / MAC
+store, serialized counter metadata, tree root) and every ``engine.*`` /
+``counters.*`` metric total are bit-identical to what the scalar
+``engine.write`` / ``engine.read`` loop produces.  These tests replay
+identical mixed workloads through both and compare everything,
+including the overflow re-encryption and fault-correction fallbacks.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.core.engine.config import preset
+from repro.core.engine.secure_memory import SecureMemory
+from repro.fast import BatchSecureMemory, KernelDivergence
+from repro.fast.kernels import KernelPair, KernelTable
+from repro.obs.metrics import MetricRegistry, use_registry
+
+KEY = bytes(range(48))
+REGION = 64 * 1024  # 1024 blocks, 16 groups
+
+#: preset -> scheme overrides small enough to force overflow events
+CONFIGS = [
+    ("bmt_baseline", {}),
+    ("mac_in_ecc", {}),
+    ("delta_only", {"delta_bits": 3}),
+    ("combined", {"delta_bits": 3}),
+    ("combined_dual", {"base_delta_bits": 2, "extension_bits": 2}),
+]
+
+
+def _config(name, scheme_kwargs):
+    config = preset(name, protected_bytes=REGION, keystream_mode="fast")
+    if scheme_kwargs:
+        merged = dict(config.scheme_kwargs)
+        merged.update(scheme_kwargs)
+        config = preset(
+            name,
+            protected_bytes=REGION,
+            keystream_mode="fast",
+            scheme_kwargs=merged,
+        )
+    return config
+
+
+def _mixed_ops(seed, count, hot_blocks=24):
+    """A hot-set heavy mix of writes and read-backs."""
+    rng = random.Random(seed)
+    region_blocks = REGION // 64
+    written = []
+    ops = []
+    for sequence in range(count):
+        if written and rng.random() < 0.4:
+            ops.append(("read", rng.choice(written)))
+            continue
+        if rng.random() < 0.7:
+            block = rng.randrange(hot_blocks)
+        else:
+            block = rng.randrange(region_blocks)
+        data = bytes(
+            (block * 131 + sequence * 17 + i) & 0xFF for i in range(64)
+        )
+        ops.append(("write", block, data))
+        written.append(block)
+    return ops
+
+
+def _engine_state(engine):
+    if engine.config.mac_in_ecc:
+        macs = {
+            block: (field.mac, field.mac_check, field.ct_parity)
+            for block, field in engine.ecc_fields.items()
+        }
+    else:
+        macs = dict(engine.mac_store)
+    return (
+        dict(engine.ciphertexts),
+        macs,
+        dict(engine.counter_storage),
+        engine.tree.root_digest(),
+    )
+
+
+def _run_scalar(config, ops):
+    registry = MetricRegistry()
+    with use_registry(registry):
+        engine = SecureMemory(config, KEY)
+        reads = []
+        for op in ops:
+            if op[0] == "write":
+                engine.write(op[1] * 64, op[2])
+            else:
+                result = engine.read(op[1] * 64)
+                reads.append((result.data, result.outcome))
+        state = _engine_state(engine)
+    return state, reads, registry.snapshot().totals()
+
+
+def _run_batch(config, ops, mode, chunk=17):
+    registry = MetricRegistry()
+    with use_registry(registry):
+        engine = SecureMemory(config, KEY)
+        batch = BatchSecureMemory(engine, mode=mode)
+        reads = []
+        for start in range(0, len(ops), chunk):
+            for op in ops[start : start + chunk]:
+                if op[0] == "write":
+                    batch.queue_write(op[1] * 64, op[2])
+                else:
+                    batch.queue_read(op[1] * 64)
+            reads.extend(
+                (result.data, result.outcome) for result in batch.flush()
+            )
+        state = _engine_state(engine)
+    totals = registry.snapshot().totals()
+    scoped = {
+        name: value
+        for name, value in totals.items()
+        if name.startswith(("engine.", "counters."))
+    }
+    return state, reads, scoped, totals
+
+
+@pytest.mark.parametrize("name,scheme_kwargs", CONFIGS)
+def test_batch_state_equivalence_all_presets(name, scheme_kwargs):
+    config = _config(name, scheme_kwargs)
+    ops = _mixed_ops(
+        seed=0xDAC2018 + (zlib.crc32(name.encode()) % 1000), count=500
+    )
+    scalar_state, scalar_reads, scalar_totals = _run_scalar(config, ops)
+    batch_state, batch_reads, batch_scoped, _ = _run_batch(
+        config, ops, mode="fast"
+    )
+    assert batch_state == scalar_state
+    assert batch_reads == scalar_reads
+    scalar_scoped = {
+        name_: value
+        for name_, value in scalar_totals.items()
+        if name_.startswith(("engine.", "counters."))
+    }
+    assert batch_scoped == scalar_scoped
+
+
+@pytest.mark.parametrize(
+    "name,scheme_kwargs",
+    [
+        ("combined", {"delta_bits": 2}),
+        ("combined_dual", {"base_delta_bits": 2, "extension_bits": 2}),
+        ("mac_in_ecc", {"counter_bits": 4}),
+    ],
+)
+def test_batch_equivalence_through_overflow_reencryptions(
+    name, scheme_kwargs
+):
+    """Tiny widths force group/global re-encryptions mid-batch; the
+    scalar-fallback handling must keep state bit-identical."""
+    config = _config(name, scheme_kwargs)
+    ops = _mixed_ops(seed=7, count=700, hot_blocks=8)
+    scalar_state, scalar_reads, scalar_totals = _run_scalar(config, ops)
+    batch_state, batch_reads, batch_scoped, batch_totals = _run_batch(
+        config, ops, mode="fast"
+    )
+    assert batch_state == scalar_state
+    assert batch_reads == scalar_reads
+    # The workload must actually have exercised an overflow path for
+    # this test to mean anything.
+    reencrypts = sum(
+        value
+        for metric, value in scalar_totals.items()
+        if metric.endswith((".reencrypt", ".global_reencrypt"))
+    )
+    assert reencrypts > 0
+    assert batch_totals.get("fast.fallback.scalar", 0) > 0
+
+
+def test_batch_paranoid_mode_full_workload_zero_divergence():
+    config = _config("combined", {"delta_bits": 3})
+    ops = _mixed_ops(seed=3, count=400)
+    scalar_state, scalar_reads, _ = _run_scalar(config, ops)
+    batch_state, batch_reads, _, totals = _run_batch(
+        config, ops, mode="paranoid"
+    )
+    assert batch_state == scalar_state
+    assert batch_reads == scalar_reads
+    assert totals.get("fast.paranoid.checks", 0) > 0
+    assert totals.get("fast.paranoid.divergence", 0) == 0
+
+
+def test_batch_reference_mode_matches_scalar():
+    config = _config("combined", {"delta_bits": 3})
+    ops = _mixed_ops(seed=5, count=200)
+    scalar_state, scalar_reads, _ = _run_scalar(config, ops)
+    batch_state, batch_reads, _, totals = _run_batch(
+        config, ops, mode="reference"
+    )
+    assert batch_state == scalar_state
+    assert batch_reads == scalar_reads
+    assert totals.get("fast.kernel.calls", 0) == 0  # no batched kernels ran
+
+
+def test_batch_fault_correction_falls_back_bit_identically():
+    """A single-bit ciphertext fault must heal through the scalar
+    correction path with identical metrics and healed state."""
+    config = _config("combined", {"delta_bits": 4})
+
+    def run(factory):
+        registry = MetricRegistry()
+        with use_registry(registry):
+            engine = SecureMemory(config, KEY)
+            io = factory(engine)
+            payload = bytes(range(64))
+            io["write"](0, payload)
+            io["write"](64, payload[::-1])
+            # Flip one stored ciphertext bit behind the engine's back.
+            corrupted = bytearray(engine.ciphertexts[0])
+            corrupted[5] ^= 0x10
+            engine.ciphertexts[0] = bytes(corrupted)
+            results = [io["read"](0), io["read"](64)]
+            state = _engine_state(engine)
+        return (
+            [(r.data, r.outcome) for r in results],
+            state,
+            registry.snapshot().totals(),
+        )
+
+    def scalar(engine):
+        return {"write": engine.write, "read": engine.read}
+
+    def batched(engine):
+        batch = BatchSecureMemory(engine, mode="fast")
+        return {
+            "write": lambda a, d: batch.write_many([(a, d)]),
+            "read": lambda a: batch.read_many([a])[0],
+        }
+
+    scalar_reads, scalar_state, scalar_totals = run(scalar)
+    batch_reads, batch_state, batch_totals = run(batched)
+    assert batch_reads == scalar_reads
+    assert batch_state == scalar_state
+    assert scalar_totals.get("engine.read.correction") == 1
+    assert batch_totals.get("engine.read.correction") == 1
+
+
+def test_paranoid_mode_raises_on_divergent_kernel():
+    table = KernelTable(
+        [
+            KernelPair(
+                name="broken",
+                fast=lambda x: x + 1,
+                reference=lambda x: x,
+            )
+        ],
+        mode="paranoid",
+    )
+    with pytest.raises(KernelDivergence):
+        table.run("broken", 41)
+
+
+def test_batch_rejects_persistence_attached_engines():
+    from repro.persist.config import DurabilityConfig
+
+    config = _config("combined", {})
+    engine = SecureMemory(config, KEY, durability=DurabilityConfig())
+    assert engine.persist is not None
+    with pytest.raises(ValueError):
+        BatchSecureMemory(engine)

@@ -1,0 +1,271 @@
+"""Hypothesis differential suite: ``fast(x) == reference(x)`` per kernel.
+
+For every :class:`KernelPair` the batch kernel and its scalar reference
+are driven with random batch shapes, keys, counters and addresses --
+and, for the corrector, injected bit flips -- asserting bit-identical
+outputs.  The counter codecs are additionally driven through random
+write sequences at tiny field widths so the widen / reset / re-encode
+state-machine edges (Figures 5-6) all appear in the sampled states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counters import make_scheme
+from repro.core.ecc_mac.correction import FlipAndCheckCorrector, _flip
+from repro.crypto.ctr import CtrModeCipher
+from repro.crypto.mac import CarterWegmanMac
+from repro.fast.counters_batch import (
+    delta_decode,
+    delta_encode,
+    dual_length_decode,
+    dual_length_encode,
+)
+from repro.fast.ctr_batch import BatchCtrCipher
+from repro.fast.ecc_batch import BatchFlipAndCheck
+from repro.fast.kernels import build_kernel_table
+from repro.fast.mac_batch import BatchCarterWegmanMac
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+KEYS = st.binary(min_size=48, max_size=48)
+BLOCKS = st.lists(st.binary(min_size=64, max_size=64), min_size=1, max_size=6)
+
+
+def _as_matrix(rows: list) -> np.ndarray:
+    return np.frombuffer(b"".join(rows), dtype=np.uint8).reshape(len(rows), 64)
+
+
+# -- ctr.encrypt -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["aes", "fast"])
+@settings(max_examples=40, deadline=None)
+@given(key=KEYS, rows=BLOCKS, data=st.data())
+def test_ctr_keystream_differential(mode, key, rows, data):
+    counters = data.draw(
+        st.lists(U64, min_size=len(rows), max_size=len(rows))
+    )
+    addresses = data.draw(
+        st.lists(U64, min_size=len(rows), max_size=len(rows))
+    )
+    cipher = CtrModeCipher(key[:16], mode=mode)
+    batched = BatchCtrCipher(cipher).xor_blocks(
+        _as_matrix(rows), counters, addresses
+    )
+    for row, plain, counter, address in zip(
+        batched, rows, counters, addresses
+    ):
+        assert row.tobytes() == cipher.encrypt(plain, counter, address)
+
+
+# -- mac.tags --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["aes", "fast"])
+@settings(max_examples=40, deadline=None)
+@given(key=KEYS, rows=BLOCKS, data=st.data())
+def test_mac_tags_differential(mode, key, rows, data):
+    counters = data.draw(
+        st.lists(U64, min_size=len(rows), max_size=len(rows))
+    )
+    addresses = data.draw(
+        st.lists(U64, min_size=len(rows), max_size=len(rows))
+    )
+    mac = CarterWegmanMac(key, mode=mode)
+    tags = BatchCarterWegmanMac(mac).tags(
+        _as_matrix(rows), addresses, counters
+    )
+    for tag, message, address, counter in zip(
+        tags, rows, addresses, counters
+    ):
+        assert int(tag) == mac.tag(message, address, counter)
+
+
+# -- ecc.flip_and_check ----------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    key=KEYS,
+    plaintext=st.binary(min_size=64, max_size=64),
+    address=st.integers(0, (1 << 48) - 1),
+    counter=st.integers(0, (1 << 56) - 1),
+    flips=st.lists(
+        st.integers(0, 511), min_size=0, max_size=3, unique=True
+    ),
+)
+def test_flip_and_check_differential(key, plaintext, address, counter, flips):
+    mac = CarterWegmanMac(key, mode="fast")
+    corrector = FlipAndCheckCorrector(mac)
+    batched = BatchFlipAndCheck(corrector)
+    stored = mac.tag(plaintext, address, counter)
+    corrupted = _flip(plaintext, tuple(flips)) if flips else plaintext
+    scalar = corrector.correct_accelerated(corrupted, address, counter, stored)
+    fast = batched.correct_accelerated(corrupted, address, counter, stored)
+    assert fast.corrected == scalar.corrected
+    assert fast.data == scalar.data
+    assert fast.flipped_bits == scalar.flipped_bits
+    assert fast.checks == scalar.checks
+    assert fast.method == scalar.method
+    if len(flips) in (1, 2):
+        assert fast.corrected
+        assert fast.data == plaintext
+
+
+# -- counters.encode / counters.decode -------------------------------------
+
+WRITE_SEQS = st.lists(st.integers(0, 127), min_size=1, max_size=120)
+
+
+@settings(max_examples=40, deadline=None)
+@given(delta_bits=st.integers(2, 7), writes=WRITE_SEQS)
+def test_delta_codec_differential(delta_bits, writes):
+    scheme = make_scheme("delta", 128, delta_bits=delta_bits)
+    for block in writes:
+        scheme.on_write(block)
+        for group in (0, 1):
+            reference = scheme.group_metadata(group)
+            fast = delta_encode(
+                scheme.reference(group),
+                scheme.deltas(group),
+                scheme.reference_bits,
+                scheme.delta_bits,
+            )
+            assert fast == reference
+            assert delta_decode(
+                reference,
+                scheme.reference_bits,
+                scheme.delta_bits,
+                scheme.blocks_per_group,
+            ) == scheme.decode_metadata(reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base_bits=st.integers(2, 4),
+    extension_bits=st.integers(2, 4),
+    writes=WRITE_SEQS,
+)
+def test_dual_length_codec_differential(base_bits, extension_bits, writes):
+    scheme = make_scheme(
+        "dual_length",
+        128,
+        base_delta_bits=base_bits,
+        extension_bits=extension_bits,
+    )
+    for block in writes:
+        scheme.on_write(block)
+        for group in (0, 1):
+            reference = scheme.group_metadata(group)
+            fast = dual_length_encode(
+                scheme.reference(group),
+                scheme.deltas(group),
+                scheme.widened_delta_group(group),
+                scheme.reference_bits,
+                scheme.base_delta_bits,
+                scheme.extension_bits,
+                scheme.deltas_per_delta_group,
+            )
+            assert fast == reference
+            assert dual_length_decode(
+                reference,
+                scheme.reference_bits,
+                scheme.base_delta_bits,
+                scheme.extension_bits,
+                scheme.blocks_per_group,
+                scheme.deltas_per_delta_group,
+            ) == scheme.decode_metadata(reference)
+
+
+def test_dual_length_codec_widen_reset_reencode_edges():
+    """Deterministically walk the widen / reset / re-encode / re-encrypt
+    edges and check codec equality in every intermediate state."""
+
+    def check(scheme):
+        reference = scheme.group_metadata(0)
+        assert reference == dual_length_encode(
+            scheme.reference(0),
+            scheme.deltas(0),
+            scheme.widened_delta_group(0),
+            scheme.reference_bits,
+            scheme.base_delta_bits,
+            scheme.extension_bits,
+            scheme.deltas_per_delta_group,
+        )
+        assert scheme.decode_metadata(reference) == dual_length_decode(
+            reference,
+            scheme.reference_bits,
+            scheme.base_delta_bits,
+            scheme.extension_bits,
+            scheme.blocks_per_group,
+            scheme.deltas_per_delta_group,
+        )
+
+    def drive(scheme, blocks):
+        events = set()
+        for block in blocks:
+            outcome = scheme.on_write(block)
+            events.update(event.value for event in outcome.events)
+            check(scheme)
+        return events
+
+    # Lock-step sweeps make every delta converge and fold into the
+    # reference (reset); hammering single blocks first widens one
+    # delta-group, then forces the overflow paths (re-encode when
+    # delta_min can absorb it, re-encrypt when nothing can).
+    lockstep = make_scheme(
+        "dual_length", 64, base_delta_bits=2, extension_bits=2
+    )
+    skewed = make_scheme(
+        "dual_length", 64, base_delta_bits=2, extension_bits=2
+    )
+    events = drive(lockstep, list(range(64)) * 2 + [0] * 6 + [63] * 12)
+    events |= drive(skewed, [0] * 6 + list(range(64)) * 2 + [63] * 12)
+    assert {"reset", "widen", "re_encode", "re_encrypt"} <= events
+
+
+# -- every registered KernelPair, via the table ----------------------------
+
+
+def test_every_kernel_pair_agrees_through_the_table(key48):
+    """Drive each pair through KernelTable paranoid mode (which raises on
+    the first fast/reference mismatch) with representative inputs."""
+    for scheme_name, kwargs in [
+        ("delta", {"delta_bits": 3}),
+        ("dual_length", {"base_delta_bits": 2, "extension_bits": 2}),
+    ]:
+        cipher = CtrModeCipher(key48[:16], mode="fast")
+        mac = CarterWegmanMac(key48, mode="fast")
+        corrector = FlipAndCheckCorrector(mac)
+        scheme = make_scheme(scheme_name, 128, **kwargs)
+        for block in (0, 5, 5, 5, 70, 71, 5):
+            scheme.on_write(block)
+        table = build_kernel_table(
+            cipher, mac, corrector, scheme, mode="paranoid"
+        )
+        assert set(table.pairs) == {
+            "ctr.encrypt",
+            "mac.tags",
+            "ecc.flip_and_check",
+            "counters.decode",
+            "counters.encode",
+        }
+        data = np.arange(3 * 64, dtype=np.uint8).reshape(3, 64)
+        ciphertexts = table.run(
+            "ctr.encrypt", data, [1, 2, 3], [0, 64, 128], blocks=3
+        )
+        table.run("mac.tags", ciphertexts, [0, 64, 128], [1, 2, 3], blocks=3)
+        stored = mac.tag(bytes(range(64)), 0, 9)
+        table.run(
+            "ecc.flip_and_check",
+            _flip(bytes(range(64)), (17,)),
+            0,
+            9,
+            stored,
+        )
+        metadata = table.run("counters.encode", 0)
+        table.run("counters.decode", metadata)
