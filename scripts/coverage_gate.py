@@ -10,8 +10,14 @@ and then this gate, which checks *per-package* line coverage -- a
 global percentage lets a well-tested package subsidize an untested one,
 which is exactly how correctness-critical code rots.  Floors:
 
-* ``repro.crypto``  >= 90% lines
-* ``repro.core``    >= 90% lines
+* ``repro.crypto``     >= 90% lines
+* ``repro.core``       >= 90% lines
+* ``repro.persist``    >= 85% lines
+* ``repro.resilience`` >= 85% lines
+
+The persist/resilience floors are deliberately high: those packages are
+the crash-consistency and fault-tolerance planes, where an untested
+branch is a recovery bug waiting for a power cut.
 
 Only the stdlib is used to parse the report, so the gate itself needs
 no extra dependencies.  When the XML is absent (a local checkout
@@ -29,6 +35,8 @@ import xml.etree.ElementTree as ET
 FLOORS = {
     "repro/crypto/": 0.90,
     "repro/core/": 0.90,
+    "repro/persist/": 0.85,
+    "repro/resilience/": 0.85,
 }
 
 
@@ -75,7 +83,7 @@ def main(argv=None) -> int:
         rate = covered / valid
         status = "ok" if rate >= floor else "FAIL"
         print(
-            f"coverage_gate: {prefix:<16} {rate:6.1%} "
+            f"coverage_gate: {prefix:<18} {rate:6.1%} "
             f"({covered}/{valid} lines, floor {floor:.0%}) {status}"
         )
         if rate < floor:

@@ -22,6 +22,14 @@ script exits non-zero if it falls below the floor (default 5x, the
 acceptance criterion), making a perf regression a red build instead of
 a silent slowdown.
 
+The gate also probes **group-commit amortization**: the same write
+stream runs batched without durability, batched with durability (one
+journal transaction per flushed write run), and scalar with durability
+(one transaction per write).  Group commit must keep the durable
+batched path under ``--max-durable-overhead`` (default 2x) of the
+non-durable batched path -- the whole point of sealing one frame per
+flush is that journaling cannot double the cost of the fast path.
+
 Wall-clock numbers vary across hosts; the committed ``BENCH_perf.json``
 is a recorded baseline for comparison, not a byte-reproducible
 artifact like the ``repro bench`` payloads.
@@ -40,6 +48,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.engine.config import preset  # noqa: E402
 from repro.core.engine.secure_memory import SecureMemory  # noqa: E402
+from repro.fast.batch_memory import BatchSecureMemory  # noqa: E402
 from repro.harness.parallel import (  # noqa: E402
     BENCH_SCHEMA,
     BenchSpec,
@@ -107,6 +116,93 @@ def run_batched(spec: BenchSpec, workers: int) -> tuple[float, dict]:
     return elapsed, payload
 
 
+def run_group_commit_probe(spec: BenchSpec, chunk: int = 32) -> dict:
+    """Time one app's write stream three ways; returns the comparison.
+
+    All three runs verify a final read-back sweep so no side wins by
+    dropping work.  Durability uses the default cadence, so the scalar
+    side seals (and checkpoints) per write while group commit seals one
+    frame per ``chunk`` -- the amortization being measured.
+    """
+    from repro.persist.config import DurabilityConfig
+
+    app = sorted(spec.apps)[0]
+    workload = app_workload(app, spec)
+    key = _app_key(app, spec.seed)
+
+    def build_engine(durable):
+        config = preset(
+            spec.preset,
+            protected_bytes=spec.region_mb * 1024 * 1024,
+            keystream_mode=spec.keystream,
+        )
+        durability = DurabilityConfig() if durable else None
+        return SecureMemory(config, key, durability=durability)
+
+    def verify(engine):
+        latest = {}
+        for block, payload in workload:
+            latest[block] = payload
+        for block in sorted(latest):
+            result = engine.read(block * BLOCK_BYTES)
+            if result.data != latest[block]:
+                raise AssertionError(
+                    f"group-commit probe read-back mismatch: block {block}"
+                )
+
+    def batched(durable):
+        registry = MetricRegistry()
+        with use_registry(registry):
+            engine = build_engine(durable)
+            batch = BatchSecureMemory(engine)
+            started = time.perf_counter()
+            for start in range(0, len(workload), chunk):
+                for block, payload in workload[start : start + chunk]:
+                    batch.queue_write(block * BLOCK_BYTES, payload)
+                batch.flush()
+            elapsed = time.perf_counter() - started
+            verify(engine)
+        return elapsed, registry.snapshot().totals()
+
+    def scalar_durable():
+        registry = MetricRegistry()
+        with use_registry(registry):
+            engine = build_engine(durable=True)
+            started = time.perf_counter()
+            for block, payload in workload:
+                engine.write(block * BLOCK_BYTES, payload)
+            elapsed = time.perf_counter() - started
+            verify(engine)
+        return elapsed
+
+    nondurable_seconds, _ = batched(durable=False)
+    durable_seconds, durable_totals = batched(durable=True)
+    scalar_seconds = scalar_durable()
+    txns = durable_totals.get("persist.group_commit.txns", 0)
+    writes = durable_totals.get("persist.group_commit.writes", 0)
+    return {
+        "app": app,
+        "writes": len(workload),
+        "flush_chunk": chunk,
+        "batched_nondurable_seconds": round(nondurable_seconds, 3),
+        "batched_durable_seconds": round(durable_seconds, 3),
+        "scalar_durable_seconds": round(scalar_seconds, 3),
+        # journaling tax on the fast path (the gated number)
+        "overhead_ratio": round(
+            durable_seconds / nondurable_seconds if nondurable_seconds
+            else 0.0,
+            2,
+        ),
+        # how much group commit beats one-txn-per-write durability
+        "amortization_ratio": round(
+            scalar_seconds / durable_seconds if durable_seconds else 0.0,
+            2,
+        ),
+        "group_commit_txns": txns,
+        "writes_per_txn": round(writes / txns, 1) if txns else 0.0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--apps", nargs="+", default=list(DEFAULT_APPS))
@@ -115,6 +211,12 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--max-durable-overhead",
+        type=float,
+        default=2.0,
+        help="ceiling on batched-durable / batched-nondurable wall clock",
+    )
     parser.add_argument(
         "--json-out", default=str(REPO_ROOT / "BENCH_perf.json")
     )
@@ -144,6 +246,20 @@ def main(argv=None) -> int:
         f"{'PASS' if passed else 'FAIL'}"
     )
 
+    group_commit = run_group_commit_probe(spec)
+    gc_passed = group_commit["overhead_ratio"] < args.max_durable_overhead
+    group_commit["max_durable_overhead"] = args.max_durable_overhead
+    group_commit["pass"] = gc_passed
+    print(
+        f"perf_gate: group commit ({group_commit['app']}, "
+        f"{group_commit['writes']} writes / "
+        f"{group_commit['group_commit_txns']} txns): durable batched "
+        f"{group_commit['overhead_ratio']:.2f}x non-durable (ceiling "
+        f"{args.max_durable_overhead:.1f}x), "
+        f"{group_commit['amortization_ratio']:.2f}x faster than "
+        f"per-write txns -> {'PASS' if gc_passed else 'FAIL'}"
+    )
+
     payload = {
         "schema": BENCH_SCHEMA,
         "bench": "perf",
@@ -151,6 +267,7 @@ def main(argv=None) -> int:
             **spec.config_dict(),
             "workers": args.workers,
             "min_speedup": args.min_speedup,
+            "max_durable_overhead": args.max_durable_overhead,
         },
         "results": {
             "scalar_seconds": round(scalar_seconds, 3),
@@ -158,13 +275,14 @@ def main(argv=None) -> int:
             "speedup": round(speedup, 2),
             "writebacks": blocks,
             "pass": passed,
+            "group_commit": group_commit,
         },
         "metrics": bench_payload["metrics"],
     }
     path = pathlib.Path(args.json_out)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"perf_gate: wrote {path}")
-    return 0 if passed else 1
+    return 0 if passed and gc_passed else 1
 
 
 if __name__ == "__main__":

@@ -61,6 +61,7 @@ from repro.persist.crashsim import (
 from repro.resilience.campaign import FaultCampaign, default_models
 from repro.resilience.recovery import RetryPolicy
 from repro.resilience.runtime import ResilientMemory
+from repro.resilience.torture import TortureSpec, run_torture
 from repro.workloads.micro import MICRO_PROFILES, micro_profile
 from repro.workloads.parsec import figure8_apps, profile, table2_apps
 
@@ -363,6 +364,10 @@ def _cmd_crash(args) -> int:
         ops=args.ops,
         seed=args.seed,
         checkpoint_interval=args.checkpoint_interval,
+        batch=args.batch,
+        resilient=args.resilient,
+        spare_blocks=args.spare_blocks,
+        ce_threshold=args.ce_threshold,
     )
     if args.point is not None:
         # Single-point repro mode: same arming, bit-for-bit same crash.
@@ -381,6 +386,32 @@ def _cmd_crash(args) -> int:
             json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote crash matrix to {args.json_out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_torture(args) -> int:
+    spec = TortureSpec(
+        preset=args.preset,
+        scheme_kwargs=_CRASH_SCHEME_KWARGS[args.preset],
+        group_count=args.groups,
+        cycles=args.cycles,
+        ops_per_cycle=args.ops,
+        batch=args.batch,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        spare_blocks=args.spare_blocks,
+        ce_threshold=args.ce_threshold,
+        transient_rate=args.transient_rate,
+        stuck_rate=args.stuck_rate,
+        burst_rate=args.burst_rate,
+    )
+    report = run_torture(spec, limit=args.limit)
+    print(report.format_summary())
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote torture report to {args.json_out}", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -559,6 +590,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="distinct addresses the workload touches")
     p.add_argument("--checkpoint-interval", type=int, default=4,
                    help="commits between epoch checkpoints")
+    p.add_argument("--batch", type=int, default=0,
+                   help="writes per group-commit flush (0 = scalar "
+                        "per-write transactions)")
+    p.add_argument("--resilient", action="store_true",
+                   help="compose the resilience layer into the workload "
+                        "(stuck faults, journaled retirement, degrade)")
+    p.add_argument("--spare-blocks", type=int, default=1,
+                   help="quarantine spare pool size (with --resilient)")
+    p.add_argument("--ce-threshold", type=int, default=1,
+                   help="CEs before retirement (with --resilient)")
     p.add_argument("--point", metavar="STEP[:PHASE]", default=None,
                    help="replay a single crash point (PHASE: skip|torn) "
                         "instead of the matrix")
@@ -569,6 +610,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json-out", metavar="FILE", default=None,
                    help="write the matrix report as a JSON artifact")
     p.set_defaults(func=_cmd_crash)
+
+    p = sub.add_parser(
+        "torture",
+        help="combined crash x fault campaign over the composed stack "
+             "(group-commit traffic, Poisson faults, a crash-recovery "
+             "cycle per cycle, shadow-model verification)",
+    )
+    p.add_argument("--preset", default="combined",
+                   choices=sorted(_CRASH_SCHEME_KWARGS))
+    p.add_argument("--cycles", type=int, default=100,
+                   help="crash-recovery cycles to run")
+    p.add_argument("--ops", type=int, default=20,
+                   help="traffic operations per cycle")
+    p.add_argument("--batch", type=int, default=4,
+                   help="writes per group-commit flush (0 = scalar)")
+    p.add_argument("--seed", type=int, default=0xDAC2018)
+    p.add_argument("--groups", type=int, default=2,
+                   help="counter block-groups in the protected region")
+    p.add_argument("--checkpoint-every", type=int, default=5,
+                   help="cycles between explicit checkpoints (telemetry "
+                        "durability cadence)")
+    p.add_argument("--spare-blocks", type=int, default=3,
+                   help="quarantine spare pool size")
+    p.add_argument("--ce-threshold", type=int, default=1,
+                   help="correctable errors before a block is retired")
+    p.add_argument("--transient-rate", type=_rate, default=0.04,
+                   help="transient SEUs per operation (Poisson rate)")
+    p.add_argument("--stuck-rate", type=_rate, default=0.01,
+                   help="stuck-at cell faults per operation")
+    p.add_argument("--burst-rate", type=_rate, default=0.002,
+                   help="row-burst events per operation")
+    p.add_argument("--limit", type=int, default=None,
+                   help="bound the run to N cycles (CI smoke)")
+    p.add_argument("--json-out", metavar="FILE", default=None,
+                   help="write the torture report as a JSON artifact")
+    p.set_defaults(func=_cmd_torture)
 
     p = sub.add_parser(
         "stats", help="render the report from a saved metrics snapshot"

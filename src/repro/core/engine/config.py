@@ -28,6 +28,15 @@ from repro.lint.contracts import BLOCK_BYTES
 from repro.memsim.cache.cache import CacheConfig
 
 
+class ConfigError(ValueError):
+    """An engine/stack composition that cannot work as requested.
+
+    Raised instead of a bare ``ValueError`` wherever the fix is a
+    different composition, so the message can name the stack order (or
+    option) that does work.
+    """
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Everything needed to build a functional or timing engine."""
@@ -138,4 +147,4 @@ def preset(name: str, **overrides: Any) -> EngineConfig:
     return config.with_overrides(**overrides) if overrides else config
 
 
-__all__ = ["EngineConfig", "PRESETS", "preset"]
+__all__ = ["ConfigError", "EngineConfig", "PRESETS", "preset"]

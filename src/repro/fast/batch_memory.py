@@ -34,8 +34,18 @@ installed) falls back to the scalar ``engine.read`` for that block, in
 queue order, so corrections, heal-writebacks, metrics and raised
 ``IntegrityError``\\ s are exactly the scalar ones.
 
-Engines with persistence attached are rejected: the journal's
-transaction-per-write shape is inherently scalar.
+Engines with persistence attached get **group commit**: each flushed
+write run becomes *one* journal transaction -- ``begin_txn`` before the
+first ``on_write``, every stored block image and every touched group's
+metadata mirrored into it (including anything the scalar re-encryption
+fallbacks store, which journal inside the same open transaction), and a
+single ``commit_txn(..., writes=N)`` whose seal acknowledges the whole
+batch.  The write-ahead invariants are unchanged -- the record is the
+same physical-redo shape the scalar path seals per write, just N writes
+wide -- so recovery replays it with no new code, and a torn group-commit
+frame discards the *entire* batch: a flush lands atomically or not at
+all.  Reads never run inside a flush transaction (read-path corrections
+stay volatile heals, exactly as on the scalar path).
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ import numpy as np
 from repro.core.counters.events import CounterEvent
 from repro.core.ecc_mac.detection import CheckOutcome
 from repro.core.ecc_mac.layout import EccField
+from repro.core.engine.config import ConfigError
 from repro.core.engine.secure_memory import (
     IntegrityError,
     ReadResult,
@@ -56,16 +67,20 @@ from repro.ecc.hamming import DecodeStatus
 from repro.ecc.parity import parity_of_bytes
 from repro.fast.kernels import KernelTable, build_kernel_table
 from repro.lint.contracts import BLOCK_BYTES
+from repro.persist.journal import DataImage
 
 
 class BatchSecureMemory:
     """Queue/flush façade running an engine through the batch kernels."""
 
     def __init__(self, engine: SecureMemory, mode: str = "fast") -> None:
-        if engine.persist is not None:
-            raise ValueError(
-                "BatchSecureMemory does not support persistence-attached "
-                "engines (journal transactions are per scalar write)"
+        if not isinstance(engine, SecureMemory):
+            raise ConfigError(
+                "BatchSecureMemory wraps the core SecureMemory, not "
+                f"{type(engine).__name__}: the working stack order is "
+                "SecureMemory (+durability) -> BatchSecureMemory, with "
+                "ResilientMemory translating logical addresses above "
+                "both -- repro.stack.EngineStack builds exactly that"
             )
         self.engine = engine
         self.kernels: KernelTable = build_kernel_table(
@@ -164,10 +179,55 @@ class BatchSecureMemory:
         metadata = self._serialize_group(group)
         engine.counter_storage[group] = metadata
         engine.tree.update_leaf(group, engine._pad_leaf(metadata))
+        if engine.persist is not None and engine.persist.in_txn:
+            engine.persist.record_meta(group, metadata)
 
     def _flush_writes(self, writes: list[tuple[int, bytes]]) -> None:
+        """One write run; with persistence attached, one group-commit txn.
+
+        The whole run -- including any scalar-fallback re-encryptions,
+        whose ``_store_block``/``_commit_metadata`` calls mirror into
+        the open transaction automatically -- seals as a single
+        :class:`~repro.persist.journal.TxnRecord`.  Any failure before
+        the seal aborts the transaction: nothing reached the store, so
+        the batch rolls back atomically.
+        """
+        engine = self.engine
+        persist = engine.persist
+        if persist is None:
+            self._run_writes(writes)
+            return
+        if persist.in_txn:
+            raise ConfigError(
+                "cannot flush a batch inside an open journal "
+                "transaction: group commit opens one transaction per "
+                "write run; finish the scalar engine.write (or nested "
+                "flush) first -- the working order is "
+                "SecureMemory(+durability) -> BatchSecureMemory with "
+                "flush() between, not inside, scalar transactions"
+            )
+        persist.begin_txn()
+        try:
+            global_reencrypt = self._run_writes(writes)
+        except BaseException:
+            persist.abort_txn()
+            raise
+        force = (
+            global_reencrypt
+            and persist.config.checkpoint_on_global_reencrypt
+        )
+        persist.commit_txn(
+            root=engine.tree.root_digest(),
+            scheme_epoch=getattr(engine.scheme, "epoch", 0),
+            force_checkpoint=force,
+            writes=len(writes),
+        )
+
+    def _run_writes(self, writes: list[tuple[int, bytes]]) -> bool:
+        """The write-run data path; True when a global re-encrypt fired."""
         engine = self.engine
         scheme = engine.scheme
+        global_reencrypt = False
         self._m_writes.inc(len(writes))
         #: writes encrypted/stored lazily: (block, address, nonce, data)
         pending: list[tuple[int, int, int, bytes]] = []
@@ -189,6 +249,7 @@ class BatchSecureMemory:
             outcome = scheme.on_write(block)
             engine.counters.writes += 1
             if outcome.has(CounterEvent.GLOBAL_RE_ENCRYPT):
+                global_reencrypt = True
                 self._flush_pending(pending)
                 pending = []
                 engine._trace_reencrypt("engine.global_reencrypt", address)
@@ -221,6 +282,7 @@ class BatchSecureMemory:
         self._m_groups.inc(len(dirty))
         for group in dirty:
             self._commit_group(group)
+        return global_reencrypt
 
     def _flush_pending(
         self, pending: list[tuple[int, int, int, bytes]]
@@ -228,6 +290,7 @@ class BatchSecureMemory:
         if not pending:
             return
         engine = self.engine
+        in_txn = engine.persist is not None and engine.persist.in_txn
         count = len(pending)
         addresses = [entry[1] for entry in pending]
         nonces = [entry[2] for entry in pending]
@@ -246,15 +309,28 @@ class BatchSecureMemory:
                 ciphertext = row.tobytes()
                 tag_value = int(tag)
                 engine.ciphertexts[entry[0]] = ciphertext
-                engine.ecc_fields[entry[0]] = EccField(
+                field = EccField(
                     mac=tag_value,
                     mac_check=hamming.encode(tag_value),
                     ct_parity=parity_of_bytes(ciphertext),
                 )
+                engine.ecc_fields[entry[0]] = field
+                if in_txn:
+                    engine.persist.record_data(
+                        entry[0],
+                        DataImage(ciphertext=ciphertext, ecc=field.pack()),
+                    )
         else:
             for row, entry, tag in zip(ciphertexts, pending, tags):
-                engine.ciphertexts[entry[0]] = row.tobytes()
-                engine.mac_store[entry[0]] = int(tag)
+                ciphertext = row.tobytes()
+                tag_value = int(tag)
+                engine.ciphertexts[entry[0]] = ciphertext
+                engine.mac_store[entry[0]] = tag_value
+                if in_txn:
+                    engine.persist.record_data(
+                        entry[0],
+                        DataImage(ciphertext=ciphertext, mac=tag_value),
+                    )
 
     # -- read path ---------------------------------------------------------
 

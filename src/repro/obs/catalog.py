@@ -207,6 +207,13 @@ def _persist_specs() -> list[MetricSpec]:
     return [
         MetricSpec("persist.txn.commit", "counter",
                    "journaled write transactions sealed (the ack point)"),
+        MetricSpec("persist.txn.abort", "counter",
+                   "open transactions dropped before sealing"),
+        MetricSpec("persist.group_commit.txns", "counter",
+                   "group-commit transactions sealed (one per batch "
+                   "flush covering >1 write)"),
+        MetricSpec("persist.group_commit.writes", "counter",
+                   "engine-level writes amortized into group commits"),
         MetricSpec("persist.txn.data_blocks", "counter",
                    "data-block images carried by committed records"),
         MetricSpec("persist.txn.meta_groups", "counter",
@@ -244,6 +251,20 @@ def _persist_specs() -> list[MetricSpec]:
     ]
 
 
+def _stack_specs() -> list[MetricSpec]:
+    """The composed-stack facade (:class:`repro.stack.EngineStack`)."""
+    return [
+        MetricSpec("stack.writes", "counter",
+                   "writes entering the composed stack"),
+        MetricSpec("stack.reads", "counter",
+                   "reads entering the composed stack"),
+        MetricSpec("stack.flushes", "counter",
+                   "batch flushes requested through the stack"),
+        MetricSpec("stack.recoveries", "counter",
+                   "full-stack crash recoveries performed"),
+    ]
+
+
 _SPECS: list[MetricSpec] = (
     _engine_specs()
     + _counter_specs()
@@ -251,6 +272,7 @@ _SPECS: list[MetricSpec] = (
     + _resilience_specs()
     + _fast_specs()
     + _persist_specs()
+    + _stack_specs()
     + [
         MetricSpec("probe.*", "histogram",
                    "wallclock span per probe point (one per site)"),

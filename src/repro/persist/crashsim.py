@@ -10,18 +10,34 @@ crash matrix is *exhaustive*, not sampled:
    per tearable step (multi-byte payload writes);
 3. for each point, re-run the identical workload against a store armed
    at that step, let it crash, run full recovery
-   (:func:`repro.persist.recovery.recover`), and check three invariants:
+   (:meth:`repro.stack.EngineStack.recover`), and check the invariants:
 
    * **durability** -- every *acknowledged* write reads back with its
-     acknowledged data (the write in flight at the crash may land or
-     vanish, but nothing acknowledged may be lost or torn);
+     acknowledged data (work in flight at the crash may land or vanish,
+     but nothing acknowledged may be lost or torn);
+   * **atomicity** -- with ``batch > 0`` the in-flight *batch* is the
+     unit in flight: its single group-commit frame either sealed (every
+     batched write lands) or did not (none land) -- a crash can never
+     split a batch;
    * **anti-replay** -- no encryption counter regresses below its value
      at the last acknowledgement (unless a global re-encryption epoch
      legitimately restarted the counter space);
    * **integrity** -- the recomputed Bonsai root equals the last
      acknowledged root digest (recovery itself refuses to resume
      otherwise), and the recovered engine stays live (a post-recovery
-     write + read round-trips).
+     write + read round-trips);
+   * **quarantine consistency** (``resilient=True``) -- the recovered
+     logical->physical mapping equals the mapping at the last sealed
+     resilience record: either the last completed operation's state or,
+     when the crash interrupted a read mid-retirement, the crash-time
+     state -- and no retired block is ever resurrected.
+
+The workload itself runs through the composed
+:class:`~repro.stack.EngineStack`, so ``batch > 0`` exercises
+group-commit journaling (one sealed frame per flushed write run --
+including the *torn group-commit frame* points) and ``resilient=True``
+interleaves stuck-fault injection, CE retirement (journaled), and a
+spares-exhausted degrade into the same step trace.
 
 ``repro crash --point STEP:PHASE`` re-runs any single point with the
 same arming, which reproduces the crash state bit-for-bit.
@@ -34,20 +50,25 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.engine.config import EngineConfig, preset
-from repro.core.engine.secure_memory import IntegrityError, SecureMemory
+from repro.core.engine.secure_memory import IntegrityError
 from repro.lint.contracts import BLOCK_BYTES
 from repro.obs.metrics import MetricRegistry
 from repro.persist.config import DurabilityConfig
-from repro.persist.manager import PersistenceManager
-from repro.persist.recovery import RecoveryError, RecoveryReport, recover
+from repro.persist.recovery import RecoveryError, RecoveryReport
 from repro.persist.store import (
     CrashPlan,
     DurableStore,
     SimulatedCrash,
     StepRecord,
 )
+from repro.stack import EngineStack
 
 _DEFAULT_SEED = 0xDAC2018
+_ZERO_BLOCK = b"\x00" * BLOCK_BYTES
+
+#: workload operations: ("write", address, data) / ("read", address) /
+#: ("fault", address, data_bits)
+WorkloadOp = tuple
 
 
 @dataclass(frozen=True)
@@ -59,6 +80,13 @@ class CrashSimSpec:
     deltas overflow fast (reset, re-encode, *and* group re-encrypt all
     fire), and a short checkpoint interval interleaves checkpoint steps
     with journal steps.
+
+    ``batch > 0`` runs the workload through the batched facade, flushing
+    every ``batch`` writes -- each flush seals one group-commit journal
+    frame.  ``resilient=True`` adds the resilience layer (addresses
+    become logical) and splices deterministic stuck faults + reads into
+    the workload: the first retires a block (journaled, consuming a
+    spare), the second exhausts the pool and degrades.
     """
 
     preset: str = "combined"
@@ -69,6 +97,10 @@ class CrashSimSpec:
     seed: int = _DEFAULT_SEED
     checkpoint_interval: int = 4
     journal_capacity_records: int = 64
+    batch: int = 0  # writes per group-commit flush (0 = scalar)
+    resilient: bool = False
+    spare_blocks: int = 1
+    ce_threshold: int = 1
 
     def engine_config(self) -> EngineConfig:
         return preset(
@@ -84,6 +116,14 @@ class CrashSimSpec:
             journal_capacity_records=self.journal_capacity_records,
         )
 
+    def resilience_kwargs(self) -> dict[str, Any] | None:
+        if not self.resilient:
+            return None
+        return {
+            "spare_blocks": self.spare_blocks,
+            "ce_threshold": self.ce_threshold,
+        }
+
     def to_json(self) -> dict[str, Any]:
         return {
             "preset": self.preset,
@@ -94,6 +134,10 @@ class CrashSimSpec:
             "seed": self.seed,
             "checkpoint_interval": self.checkpoint_interval,
             "journal_capacity_records": self.journal_capacity_records,
+            "batch": self.batch,
+            "resilient": self.resilient,
+            "spare_blocks": self.spare_blocks,
+            "ce_threshold": self.ce_threshold,
         }
 
 
@@ -108,17 +152,53 @@ def build_workload(spec: CrashSimSpec) -> list[tuple[int, bytes]]:
     return ops
 
 
+def build_ops(spec: CrashSimSpec) -> list[WorkloadOp]:
+    """The full op sequence: writes, plus fault/read splices when
+    resilient.  Pure f(seed), like :func:`build_workload`."""
+    ops: list[WorkloadOp] = [
+        ("write", address, data) for address, data in build_workload(spec)
+    ]
+    if spec.resilient:
+        first, second = spec.ops // 3, (2 * spec.ops) // 3
+        splices = [
+            (first, ("fault", 0, (7,))),
+            (first + 1, ("read", 0)),  # CE -> retire (journaled)
+            (second, ("fault", BLOCK_BYTES, (11,))),
+            (second + 1, ("read", BLOCK_BYTES)),  # spares dry -> degrade
+            (len(ops), ("read", 0)),  # remapped block serves cleanly
+        ]
+        for offset, (position, op) in enumerate(splices):
+            ops.insert(position + offset, op)
+    return ops
+
+
 @dataclass
 class RunState:
     """Everything one (possibly crashed) workload run leaves behind."""
 
     store: DurableStore
     acked: dict[int, bytes]  # address -> last acknowledged plaintext
-    inflight: tuple[int, bytes] | None  # the write interrupted by the crash
+    inflight: list[tuple[int, bytes]]  # writes un-acked at the crash
     crash: SimulatedCrash | None
     floor_meta: dict[int, bytes]  # counter storage at the last ack
     floor_epoch: int
     trace: list[StepRecord]
+    #: quarantine mapping at the last completed op / at crash time
+    #: (None when the spec has no resilience layer)
+    floor_quarantine: dict[str, Any] | None = None
+    crash_quarantine: dict[str, Any] | None = None
+
+
+def _mapping_state(stack: EngineStack) -> dict[str, Any] | None:
+    """The durable-equivalent slice of the quarantine map (the health
+    history is checkpoint-cadence state and may legitimately lag)."""
+    if stack.resilient is None:
+        return None
+    state = stack.resilient.quarantine.state_dict()
+    return {
+        key: state[key]
+        for key in ("map", "retired", "free_spares", "degraded")
+    }
 
 
 def run_workload(
@@ -128,35 +208,88 @@ def run_workload(
     registry = MetricRegistry()
     store = DurableStore(plan=plan)
     key = bytes(range(48))
-    engine = SecureMemory(spec.engine_config(), key, registry=registry)
-    manager = PersistenceManager(
-        spec.durability(), store=store, registry=registry
-    )
     state = RunState(
         store=store,
         acked={},
-        inflight=None,
+        inflight=[],
         crash=None,
         floor_meta={},
         floor_epoch=0,
         trace=store.trace,
     )
+    if spec.resilient:
+        # The sealed floor before anything runs is the pristine map --
+        # a crash during provisioning must recover exactly this.
+        total = spec.engine_config().total_blocks
+        state.floor_quarantine = {
+            "map": {},
+            "retired": {},
+            "free_spares": list(range(total - spec.spare_blocks, total)),
+            "degraded": [],
+        }
     try:
-        engine.attach_persistence(manager)
+        stack = EngineStack(
+            spec.engine_config(),
+            key,
+            fast=spec.batch > 0,
+            durability=spec.durability(),
+            store=store,
+            resilience=spec.resilience_kwargs(),
+            registry=registry,
+        )
     except SimulatedCrash as crash:
         state.crash = crash  # died during provisioning, before any ack
         return state
-    for address, data in build_workload(spec):
-        state.inflight = (address, data)
-        try:
-            engine.write(address, data)
-        except SimulatedCrash as crash:
-            state.crash = crash
-            return state
-        state.acked[address] = data
+    engine = stack.engine
+    state.floor_quarantine = _mapping_state(stack)
+    pending: list[tuple[int, bytes]] = []
+
+    def ack() -> None:
+        for address, data in state.inflight:
+            state.acked[address] = data
+        state.inflight = []
         state.floor_meta = dict(engine.counter_storage)
         state.floor_epoch = getattr(engine.scheme, "epoch", 0)
-        state.inflight = None
+        state.floor_quarantine = _mapping_state(stack)
+
+    def flush_pending() -> None:
+        if not pending:
+            return
+        state.inflight = list(pending)
+        pending.clear()
+        stack.flush()
+        ack()
+
+    try:
+        for op in build_ops(spec):
+            if op[0] == "write":
+                if spec.batch > 0:
+                    stack.write(op[1], op[2])
+                    pending.append((op[1], op[2]))
+                    if len(pending) >= spec.batch:
+                        flush_pending()
+                else:
+                    state.inflight = [(op[1], op[2])]
+                    stack.write(op[1], op[2])
+                    ack()
+            elif op[0] == "read":
+                flush_pending()
+                stack.read(op[1])
+                # Read side effects (retirement relocation + journaled
+                # resilience records) acknowledged with the read's return.
+                ack()
+            else:  # fault injection: volatile, no durable steps
+                assert stack.resilient is not None
+                stack.resilient.inject_fault(
+                    op[1],
+                    data_bits=op[2],
+                    persistence="stuck",
+                    fault_class="crashsim",
+                )
+        flush_pending()
+    except SimulatedCrash as crash:
+        state.crash = crash
+        state.crash_quarantine = _mapping_state(stack)
     return state
 
 
@@ -217,31 +350,68 @@ class CrashPointOutcome:
         }
 
 
+def _read_back(stack: EngineStack, address: int) -> tuple[bytes | None, str]:
+    """One post-recovery read: (data, "") or (None, why)."""
+    try:
+        result = stack.read(address)
+    except IntegrityError as err:
+        return None, str(err)
+    if not getattr(result, "ok", True):
+        return None, "resilient read failed (DUE)"
+    return result.data, ""
+
+
 def _check_invariants(
-    state: RunState, engine: SecureMemory, outcome: CrashPointOutcome
+    spec: CrashSimSpec,
+    state: RunState,
+    stack: EngineStack,
+    outcome: CrashPointOutcome,
 ) -> None:
-    """The three crash-consistency invariants, plus liveness."""
-    inflight_addr = state.inflight[0] if state.inflight else None
+    """The crash-consistency invariants, plus liveness."""
+    engine = stack.engine
+    #: final value per in-flight address (a batch may hit one twice)
+    inflight_final = dict(state.inflight)
     # (1) durability: every acknowledged write reads back.
     for address, expected in sorted(state.acked.items()):
-        try:
-            got = engine.read(address).data
-        except IntegrityError as err:
+        got, why = _read_back(stack, address)
+        if got is None:
             outcome.violations.append(
                 f"acked address {address:#x} unreadable after recovery: "
-                f"{err}"
+                f"{why}"
             )
             continue
         if got == expected:
             continue
-        if (
-            address == inflight_addr
-            and state.inflight is not None
-            and got == state.inflight[1]
-        ):
+        if address in inflight_final and got == inflight_final[address]:
             continue  # in-flight write sealed before the crash: allowed
         outcome.violations.append(
             f"acked data lost at address {address:#x}"
+        )
+    # (1b) atomicity: the in-flight batch lands whole or not at all --
+    # one sealed group-commit frame is the all-or-nothing unit.
+    landed: set[bool] = set()
+    for address, final in sorted(inflight_final.items()):
+        baseline = state.acked.get(address, _ZERO_BLOCK)
+        if final == baseline:
+            continue  # uninformative: both outcomes read identically
+        got, why = _read_back(stack, address)
+        if got is None:
+            outcome.violations.append(
+                f"in-flight address {address:#x} unreadable after "
+                f"recovery: {why}"
+            )
+        elif got == final:
+            landed.add(True)
+        elif got == baseline:
+            landed.add(False)
+        else:
+            outcome.violations.append(
+                f"in-flight address {address:#x} recovered to neither "
+                "its acked nor its batch value"
+            )
+    if len(landed) > 1:
+        outcome.violations.append(
+            "group commit split: crash landed part of an in-flight batch"
         )
     # (2) anti-replay: counters never regress below the acked floor.
     recovered_epoch = getattr(engine.scheme, "epoch", 0)
@@ -263,12 +433,37 @@ def _check_invariants(
     # (3) integrity: recovery verified the root (recorded in the report).
     if outcome.recovery is not None and not outcome.recovery.root_verified:
         outcome.violations.append("tree root not verified by recovery")
-    # Liveness: the resumed engine must accept and authenticate new writes.
+    # (4) quarantine consistency: the recovered mapping must equal the
+    # last *sealed* resilience state -- the floor (last completed op),
+    # or the crash-time state when the crash interrupted a read after
+    # its retirement record sealed.  Anything else is divergence.
+    if spec.resilient:
+        recovered = _mapping_state(stack)
+        allowed = [state.floor_quarantine]
+        if state.crash_quarantine is not None:
+            allowed.append(state.crash_quarantine)
+        if recovered not in allowed:
+            outcome.violations.append(
+                "quarantine mapping diverged from every sealed state"
+            )
+        for physical_text in (state.floor_quarantine or {}).get(
+            "retired", {}
+        ):
+            if not stack.resilient.quarantine.is_retired(int(physical_text)):
+                outcome.violations.append(
+                    f"retired physical block {physical_text} resurrected "
+                    "by recovery"
+                )
+    # Liveness: the resumed stack must accept and authenticate new writes.
     probe = b"\xa5" * BLOCK_BYTES
     try:
-        engine.write(0, probe)
-        if engine.read(0).data != probe:
-            outcome.violations.append("post-recovery write did not stick")
+        stack.write(0, probe)
+        stack.flush()
+        got, why = _read_back(stack, 0)
+        if got != probe:
+            outcome.violations.append(
+                f"post-recovery write did not stick ({why or 'stale data'})"
+            )
     except (IntegrityError, RuntimeError) as err:
         outcome.violations.append(f"post-recovery liveness failed: {err}")
 
@@ -294,11 +489,13 @@ def run_point(spec: CrashSimSpec, plan: CrashPlan) -> CrashPointOutcome:
     state.store.plan = None  # the machine rebooted; nothing armed now
     registry = MetricRegistry()
     try:
-        engine, report = recover(
+        stack, report = EngineStack.recover(
             state.store,
             spec.engine_config(),
             bytes(range(48)),
+            fast=spec.batch > 0,
             durability=spec.durability(),
+            resilience=spec.resilience_kwargs(),
             registry=registry,
         )
     except RecoveryError as err:
@@ -306,7 +503,7 @@ def run_point(spec: CrashSimSpec, plan: CrashPlan) -> CrashPointOutcome:
         return outcome
     outcome.recovered = True
     outcome.recovery = report
-    _check_invariants(state, engine, outcome)
+    _check_invariants(spec, state, stack, outcome)
     return outcome
 
 
@@ -393,6 +590,7 @@ __all__ = [
     "CrashPointOutcome",
     "CrashSimSpec",
     "RunState",
+    "build_ops",
     "build_workload",
     "enumerate_points",
     "parse_point",

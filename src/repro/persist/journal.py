@@ -62,13 +62,22 @@ class DataImage:
 
 @dataclass(frozen=True)
 class TxnRecord:
-    """One committed write transaction (physical redo)."""
+    """One committed write transaction (physical redo).
+
+    ``writes`` counts the engine-level writes the record covers: 1 for a
+    scalar ``engine.write``, N for a group-commit record sealing a whole
+    batched flush.  Redo does not care (a record replays atomically
+    either way); the field exists so recovery tooling and the crash
+    matrix can tell group-commit frames apart, and so a torn frame is
+    known to take its whole batch with it.
+    """
 
     lsn: int
     data: dict[int, DataImage]  # block index -> stored image
     meta: dict[int, bytes]  # group index -> serialized counter metadata
     root: int  # Bonsai root digest after the transaction
     scheme_epoch: int = 0
+    writes: int = 1
 
     kind = "txn"
 
@@ -80,6 +89,7 @@ class TxnRecord:
             "meta": {str(g): m.hex() for g, m in self.meta.items()},
             "root": self.root,
             "scheme_epoch": self.scheme_epoch,
+            "writes": self.writes,
         }
 
     @classmethod
@@ -93,6 +103,7 @@ class TxnRecord:
             meta={int(g): bytes.fromhex(m) for g, m in obj["meta"].items()},
             root=obj["root"],
             scheme_epoch=obj.get("scheme_epoch", 0),
+            writes=obj.get("writes", 1),
         )
 
 

@@ -19,6 +19,12 @@ may vanish (but can never leave mixed state, because redo replays whole
 records only).  Checkpoint cadence (every ``checkpoint_interval``
 commits, on journal overflow, and after global re-encryptions) folds the
 journal into a shadow-slot snapshot obtained from the bound provider.
+
+The batched facade runs the *same* protocol per flushed write-run
+(group commit): one ``begin_txn``, every stored image and touched
+group's metadata mirrored in, one ``commit_txn(..., writes=N)``.  The
+single seal acknowledges the whole batch; a torn group-commit frame is
+discarded whole at scan, so the batch rolls back atomically.
 """
 
 from __future__ import annotations
@@ -70,6 +76,9 @@ class PersistenceManager:
         self._m_cp_write = registry.counter("persist.checkpoint.write")
         self._m_cp_bytes = registry.counter("persist.checkpoint.bytes")
         self._m_res_append = registry.counter("persist.resilience.append")
+        self._m_abort = registry.counter("persist.txn.abort")
+        self._m_gc_txns = registry.counter("persist.group_commit.txns")
+        self._m_gc_writes = registry.counter("persist.group_commit.writes")
 
     # -- wiring ---------------------------------------------------------------
 
@@ -131,8 +140,16 @@ class PersistenceManager:
         scheme_epoch: int = 0,
         *,
         force_checkpoint: bool = False,
+        writes: int = 1,
     ) -> int:
-        """Append + seal the record; returns its LSN (the ack point)."""
+        """Append + seal the record; returns its LSN (the ack point).
+
+        ``writes`` is the number of engine-level writes this record
+        acknowledges: 1 for the scalar path, the whole batch for a
+        group-commit flush.  A group-commit record (``writes > 1``) is
+        still one sealed journal frame -- the seal acknowledges the
+        entire batch atomically, and a torn frame discards it whole.
+        """
         if self._txn_data is None or self._txn_meta is None:
             raise RuntimeError("no open transaction")
         record = TxnRecord(
@@ -141,13 +158,22 @@ class PersistenceManager:
             meta=self._txn_meta,
             root=root,
             scheme_epoch=scheme_epoch,
+            writes=writes,
         )
         self._txn_data = None
         self._txn_meta = None
-        lsn = self._append_sealed(record, f"lsn={record.lsn}")
+        label = (
+            f"lsn={record.lsn}"
+            if writes <= 1
+            else f"lsn={record.lsn},group_commit={writes}"
+        )
+        lsn = self._append_sealed(record, label)
         self._m_commit.inc()
         self._m_data_blocks.inc(len(record.data))
         self._m_meta_groups.inc(len(record.meta))
+        if writes > 1:
+            self._m_gc_txns.inc()
+            self._m_gc_writes.inc(writes)
         self._commits_since_checkpoint += 1
         self._maybe_checkpoint(force=force_checkpoint)
         return lsn
@@ -158,6 +184,8 @@ class PersistenceManager:
         Nothing reached the store yet (mirroring is in-memory until
         :meth:`commit_txn`), so aborting is purely local bookkeeping.
         """
+        if self._txn_data is not None:
+            self._m_abort.inc()
         self._txn_data = None
         self._txn_meta = None
 

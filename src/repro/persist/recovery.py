@@ -27,8 +27,11 @@ naming the phase that failed:
     unless a global re-encryption epoch intervened.
 ``RESUME``
     Attach a fresh :class:`PersistenceManager` continuing the LSN and
-    epoch sequences, and seal a new checkpoint so the next crash recovers
-    from here.
+    epoch sequences, seal a new checkpoint so the next crash recovers
+    from here, and re-journal the recovered resilience events -- the
+    resume checkpoint is taken from a bare engine, so without the
+    re-append the truncation would destroy the quarantine/error-log
+    records of a resilience layer that has not reattached yet.
 
 This module imports the engine, so the engine (which imports
 ``repro.persist.config``/``manager``) must never import it -- see the
@@ -263,6 +266,17 @@ def recover(
     engine.attach_persistence(manager, bootstrap=False)
     manager.resume(next_lsn=last_lsn + 1, epoch=checkpoint.epoch + 1)
     manager.checkpoint()  # fresh recovery point; truncates the journal
+    # The resume checkpoint snapshots a *bare* engine: any resilience
+    # plane (quarantine map, error-log accounting) is not reattached
+    # yet, so the snapshot cannot carry that state -- but the truncate
+    # above just dropped the journaled records that did.  Re-journal
+    # the recovered fold (the absorbed checkpoint_state, then every
+    # post-checkpoint record, in replay order) so a second crash before
+    # the next full-stack checkpoint still recovers it.  Replay is
+    # idempotent, so layers that already consumed ``resilience_events``
+    # lose nothing.
+    for entry in report.resilience_events:
+        manager.append_resilience(entry["event"], entry["payload"])
     report.resume_next_lsn = manager.next_lsn
     report.resume_epoch = manager.epoch
     return engine, report

@@ -176,6 +176,38 @@ class QuarantineMap:
     def is_retired(self, physical: int) -> bool:
         return physical in self._retired
 
+    # -- journal replay (crash recovery) --------------------------------------
+
+    def apply_retire(self, logical: int, old_physical: int, spare: int) -> None:
+        """Idempotently replay a journaled retirement.
+
+        Recovery replays every resilience record with ``lsn >=
+        checkpoint.next_lsn`` -- but a checkpoint races the journal
+        truncate, so a record the checkpoint already absorbed can be
+        replayed on top of restored state.  Applying the *recorded*
+        outcome (rather than calling :meth:`retire`, which would pop a
+        fresh spare) makes the replay a fixed point: a double-replayed
+        retire never consumes a second spare.
+        """
+        self._check_logical(logical)
+        if (
+            self._map.get(logical) == spare
+            and self._retired.get(old_physical) == logical
+        ):
+            return  # already applied (checkpoint-absorbed or double replay)
+        if spare in self._free_spares:
+            self._free_spares.remove(spare)
+        self._retired[old_physical] = logical
+        self._reverse.pop(old_physical, None)
+        self._map[logical] = spare
+        self._reverse[spare] = logical
+        self._degraded.discard(logical)
+
+    def apply_degrade(self, logical: int) -> None:
+        """Idempotently replay a journaled degrade (spares exhausted)."""
+        self._check_logical(logical)
+        self._degraded.add(logical)
+
     def is_degraded(self, logical: int) -> bool:
         return logical in self._degraded
 

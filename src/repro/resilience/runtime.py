@@ -68,9 +68,10 @@ class ResilientMemory:
 
     def __init__(
         self,
-        config: EngineConfig,
-        key: bytes,
+        config: EngineConfig | None = None,
+        key: bytes | None = None,
         *,
+        memory: SecureMemory | None = None,
         spare_blocks: int | None = None,
         ce_threshold: int = 3,
         due_threshold: int = 2,
@@ -79,11 +80,28 @@ class ResilientMemory:
         durability: DurabilityConfig | None = None,
         errlog_capacity: int | None = 4096,
     ):
-        registry = registry if registry is not None else get_registry()
+        if memory is not None:
+            # Wrap a prebuilt engine (the composable-stack / crash
+            # recovery path: the engine may already carry restored state
+            # and an attached, resumed persistence manager).
+            if config is not None or key is not None or durability is not None:
+                raise ValueError(
+                    "pass either a prebuilt memory= or (config, key"
+                    "[, durability]), not both"
+                )
+            registry = registry if registry is not None else memory.registry
+            self.memory = memory
+        else:
+            if config is None or key is None:
+                raise ValueError(
+                    "config and key are required without a prebuilt memory="
+                )
+            registry = registry if registry is not None else get_registry()
+            self.memory = SecureMemory(
+                config, key, registry=registry, durability=durability
+            )
         self.registry = registry
-        self.memory = SecureMemory(
-            config, key, registry=registry, durability=durability
-        )
+        config = self.memory.config
         total = self.memory.scheme.total_blocks
         if spare_blocks is None:
             # Default: ~1.5% of capacity, at least one block.
@@ -268,6 +286,31 @@ class ResilientMemory:
             "quarantine": self.quarantine.state_dict(),
             "errlog": self.log.state_dict(),
         }
+
+    def restore_resilience(self, events: list[dict]) -> None:
+        """Replay recovered resilience-plane state, idempotently.
+
+        ``events`` is :attr:`RecoveryReport.resilience_events` in replay
+        order: the last checkpoint's snapshot (if any) first, then every
+        journaled post-checkpoint record.  Retires/degrades apply via
+        the idempotent ``apply_*`` path, so a record the checkpoint
+        already absorbed -- or a double replay -- cannot consume a
+        second spare or otherwise diverge from the pre-crash map.
+        """
+        for entry in events:
+            event, payload = entry["event"], entry["payload"]
+            if event == "checkpoint_state":
+                if payload.get("quarantine"):
+                    self.quarantine.restore_state(payload["quarantine"])
+                if payload.get("errlog"):
+                    self.log.restore_state(payload["errlog"])
+            elif event == "retire":
+                self.quarantine.apply_retire(
+                    payload["logical"], payload["physical"], payload["spare"]
+                )
+            elif event == "degrade":
+                self.quarantine.apply_degrade(payload["logical"])
+        self._g_spares.set(self.quarantine.spares_remaining)
 
     def _journal_resilience(self, event: str, payload: dict) -> None:
         if self.memory.persist is not None:

@@ -262,11 +262,99 @@ def test_paranoid_mode_raises_on_divergent_kernel():
         table.run("broken", 41)
 
 
-def test_batch_rejects_persistence_attached_engines():
-    from repro.persist.config import DurabilityConfig
+class TestDurableComposition:
+    """The batched facade over a journaled engine: group commit."""
 
-    config = _config("combined", {})
-    engine = SecureMemory(config, KEY, durability=DurabilityConfig())
-    assert engine.persist is not None
-    with pytest.raises(ValueError):
-        BatchSecureMemory(engine)
+    def test_flush_seals_one_group_commit_txn(self):
+        from repro.persist.config import DurabilityConfig
+
+        config = _config("combined", {})
+        registry = MetricRegistry()
+        with use_registry(registry):
+            engine = SecureMemory(
+                config, KEY, durability=DurabilityConfig()
+            )
+            batch = BatchSecureMemory(engine)
+            writes = [
+                (block * 64, bytes((block + i) & 0xFF for i in range(64)))
+                for block in range(5)
+            ]
+            batch.write_many(writes)
+        totals = registry.snapshot().totals()
+        assert totals.get("persist.group_commit.txns") == 1
+        assert totals.get("persist.group_commit.writes") == 5
+
+    def test_rejects_non_engine_with_actionable_message(self):
+        from repro.core.engine.config import ConfigError
+        from repro.resilience.runtime import ResilientMemory
+
+        config = _config("combined", {})
+        resilient = ResilientMemory(config, KEY, spare_blocks=2)
+        with pytest.raises(ConfigError) as excinfo:
+            BatchSecureMemory(resilient)
+        # The error must name the composition that works.
+        assert "EngineStack" in str(excinfo.value)
+
+    def test_flush_inside_open_txn_is_a_config_error(self):
+        from repro.core.engine.config import ConfigError
+        from repro.persist.config import DurabilityConfig
+
+        config = _config("combined", {})
+        engine = SecureMemory(config, KEY, durability=DurabilityConfig())
+        batch = BatchSecureMemory(engine)
+        batch.queue_write(0, bytes(64))
+        engine.persist.begin_txn()
+        try:
+            with pytest.raises(ConfigError):
+                batch.flush()
+        finally:
+            engine.persist.abort_txn()
+
+
+@pytest.mark.parametrize("name,scheme_kwargs", CONFIGS)
+def test_batched_durable_equals_scalar_durable_through_recovery(
+    name, scheme_kwargs
+):
+    """Satellite invariant: batched+durable must be bit-for-bit state
+    equivalent to scalar+durable -- after every flush, after a crash,
+    and after recovery -- for every preset."""
+    from repro.obs.metrics import MetricRegistry as Registry
+    from repro.persist.config import DurabilityConfig
+    from repro.persist.store import DurableStore
+    from repro.stack import EngineStack
+
+    config = _config(name, scheme_kwargs)
+    durability = DurabilityConfig(checkpoint_interval=8)
+    ops = _mixed_ops(
+        seed=0xD0C + (zlib.crc32(name.encode()) % 1000), count=200
+    )
+
+    def run(fast):
+        store = DurableStore()
+        stack = EngineStack(
+            config, KEY, fast=fast, durability=durability, store=store,
+            registry=Registry(),
+        )
+        reads = []
+        for op in ops:
+            if op[0] == "write":
+                stack.write(op[1] * 64, op[2])
+            else:
+                result = stack.read(op[1] * 64)
+                reads.append((result.data, result.outcome))
+        stack.flush()
+        return _engine_state(stack.engine), reads, store
+
+    scalar_state, scalar_reads, scalar_store = run(fast=False)
+    batch_state, batch_reads, batch_store = run(fast=True)
+    assert batch_state == scalar_state
+    assert batch_reads == scalar_reads
+    # Crash both (abandon the stacks); recovery must rebuild the same
+    # state from either store, group-commit frames included.
+    for fast, store in ((False, scalar_store), (True, batch_store)):
+        stack, report = EngineStack.recover(
+            store, config, KEY, fast=fast, durability=durability,
+            registry=Registry(),
+        )
+        assert report.root_verified
+        assert _engine_state(stack.engine) == scalar_state

@@ -6,6 +6,7 @@ import pytest
 
 from repro.persist.crashsim import (
     CrashSimSpec,
+    build_ops,
     build_workload,
     enumerate_points,
     parse_point,
@@ -19,6 +20,11 @@ from repro.persist.store import CrashPlan
 #: Small enough for an exhaustive matrix in a unit test, big enough to
 #: cross a checkpoint boundary and overflow the 2-bit deltas.
 SMALL = CrashSimSpec(ops=8, checkpoint_interval=3)
+#: Same workload through the batched facade: group-commit frames.
+BATCHED = CrashSimSpec(ops=8, checkpoint_interval=3, batch=3)
+#: Full composition: batching + resilience (retire + degrade splices).
+COMPOSED = CrashSimSpec(ops=9, checkpoint_interval=3, batch=3,
+                        resilient=True)
 
 
 class TestWorkloadDeterminism:
@@ -104,6 +110,42 @@ class TestMatrix:
     def test_stride_validation(self):
         with pytest.raises(ValueError):
             run_matrix(SMALL, stride=0)
+
+
+class TestGroupCommitMatrix:
+    """The batched workload: every flush seals one group-commit frame,
+    and the matrix tears those frames like any other journal write."""
+
+    def test_ops_are_pure_function_of_seed(self):
+        assert build_ops(COMPOSED) == build_ops(COMPOSED)
+        faults = [op for op in build_ops(COMPOSED) if op[0] == "fault"]
+        assert len(faults) == 2  # one retire splice, one degrade splice
+
+    def test_trace_contains_torn_group_commit_frames(self):
+        trace = run_workload(BATCHED).trace
+        frames = [r for r in trace if "group_commit=3" in r.label]
+        assert frames, "no group-commit frame in the batched trace"
+        torn_steps = {
+            p.step for p in enumerate_points(trace) if p.phase == "torn"
+        }
+        tearable = {r.step for r in frames if r.tearable}
+        assert tearable and tearable <= torn_steps
+
+    def test_exhaustive_batched_matrix_is_clean(self):
+        report = run_matrix(BATCHED)
+        assert report.exhaustive
+        assert report.ok, report.format_summary()
+
+    def test_exhaustive_composed_matrix_is_clean(self):
+        """Batching + resilience: every step skipped, every tearable
+        step torn -- including the journaled retire/degrade records."""
+        trace = run_workload(COMPOSED).trace
+        labels = [r.label for r in trace]
+        assert any("res:retire" in label for label in labels)
+        assert any("res:degrade" in label for label in labels)
+        report = run_matrix(COMPOSED)
+        assert report.exhaustive
+        assert report.ok, report.format_summary()
 
 
 class TestCrossSchemeSmoke:

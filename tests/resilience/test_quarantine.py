@@ -1,6 +1,8 @@
 """Quarantine map: health tracking, retirement, spare remapping."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.resilience.quarantine import QuarantineMap, SparesExhausted
 
@@ -97,3 +99,72 @@ class TestRetirement:
         assert qmap.is_degraded(1)
         # No spares ever return in this model; the flag stays.
         assert qmap.degraded_count == 1
+
+
+def _state(qmap):
+    return (
+        qmap.state_dict(),
+        qmap.spares_remaining,
+        qmap.retired_count,
+        qmap.degraded_count,
+    )
+
+
+class TestReplayIdempotence:
+    """Journal replay must be a fixed point: recovery can see the same
+    retire/degrade record twice (checkpoint-absorbed *and* journaled),
+    and the second application must change nothing -- in particular it
+    must not pop a second spare."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        logicals=st.lists(
+            st.integers(min_value=0, max_value=27),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_double_replay_consumes_no_second_spare(self, logicals):
+        # Live run: retire each requested block, recording the journaled
+        # payload (logical, old physical, granted spare) or a degrade.
+        live = QuarantineMap(32, 4, ce_threshold=1)
+        records = []
+        for logical in logicals:
+            old_physical = live.physical(logical)
+            try:
+                spare = live.retire(logical)
+            except SparesExhausted:
+                records.append(("degrade", logical))
+            else:
+                records.append(("retire", logical, old_physical, spare))
+
+        def replay(qmap):
+            for record in records:
+                if record[0] == "retire":
+                    qmap.apply_retire(*record[1:])
+                else:
+                    qmap.apply_degrade(record[1])
+
+        once = QuarantineMap(32, 4, ce_threshold=1)
+        replay(once)
+        assert _state(once) == _state(live)
+
+        twice = QuarantineMap(32, 4, ce_threshold=1)
+        replay(twice)
+        replay(twice)  # the double replay recovery can produce
+        assert _state(twice) == _state(once)
+        assert twice.spares_remaining == live.spares_remaining
+
+    def test_replay_onto_absorbing_checkpoint_is_noop(self):
+        """A record the checkpoint already absorbed replays on top of
+        restored state without consuming anything."""
+        live = QuarantineMap(32, 4, ce_threshold=1)
+        spare = live.retire(10)
+        snapshot = live.state_dict()
+
+        recovered = QuarantineMap(32, 4, ce_threshold=1)
+        recovered.restore_state(snapshot)
+        before = _state(recovered)
+        recovered.apply_retire(10, 10, spare)
+        assert _state(recovered) == before
+        assert recovered.spares_remaining == 3

@@ -154,6 +154,35 @@ class TestCrash:
         with pytest.raises(SystemExit):
             main(["crash", "--point", "banana"])
 
+    def test_composed_matrix_exit_zero(self, capsys):
+        code = main(
+            ["crash", "--ops", "6", "--checkpoint-interval", "3",
+             "--batch", "3", "--resilient", "--stride", "6"]
+        )
+        assert code == 0
+        assert "points clean" in capsys.readouterr().out
+
+
+class TestTorture:
+    def test_bounded_campaign_exit_zero(self, capsys):
+        code = main(["torture", "--limit", "2", "--ops", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out and "OK" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "torture.json"
+        code = main(
+            ["torture", "--limit", "2", "--ops", "8",
+             "--json-out", str(path)]
+        )
+        assert code == 0
+        obj = json.loads(path.read_text())
+        assert obj["ok"] is True
+        assert obj["cycles_run"] == 2
+        assert obj["recoveries"] == 2
+        assert obj["spec"]["seed"] == 0xDAC2018
+
 
 class TestMicroWorkloads:
     def test_table2_accepts_micro_names(self, capsys):
