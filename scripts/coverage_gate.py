@@ -14,10 +14,12 @@ which is exactly how correctness-critical code rots.  Floors:
 * ``repro.core``       >= 90% lines
 * ``repro.persist``    >= 85% lines
 * ``repro.resilience`` >= 85% lines
+* ``repro.service``    >= 85% lines
 
-The persist/resilience floors are deliberately high: those packages are
-the crash-consistency and fault-tolerance planes, where an untested
-branch is a recovery bug waiting for a power cut.
+The persist/resilience/service floors are deliberately high: those
+packages are the crash-consistency, fault-tolerance, and multi-tenant
+front-end planes, where an untested branch is a recovery bug (or a
+cross-tenant leak) waiting for a power cut.
 
 Only the stdlib is used to parse the report, so the gate itself needs
 no extra dependencies.  When the XML is absent (a local checkout
@@ -37,6 +39,7 @@ FLOORS = {
     "repro/core/": 0.90,
     "repro/persist/": 0.85,
     "repro/resilience/": 0.85,
+    "repro/service/": 0.85,
 }
 
 

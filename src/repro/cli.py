@@ -26,6 +26,8 @@ import os
 import pathlib
 import random
 import sys
+import tempfile
+import time
 from contextlib import contextmanager
 
 from repro.analysis.attacks import run_all
@@ -34,7 +36,7 @@ from repro.analysis.storage import (
     counter_compaction_factor,
     figure1_breakdowns,
 )
-from repro.core.engine.config import preset
+from repro.core.engine.config import PRESETS, preset
 from repro.core.engine.secure_memory import SecureMemory
 from repro.fast.kernels import MODES as KERNEL_MODES
 from repro.harness.parallel import BenchSpec, dump_payload, run_bench
@@ -62,6 +64,9 @@ from repro.resilience.campaign import FaultCampaign, default_models
 from repro.resilience.recovery import RetryPolicy
 from repro.resilience.runtime import ResilientMemory
 from repro.resilience.torture import TortureSpec, run_torture
+from repro.service.loadgen import LoadgenSpec, run_loadgen
+from repro.service.quota import QuotaConfig
+from repro.service.server import ServiceSupervisor
 from repro.workloads.micro import MICRO_PROFILES, micro_profile
 from repro.workloads.parsec import figure8_apps, profile, table2_apps
 
@@ -445,6 +450,90 @@ def _default_lint_root() -> str:
     return str(pathlib.Path(__file__).resolve().parent)
 
 
+def _cmd_serve(args) -> int:
+    supervisor = ServiceSupervisor(
+        args.root,
+        num_shards=args.shards,
+        secret_seed=args.secret_seed,
+    )
+    supervisor.start()
+    supervisor.wait_ready()
+    router = supervisor.router
+    for shard in router.shards():
+        print(f"shard {shard}: {router.socket_path(shard)}  "
+              f"http: {router.http_socket_path(shard)}")
+    print("serving; Ctrl-C drains every tenant and stops",
+          file=sys.stderr)
+    try:
+        while all(supervisor.alive(s) for s in router.shards()):
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        supervisor.stop()
+        return 0
+    print("a shard worker exited unexpectedly; stopping", file=sys.stderr)
+    supervisor.stop()
+    return 1
+
+
+def _cmd_loadgen(args) -> int:
+    spec = LoadgenSpec(
+        tenants=args.tenants,
+        shards=args.shards,
+        ops_per_tenant=args.ops,
+        region_kb=args.region_kb,
+        preset=args.preset,
+        seed=args.seed,
+        secret_seed=args.secret_seed,
+        quota=QuotaConfig(
+            rate_ops=args.rate_ops,
+            burst_ops=args.burst_ops,
+            max_bytes_written=args.max_bytes,
+        ),
+        kill_shard=args.kill_shard,
+    )
+    if args.root:
+        payload = run_loadgen(spec, args.root, out_path=args.json_out)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as root:
+            payload = run_loadgen(spec, root, out_path=args.json_out)
+    results = payload["results"]
+    rows = [
+        [
+            tenant_id,
+            entry["shard"],
+            entry["acked_ops"],
+            entry["retried_ops"],
+            entry["quota_rejections"],
+            entry["p50_ms"],
+            entry["p99_ms"],
+        ]
+        for tenant_id, entry in sorted(results["tenants"].items())
+    ]
+    print(
+        format_table(
+            f"Service loadgen ({spec.tenants} tenants x "
+            f"{spec.shards} shards"
+            + (f", chaos kill shard {spec.kill_shard}"
+               if spec.kill_shard is not None else "")
+            + ")",
+            ["tenant", "shard", "acked", "retried", "quota_rej",
+             "p50 ms", "p99 ms"],
+            rows,
+        )
+    )
+    print(
+        f"\nthroughput: {results['throughput_ops_s']} ops/s   "
+        f"p50: {results['p50_ms']} ms   p99: {results['p99_ms']} ms\n"
+        f"verified blocks: {results['verified_blocks']}   "
+        f"SDC: {results['sdc_blocks']}   "
+        f"all_verified: {payload['all_verified']}"
+    )
+    if args.json_out:
+        print(f"wrote service bench payload to {args.json_out}",
+              file=sys.stderr)
+    return 0 if payload["all_verified"] else 1
+
+
 def _cmd_trace(args) -> int:
     app = _resolve_profile(args.app)
     records = app.trace(
@@ -516,8 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--accesses", type=int, default=20_000,
                    help="trace accesses per core")
     p.add_argument("--preset", default="combined",
-                   choices=["bmt_baseline", "mac_in_ecc", "delta_only",
-                            "combined", "combined_dual"])
+                   choices=sorted(PRESETS))
     p.add_argument("--keystream", choices=["fast", "aes"], default="fast",
                    help="keystream generator (aes = real batched AES)")
     p.add_argument("--json-out", metavar="FILE", default=None,
@@ -535,8 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("attacks", help="threat-model sweep")
     p.add_argument("--preset", default="combined",
-                   choices=["bmt_baseline", "mac_in_ecc", "delta_only",
-                            "combined", "combined_dual"])
+                   choices=sorted(PRESETS))
     # 16 MiB gives the Bonsai tree off-chip interior nodes, so the
     # tree-grafting attack actually runs instead of being skipped.
     p.add_argument("--region-mb", type=int, default=16)
@@ -547,8 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault campaign with retry recovery and block quarantine",
     )
     p.add_argument("--preset", default="combined",
-                   choices=["bmt_baseline", "mac_in_ecc", "delta_only",
-                            "combined", "combined_dual"])
+                   choices=sorted(PRESETS))
     p.add_argument("--region-kb", type=int, default=256,
                    help="protected region size in KiB")
     p.add_argument("--operations", type=int, default=5000)
@@ -672,6 +758,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-checks", action="store_true",
                    help="list checker codes and exit")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant secure-memory service (sharded "
+             "worker processes over unix sockets; Ctrl-C drains)",
+    )
+    p.add_argument("--root", required=True,
+                   help="service root directory (sockets + tenant state)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker processes to shard tenants across")
+    p.add_argument("--secret-seed", type=int, default=0xDAC2018,
+                   help="master secret the per-tenant keys derive from")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive mixed-tenant traffic against a self-hosted service "
+             "(optionally SIGKILL a shard mid-run) and verify every "
+             "acknowledged write against a shadow copy",
+    )
+    p.add_argument("--root", default=None,
+                   help="service root (default: a temp dir, removed)")
+    p.add_argument("--tenants", type=int, default=4)
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--ops", type=int, default=200,
+                   help="operations per tenant")
+    p.add_argument("--region-kb", type=int, default=16,
+                   help="protected region per tenant in KiB")
+    p.add_argument("--preset", default="combined",
+                   choices=sorted(PRESETS))
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--secret-seed", type=int, default=0xDAC2018)
+    p.add_argument("--rate-ops", type=_rate, default=0.0,
+                   help="token-bucket refill rate (0 = unlimited)")
+    p.add_argument("--burst-ops", type=int, default=0,
+                   help="token-bucket burst ceiling (0 = unlimited)")
+    p.add_argument("--max-bytes", type=int, default=0,
+                   help="per-tenant lifetime write-byte budget (0 = off)")
+    p.add_argument("--kill-shard", type=int, default=None,
+                   help="chaos: SIGKILL this shard mid-run and restart it")
+    p.add_argument("--json-out", metavar="FILE", default=None,
+                   help="write the BENCH_service payload as JSON")
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("trace", help="generate a workload trace file")
     p.add_argument("app", choices=table2_apps() + sorted(MICRO_PROFILES))

@@ -133,6 +133,14 @@ PRESETS = {
     "delta_only": _preset("delta", mac_in_ecc=False),
     "combined": _preset("delta", mac_in_ecc=True),
     "combined_dual": _preset("dual_length", mac_in_ecc=True),
+    # Endurance stress: dual-length counters squeezed to 2+2 bits so the
+    # overflow machinery (widen, re-encode, group re-encrypt) fires under
+    # modest write volumes instead of lying dormant until ~2^7 writes.
+    "endurance": _preset(
+        "dual_length",
+        mac_in_ecc=True,
+        scheme_kwargs={"base_delta_bits": 2, "extension_bits": 2},
+    ),
 }
 
 

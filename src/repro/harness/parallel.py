@@ -89,7 +89,21 @@ def _payload_for(app: str, seed: int, block: int, sequence: int) -> bytes:
     ).digest()
 
 
-def _state_digest(engine: SecureMemory) -> str:
+def merge_totals(totals: list[dict[str, int]]) -> dict[str, int]:
+    """Sum metric-total dicts into one, with deterministically sorted keys.
+
+    The merge discipline every multi-worker payload in this repo uses:
+    values summed per name, keys emitted sorted, so the merged dict is
+    byte-identical for any worker count or arrival order.
+    """
+    merged: dict[str, int] = {}
+    for part in totals:
+        for name in part:
+            merged[name] = merged.get(name, 0) + part[name]
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def state_digest(engine: SecureMemory) -> str:
     """Hash of the engine's externally observable end state.
 
     Two runs that produce the same digest wrote bit-identical
@@ -153,7 +167,7 @@ def run_app(app: str, spec: BenchSpec) -> tuple[dict, dict]:
             "writebacks": len(writebacks),
             "unique_blocks": len(written),
             "readback_mismatches": mismatches,
-            "state_digest": _state_digest(engine),
+            "state_digest": state_digest(engine),
         }
     return app_results, registry.snapshot().totals()
 
@@ -183,17 +197,15 @@ def run_bench(spec: BenchSpec, workers: int = 1) -> dict:
             outcomes = pool.map(_worker, tasks)
 
     results = {}
-    merged: dict[str, int] = {}
-    for app, (app_results, totals) in sorted(outcomes):
+    for app, (app_results, _) in sorted(outcomes):
         results[app] = app_results
-        for name in sorted(totals):
-            merged[name] = merged.get(name, 0) + totals[name]
+    merged = merge_totals([totals for _, (_, totals) in sorted(outcomes)])
     return {
         "schema": BENCH_SCHEMA,
         "bench": "parallel",
         "config": spec.config_dict(),
         "results": results,
-        "metrics": {name: merged[name] for name in sorted(merged)},
+        "metrics": merged,
     }
 
 
@@ -212,7 +224,9 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchSpec",
     "dump_payload",
+    "merge_totals",
     "render_payload",
     "run_app",
     "run_bench",
+    "state_digest",
 ]

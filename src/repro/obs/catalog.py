@@ -265,6 +265,61 @@ def _stack_specs() -> list[MetricSpec]:
     ]
 
 
+#: Service request operations (one counter + one latency histogram each).
+SERVICE_OPS = (
+    "provision", "write", "batch", "read", "stat",
+    "drain", "retire", "drain_shard", "ping",
+)
+
+#: Typed rejection codes the shard meters (plus the internal bucket).
+SERVICE_REJECTIONS = (
+    "tenant_not_found", "quota_exceeded", "drain_in_progress",
+    "shard_unavailable", "internal",
+)
+
+
+def _service_specs() -> list[MetricSpec]:
+    """The multi-tenant serving layer (:mod:`repro.service`)."""
+    out = [
+        MetricSpec(f"service.request.{op}", "counter",
+                   f"'{op}' requests dispatched")
+        for op in SERVICE_OPS
+    ]
+    out += [
+        MetricSpec(f"service.latency.{op}", "histogram",
+                   f"'{op}' request latency (ms, includes engine work)")
+        for op in SERVICE_OPS
+    ]
+    out += [
+        MetricSpec(f"service.rejected.{code}", "counter",
+                   f"requests refused with the '{code}' error code")
+        for code in SERVICE_REJECTIONS
+    ]
+    out += [
+        MetricSpec("service.bytes.written", "counter",
+                   "payload bytes acknowledged by write/batch ops"),
+        MetricSpec("service.bytes.read", "counter",
+                   "payload bytes returned by read ops"),
+        MetricSpec("service.conn.accepted", "counter",
+                   "protocol connections accepted"),
+        MetricSpec("service.conn.closed", "counter",
+                   "protocol connections closed"),
+        MetricSpec("service.recovery.tenants", "counter",
+                   "tenants recovered on worker (re)start"),
+        MetricSpec("service.drain.tenants", "counter",
+                   "tenants drained (flush + checkpoint)"),
+        MetricSpec("service.shard.restarts", "counter",
+                   "shard workers restarted by the supervisor"),
+        MetricSpec("service.tenants.active", "gauge",
+                   "tenants currently serving reads and writes"),
+        MetricSpec("service.tenants.draining", "gauge",
+                   "tenants refusing writes while draining"),
+        MetricSpec("service.tenants.retired", "gauge",
+                   "tenants durably retired on this shard"),
+    ]
+    return out
+
+
 _SPECS: list[MetricSpec] = (
     _engine_specs()
     + _counter_specs()
@@ -273,6 +328,7 @@ _SPECS: list[MetricSpec] = (
     + _fast_specs()
     + _persist_specs()
     + _stack_specs()
+    + _service_specs()
     + [
         MetricSpec("probe.*", "histogram",
                    "wallclock span per probe point (one per site)"),
@@ -329,6 +385,8 @@ __all__ = [
     "CATALOG",
     "COUNTER_SCHEMES",
     "FAMILIES",
+    "SERVICE_OPS",
+    "SERVICE_REJECTIONS",
     "MetricSpec",
     "metric_names",
     "resolve",

@@ -1,0 +1,164 @@
+"""HTTP observability endpoints: ``/metrics`` and ``/health``.
+
+Each shard worker serves a tiny HTTP/1.0 responder on its own unix
+socket (``shard-N.http.sock``) next to the request-protocol socket, so
+scrapers never contend with the data path's framing:
+
+* ``GET /metrics`` -- the shard registry's totals merged with every
+  tenant registry's totals (tenant metric names are prefixed
+  ``tenant.<id>.``), using the same deterministic merge discipline as
+  the parallel bench runner (:func:`repro.harness.parallel.merge_totals`);
+* ``GET /health`` -- shard status plus each tenant's
+  :meth:`~repro.service.tenant.Tenant.health` contribution.  The shard
+  is ``ok`` only when every tenant is; one degraded tenant marks the
+  shard ``degraded`` without hiding which tenant it was.
+
+The synchronous :func:`scrape` helper is what tests, the CI smoke job,
+and ``repro loadgen`` use to pull these payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import TYPE_CHECKING, Any
+
+from repro.harness.parallel import merge_totals
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.service.server import Shard
+
+ENDPOINTS_SCHEMA = "repro.service.endpoints/1"
+
+
+def metrics_payload(shard: "Shard") -> dict[str, Any]:
+    """The shard's merged metric totals, deterministically keyed."""
+    parts: list[dict[str, int]] = [shard.registry.snapshot().totals()]
+    for tenant_id in sorted(shard.tenants):
+        tenant = shard.tenants[tenant_id]
+        totals = tenant.registry.snapshot().totals()
+        parts.append(
+            {f"tenant.{tenant_id}.{name}": value
+             for name, value in totals.items()}
+        )
+    return {
+        "schema": ENDPOINTS_SCHEMA,
+        "shard": shard.shard_index,
+        "num_shards": shard.router.num_shards,
+        "metrics": merge_totals(parts),
+    }
+
+
+def health_payload(shard: "Shard") -> dict[str, Any]:
+    """Shard + per-tenant health; worst tenant status wins."""
+    tenants = {
+        tenant_id: shard.tenants[tenant_id].health()
+        for tenant_id in sorted(shard.tenants)
+    }
+    status = "draining" if shard.draining else "ok"
+    if status == "ok":
+        ranked = {"ok": 0, "draining": 1, "retired": 1, "at_risk": 2,
+                  "degraded": 3}
+        worst = max(
+            (entry["status"] for entry in tenants.values()),
+            key=lambda s: ranked.get(s, 0),
+            default="ok",
+        )
+        if ranked.get(worst, 0) >= 2:
+            status = worst
+    return {
+        "schema": ENDPOINTS_SCHEMA,
+        "shard": shard.shard_index,
+        "status": status,
+        "draining": shard.draining,
+        "tenants": tenants,
+        "recovery": shard.recovery_summary,
+    }
+
+
+def _http_response(status: str, payload: dict[str, Any]) -> bytes:
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+    head = (
+        f"HTTP/1.0 {status}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode()
+    return head + body
+
+
+async def serve_http(shard: "Shard", path: str):
+    """Start the shard's /metrics + /health unix-socket HTTP server."""
+    import asyncio
+
+    async def _handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain the (ignored) header block up to the blank line.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            target = parts[1] if len(parts) >= 2 else ""
+            if target == "/metrics":
+                response = _http_response("200 OK", metrics_payload(shard))
+            elif target == "/health":
+                response = _http_response("200 OK", health_payload(shard))
+            else:
+                response = _http_response(
+                    "404 Not Found",
+                    {"error": f"unknown path {target!r}",
+                     "paths": ["/metrics", "/health"]},
+                )
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_unix_server(_handle, path=path)
+
+
+def scrape(path: str, target: str = "/metrics", timeout: float = 5.0
+           ) -> dict[str, Any]:
+    """Synchronously GET ``target`` from a shard's HTTP unix socket."""
+    if target not in ("/metrics", "/health"):
+        raise ValueError(f"unknown scrape target {target!r}")
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        conn.settimeout(timeout)
+        conn.connect(path)
+        conn.sendall(
+            f"GET {target} HTTP/1.0\r\nHost: shard\r\n\r\n".encode()
+        )
+        chunks = []
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    finally:
+        conn.close()
+    raw = b"".join(chunks)
+    header, _, body = raw.partition(b"\r\n\r\n")
+    status_line = header.split(b"\r\n", 1)[0].decode("latin-1")
+    if " 200 " not in f"{status_line} ":
+        raise ValueError(f"scrape of {target} failed: {status_line}")
+    payload = json.loads(body.decode())
+    if not isinstance(payload, dict):
+        raise ValueError("scrape payload must be a JSON object")
+    return payload
+
+
+__all__ = [
+    "ENDPOINTS_SCHEMA",
+    "health_payload",
+    "metrics_payload",
+    "scrape",
+    "serve_http",
+]

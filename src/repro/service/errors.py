@@ -1,0 +1,102 @@
+"""Typed service errors and their structured wire form.
+
+Every refusal the service can issue is a :class:`ServiceError` subclass
+with a stable machine-readable ``code``.  The server maps an error to a
+structured response with :func:`to_response`; the client rebuilds the
+typed exception with :func:`from_response`, so a caller three processes
+away can still ``except QuotaExceeded``.  The set of codes is closed --
+anything the hierarchy does not name travels as ``internal`` and is a
+bug, not an API.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ServiceError(Exception):
+    """Base of every typed service refusal.
+
+    ``code`` is the stable wire identifier; ``detail`` carries
+    structured context (tenant id, quota kind, shard index) that the
+    client-side exception preserves.
+    """
+
+    code = "internal"
+
+    def __init__(self, message: str, **detail: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.detail: dict[str, Any] = dict(detail)
+
+
+class TenantNotFound(ServiceError):
+    """No active tenant under that id on this shard (or it retired)."""
+
+    code = "tenant_not_found"
+
+
+class QuotaExceeded(ServiceError):
+    """Admission control refused the request (op rate or byte budget)."""
+
+    code = "quota_exceeded"
+
+
+class ShardUnavailable(ServiceError):
+    """The shard that owns the tenant is not answering its socket."""
+
+    code = "shard_unavailable"
+
+
+class DrainInProgress(ServiceError):
+    """The tenant (or whole shard) is draining; writes are refused."""
+
+    code = "drain_in_progress"
+
+
+#: wire code -> exception class, for client-side rehydration
+ERROR_CODES: dict[str, type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        TenantNotFound,
+        QuotaExceeded,
+        ShardUnavailable,
+        DrainInProgress,
+    )
+}
+
+
+def to_response(error: ServiceError) -> dict[str, Any]:
+    """The structured error response frame for one typed error."""
+    return {
+        "ok": False,
+        "error": {
+            "code": error.code,
+            "message": error.message,
+            "detail": error.detail,
+        },
+    }
+
+
+def from_response(payload: dict[str, Any]) -> ServiceError:
+    """Rebuild the typed exception carried by an error response."""
+    if payload.get("ok", False):
+        raise ValueError("from_response called on a success payload")
+    body = payload.get("error", {})
+    cls = ERROR_CODES.get(body.get("code", "internal"), ServiceError)
+    error = cls(body.get("message", "unknown service error"))
+    error.detail = dict(body.get("detail", {}))
+    return error
+
+
+__all__ = [
+    "DrainInProgress",
+    "ERROR_CODES",
+    "QuotaExceeded",
+    "ServiceError",
+    "ShardUnavailable",
+    "TenantNotFound",
+    "from_response",
+    "to_response",
+]

@@ -1,0 +1,148 @@
+"""Service lifecycle: graceful drain and crash-recovery-on-restart.
+
+Two symmetric halves:
+
+* :func:`drain_tenants` is the *planned* exit: every tenant's
+  group-commit queue flushes and a fresh checkpoint seals, so the next
+  start finds an empty journal and recovery is a checkpoint load;
+* :func:`recover_tenants` is the *unplanned* exit made safe: a worker
+  scans its tenant directories, reloads each
+  :class:`~repro.service.storage.FileStore` and runs the full persist
+  recovery state machine (:func:`repro.persist.recovery.recover` via
+  :meth:`repro.stack.EngineStack.recover`) -- torn tails discarded,
+  root verified, anti-replay checked -- before serving a single
+  request.
+
+Both return structured reports; the supervisor and the ``service-smoke``
+CI job surface them as artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.service.router import shard_of
+from repro.service.tenant import (
+    MANIFEST_NAME,
+    Tenant,
+    TenantState,
+    read_manifest,
+    read_state,
+)
+
+
+@dataclass
+class DrainReport:
+    """What one graceful drain flushed and sealed."""
+
+    tenants: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.tenants)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"drained": self.count, "tenants": list(self.tenants)}
+
+
+@dataclass
+class RecoverySummary:
+    """Per-tenant recovery outcomes for one worker restart."""
+
+    tenants: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return len(self.tenants)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(
+            entry.get("root_verified", False)
+            for entry in self.tenants.values()
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "recovered": self.count,
+            "all_verified": self.all_verified,
+            "tenants": {k: dict(v) for k, v in sorted(self.tenants.items())},
+        }
+
+
+def tenant_directories(
+    root: str | pathlib.Path,
+) -> list[pathlib.Path]:
+    """Every provisioned tenant directory under ``root``, sorted.
+
+    A directory without a manifest is a provision that died before its
+    epoch-0 state was acknowledged -- skipped, exactly like a journal
+    record that never sealed.
+    """
+    tenants = pathlib.Path(root) / "tenants"
+    if not tenants.is_dir():
+        return []
+    return sorted(
+        child
+        for child in tenants.iterdir()
+        if (child / MANIFEST_NAME).exists()
+    )
+
+
+def shard_tenant_directories(
+    root: str | pathlib.Path, shard: int, num_shards: int
+) -> list[pathlib.Path]:
+    """The subset of tenant directories this shard owns."""
+    return [
+        directory
+        for directory in tenant_directories(root)
+        if shard_of(read_manifest(directory).tenant_id, num_shards) == shard
+    ]
+
+
+def recover_tenants(
+    root: str | pathlib.Path,
+    secret_seed: int,
+    *,
+    shard: int = 0,
+    num_shards: int = 1,
+) -> tuple[dict[str, Tenant], RecoverySummary]:
+    """Recover every tenant a (re)starting shard worker owns."""
+    tenants: dict[str, Tenant] = {}
+    summary = RecoverySummary()
+    for directory in shard_tenant_directories(root, shard, num_shards):
+        if read_state(directory) is TenantState.RETIRED:
+            # Retirement is durable; the namespace stays gone.
+            summary.tenants[directory.name] = {
+                "state": TenantState.RETIRED.value,
+                "skipped": True,
+                "root_verified": True,
+            }
+            continue
+        tenant = Tenant.open(directory, secret_seed)
+        tenants[tenant.tenant_id] = tenant
+        report = tenant.recovery
+        summary.tenants[tenant.tenant_id] = (
+            report.to_json() if report is not None else {}
+        )
+    return tenants, summary
+
+
+def drain_tenants(tenants: Iterable[Tenant]) -> DrainReport:
+    """Gracefully drain a set of tenants (flush + checkpoint each)."""
+    report = DrainReport()
+    for tenant in tenants:
+        report.tenants.append(tenant.drain())
+    return report
+
+
+__all__ = [
+    "DrainReport",
+    "RecoverySummary",
+    "drain_tenants",
+    "recover_tenants",
+    "shard_tenant_directories",
+    "tenant_directories",
+]

@@ -1,0 +1,153 @@
+"""Per-tenant quotas and token-bucket admission control.
+
+Two independent controls, both refusing with the typed
+:class:`~repro.service.errors.QuotaExceeded`:
+
+* **op-rate admission** -- a token bucket: ``rate_ops`` tokens/second
+  refill up to a ``burst_ops`` ceiling, one token per operation (a
+  batch costs one token per write it carries).  A drained bucket
+  refuses *before* the engine does any work, which is what keeps one
+  hot tenant from starving its shard neighbours;
+* **byte budget** -- a hard ceiling on cumulative bytes written in the
+  tenant's lifetime on this worker (``max_bytes_written``).  This is
+  wear/abuse control, deliberately coarse: counter-overflow costs grow
+  with write volume, so volume is the thing to cap.
+
+The bucket takes an injectable ``clock`` (seconds, monotonic) so tests
+drive it deterministically; the service passes ``time.monotonic``.
+Zero for either knob disables that control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.service.errors import QuotaExceeded
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Per-tenant admission-control knobs (0 = unlimited)."""
+
+    rate_ops: float = 0.0
+    burst_ops: int = 0
+    max_bytes_written: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_ops < 0 or self.burst_ops < 0:
+            raise ValueError("rate_ops and burst_ops must be >= 0")
+        if self.max_bytes_written < 0:
+            raise ValueError("max_bytes_written must be >= 0")
+        if (self.rate_ops > 0) != (self.burst_ops > 0):
+            raise ValueError(
+                "rate_ops and burst_ops enable the bucket together: "
+                "set both positive, or both zero"
+            )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rate_ops": self.rate_ops,
+            "burst_ops": self.burst_ops,
+            "max_bytes_written": self.max_bytes_written,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "QuotaConfig":
+        return cls(
+            rate_ops=float(payload.get("rate_ops", 0.0)),
+            burst_ops=int(payload.get("burst_ops", 0)),
+            max_bytes_written=int(payload.get("max_bytes_written", 0)),
+        )
+
+
+class TokenBucket:
+    """Classic token bucket over an injectable monotonic clock."""
+
+    def __init__(self, rate: float, burst: int, clock: Clock) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate)
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, count: int = 1) -> bool:
+        """Take ``count`` tokens if available; never blocks."""
+        if count <= 0:
+            raise ValueError("count must be >= 1")
+        self._refill()
+        if self._tokens >= count:
+            self._tokens -= count
+            return True
+        return False
+
+
+class TenantQuota:
+    """One tenant's admission state: bucket + byte budget."""
+
+    def __init__(
+        self, tenant_id: str, config: QuotaConfig, clock: Clock
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.config = config
+        self.bucket: TokenBucket | None = (
+            TokenBucket(config.rate_ops, config.burst_ops, clock)
+            if config.rate_ops > 0
+            else None
+        )
+        self.bytes_written = 0
+
+    def admit_ops(self, count: int = 1) -> None:
+        """Charge ``count`` operations, or refuse with QuotaExceeded."""
+        if self.bucket is not None and not self.bucket.try_acquire(count):
+            raise QuotaExceeded(
+                f"tenant {self.tenant_id!r} exceeded its op rate "
+                f"({self.config.rate_ops:g} ops/s, "
+                f"burst {self.config.burst_ops})",
+                tenant=self.tenant_id,
+                kind="ops",
+                rate_ops=self.config.rate_ops,
+                burst_ops=self.config.burst_ops,
+            )
+
+    def admit_write_bytes(self, nbytes: int) -> None:
+        """Charge a write's bytes against the lifetime budget."""
+        limit = self.config.max_bytes_written
+        if limit and self.bytes_written + nbytes > limit:
+            raise QuotaExceeded(
+                f"tenant {self.tenant_id!r} exceeded its byte budget "
+                f"({self.bytes_written} + {nbytes} > {limit})",
+                tenant=self.tenant_id,
+                kind="bytes",
+                bytes_written=self.bytes_written,
+                max_bytes_written=limit,
+            )
+        self.bytes_written += nbytes
+
+    def state(self) -> dict[str, Any]:
+        """Structured quota state for ``stat`` responses."""
+        return {
+            "bytes_written": self.bytes_written,
+            "max_bytes_written": self.config.max_bytes_written,
+            "rate_ops": self.config.rate_ops,
+            "burst_ops": self.config.burst_ops,
+            "tokens": self.bucket.tokens if self.bucket else None,
+        }
+
+
+__all__ = ["Clock", "QuotaConfig", "TenantQuota", "TokenBucket"]

@@ -1,0 +1,62 @@
+"""Deterministic tenant -> shard routing.
+
+Routing must be a pure function of ``(tenant_id, num_shards)``: the
+client computes it without asking anyone, a restarted worker re-derives
+the same ownership from the tenant directories on disk, and two
+processes can never disagree about who owns a tenant.  The hash is
+SHA-256 (not Python's salted ``hash``) so the mapping is stable across
+processes, interpreter versions and restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+
+
+def shard_of(tenant_id: str, num_shards: int) -> int:
+    """The shard index that owns ``tenant_id``."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    digest = hashlib.sha256(
+        f"repro.service.router/{tenant_id}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+class ShardRouter:
+    """The service's address book: shard indexes and their sockets."""
+
+    def __init__(self, root: str | pathlib.Path, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.root = pathlib.Path(root)
+        self.num_shards = num_shards
+
+    def shard_of(self, tenant_id: str) -> int:
+        return shard_of(tenant_id, self.num_shards)
+
+    def socket_path(self, shard: int) -> pathlib.Path:
+        """The shard's request-protocol unix socket."""
+        self._check(shard)
+        return self.root / f"shard-{shard}.sock"
+
+    def http_socket_path(self, shard: int) -> pathlib.Path:
+        """The shard's /metrics + /health HTTP unix socket."""
+        self._check(shard)
+        return self.root / f"shard-{shard}.http.sock"
+
+    def socket_for(self, tenant_id: str) -> pathlib.Path:
+        return self.socket_path(self.shard_of(tenant_id))
+
+    def shards(self) -> range:
+        return range(self.num_shards)
+
+    def _check(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range (num_shards={self.num_shards})"
+            )
+
+
+__all__ = ["ShardRouter", "shard_of"]

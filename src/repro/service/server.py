@@ -1,0 +1,734 @@
+"""The asyncio serving layer: shards, worker processes, supervisor, client.
+
+Wire protocol (one unix socket per shard): length-prefixed JSON --
+4-byte big-endian frame length, then a UTF-8 JSON object.  Block
+payloads travel hex-encoded.  Requests carry ``op`` plus op-specific
+fields; responses are ``{"ok": true, ...}`` or the structured error
+frame :func:`repro.service.errors.to_response` produces.
+
+Operations::
+
+    provision {tenant, preset?, region_kb?, resilience?, quota?...}
+    write     {tenant, address, data}       one acknowledged write
+    batch     {tenant, writes: [[addr, data], ...]}  one group-commit
+    read      {tenant, address}
+    stat      {tenant}
+    drain     {tenant} | retire {tenant} | drain_shard {} | ping {}
+
+Concurrency model: one asyncio event loop per shard worker serializes
+engine access (the engines are plain mutable python objects); many
+connections interleave at frame granularity.  Scaling comes from
+*sharding* -- tenants are partitioned across worker processes by
+:func:`repro.service.router.shard_of`, and the client routes each
+request itself, so shards share nothing but the filesystem root.
+
+The supervisor owns the worker processes: it can kill one (``SIGKILL``,
+the crash the durability plane exists for) and restart it; the restarted
+worker replays its tenants' journals via the persist recovery state
+machine before accepting its first request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import multiprocessing
+import os
+import pathlib
+import signal
+import struct
+import time
+from typing import Any, Callable
+
+from repro.obs.catalog import SERVICE_OPS, SERVICE_REJECTIONS
+from repro.obs.metrics import MetricRegistry
+from repro.service.endpoints import health_payload, metrics_payload, serve_http
+from repro.service.errors import (
+    DrainInProgress,
+    ServiceError,
+    ShardUnavailable,
+    TenantNotFound,
+    from_response,
+    to_response,
+)
+from repro.service.lifecycle import drain_tenants, recover_tenants
+from repro.service.quota import QuotaConfig, TenantQuota
+from repro.service.router import ShardRouter
+from repro.service.tenant import (
+    BLOCK_BYTES,
+    Tenant,
+    TenantSpec,
+    TenantState,
+)
+
+PROTOCOL_SCHEMA = "repro.service.proto/1"
+_LEN = struct.Struct(">I")
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: closed sets shared with the metric catalog -- the request ops and
+#: rejection codes below are the single source of truth for both the
+#: dispatch table and the ``service.*`` metric names.
+OPS = SERVICE_OPS
+REJECTION_CODES = SERVICE_REJECTIONS
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(body)} bytes exceeds the cap")
+    return _LEN.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any]:
+    header = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {length} bytes exceeds the cap")
+    body = await reader.readexactly(length)
+    payload = json.loads(body.decode())
+    if not isinstance(payload, dict):
+        raise ValueError("frames must carry a JSON object")
+    return payload
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: dict[str, Any]
+) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+class Shard:
+    """One worker's state: its tenants, quotas, and request handlers."""
+
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        shard_index: int,
+        num_shards: int,
+        secret_seed: int,
+        registry: MetricRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.router = ShardRouter(root, num_shards)
+        self.root = pathlib.Path(root)
+        self.shard_index = shard_index
+        self.secret_seed = secret_seed
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.clock = clock
+        self.tenants: dict[str, Tenant] = {}
+        self.quotas: dict[str, TenantQuota] = {}
+        self.retired: set[str] = set()
+        self.draining = False
+        self.recovery_summary: dict[str, Any] = {}
+        reg = self.registry
+        self._m_requests = {
+            op: reg.counter(f"service.request.{op}") for op in OPS
+        }
+        self._h_latency = {
+            op: reg.histogram(f"service.latency.{op}") for op in OPS
+        }
+        self._m_rejected = {
+            code: reg.counter(f"service.rejected.{code}")
+            for code in REJECTION_CODES
+        }
+        self._m_bytes_written = reg.counter("service.bytes.written")
+        self._m_bytes_read = reg.counter("service.bytes.read")
+        self._m_conn_accepted = reg.counter("service.conn.accepted")
+        self._m_conn_closed = reg.counter("service.conn.closed")
+        self._m_recovered = reg.counter("service.recovery.tenants")
+        self._m_drained = reg.counter("service.drain.tenants")
+        self._g_active = reg.gauge("service.tenants.active")
+        self._g_draining = reg.gauge("service.tenants.draining")
+        self._g_retired = reg.gauge("service.tenants.retired")
+        self._handlers: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
+            "provision": self._op_provision,
+            "write": self._op_write,
+            "batch": self._op_batch,
+            "read": self._op_read,
+            "stat": self._op_stat,
+            "drain": self._op_drain,
+            "retire": self._op_retire,
+            "drain_shard": self._op_drain_shard,
+            "ping": self._op_ping,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def recover(self) -> dict[str, Any]:
+        """Recover every owned tenant from disk before serving."""
+        tenants, summary = recover_tenants(
+            self.root,
+            self.secret_seed,
+            shard=self.shard_index,
+            num_shards=self.router.num_shards,
+        )
+        self.tenants = tenants
+        self.retired = {
+            tenant_id
+            for tenant_id, entry in summary.tenants.items()
+            if entry.get("skipped")
+        }
+        for tenant in tenants.values():
+            self.quotas[tenant.tenant_id] = TenantQuota(
+                tenant.tenant_id, tenant.spec.quota, self.clock
+            )
+        self._m_recovered.inc(len(tenants))
+        self.recovery_summary = summary.to_json()
+        self._refresh_gauges()
+        return self.recovery_summary
+
+    def drain_all(self) -> dict[str, Any]:
+        """Graceful shard drain: every tenant flushed and checkpointed."""
+        self.draining = True
+        live = [
+            tenant
+            for tenant in self.tenants.values()
+            if tenant.state is not TenantState.RETIRED
+        ]
+        report = drain_tenants(live)
+        self._m_drained.inc(report.count)
+        self._refresh_gauges()
+        return report.to_json()
+
+    def _refresh_gauges(self) -> None:
+        states = [tenant.state for tenant in self.tenants.values()]
+        self._g_active.set(states.count(TenantState.ACTIVE))
+        self._g_draining.set(states.count(TenantState.DRAINING))
+        self._g_retired.set(
+            states.count(TenantState.RETIRED) + len(self.retired)
+        )
+
+    # -- request dispatch ---------------------------------------------------
+
+    def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = str(request.get("op", ""))
+        handler = self._handlers.get(op)
+        if handler is None:
+            self._m_rejected["internal"].inc()
+            return to_response(
+                ServiceError(f"unknown op {op!r}", known_ops=list(OPS))
+            )
+        self._m_requests[op].inc()
+        start = self.clock()
+        try:
+            response = handler(request)
+            response.setdefault("ok", True)
+            return response
+        except ServiceError as error:
+            self._m_rejected.get(
+                error.code, self._m_rejected["internal"]
+            ).inc()
+            return to_response(error)
+        except (KeyError, TypeError, ValueError) as error:
+            # Malformed requests (missing fields, bad hex, unaligned
+            # addresses) are client errors, reported structurally --
+            # they must never tear down the shard.
+            self._m_rejected["internal"].inc()
+            return to_response(
+                ServiceError(f"bad request for op {op!r}: {error}", op=op)
+            )
+        finally:
+            self._h_latency[op].observe((self.clock() - start) * 1000.0)
+
+    def _resolve(self, request: dict[str, Any]) -> Tenant:
+        tenant_id = str(request["tenant"])
+        owner = self.router.shard_of(tenant_id)
+        if owner != self.shard_index:
+            raise ShardUnavailable(
+                f"tenant {tenant_id!r} is owned by shard {owner}, "
+                f"not shard {self.shard_index}",
+                tenant=tenant_id,
+                owner_shard=owner,
+                this_shard=self.shard_index,
+            )
+        tenant = self.tenants.get(tenant_id)
+        if tenant is None or tenant.state is TenantState.RETIRED:
+            raise TenantNotFound(
+                f"no active tenant {tenant_id!r} on shard "
+                f"{self.shard_index}",
+                tenant=tenant_id,
+                shard=self.shard_index,
+            )
+        return tenant
+
+    def _quota(self, tenant: Tenant) -> TenantQuota:
+        return self.quotas[tenant.tenant_id]
+
+    # -- operations ---------------------------------------------------------
+
+    def _op_provision(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self.draining:
+            raise DrainInProgress(
+                f"shard {self.shard_index} is draining; "
+                "no new tenants accepted",
+                shard=self.shard_index,
+            )
+        spec = TenantSpec(
+            tenant_id=str(request["tenant"]),
+            preset=str(request.get("preset", "combined")),
+            region_kb=int(request.get("region_kb", 64)),
+            resilience=bool(request.get("resilience", False)),
+            spare_blocks=int(request.get("spare_blocks", 4)),
+            ce_threshold=int(request.get("ce_threshold", 2)),
+            checkpoint_interval=int(request.get("checkpoint_interval", 32)),
+            quota=QuotaConfig.from_json(request.get("quota", {})),
+        )
+        owner = self.router.shard_of(spec.tenant_id)
+        if owner != self.shard_index:
+            raise ShardUnavailable(
+                f"tenant {spec.tenant_id!r} routes to shard {owner}",
+                tenant=spec.tenant_id,
+                owner_shard=owner,
+            )
+        if spec.tenant_id in self.tenants or spec.tenant_id in self.retired:
+            raise ServiceError(
+                f"tenant {spec.tenant_id!r} already exists",
+                tenant=spec.tenant_id,
+            )
+        tenant = Tenant.provision(self.root, spec, self.secret_seed)
+        self.tenants[spec.tenant_id] = tenant
+        self.quotas[spec.tenant_id] = TenantQuota(
+            spec.tenant_id, spec.quota, self.clock
+        )
+        self._refresh_gauges()
+        return {
+            "tenant": spec.tenant_id,
+            "shard": self.shard_index,
+            "capacity_bytes": tenant.capacity_bytes,
+        }
+
+    def _decode_block(self, text: str) -> bytes:
+        data = bytes.fromhex(text)
+        if len(data) != BLOCK_BYTES:
+            raise ValueError(
+                f"block payloads are {BLOCK_BYTES} bytes, got {len(data)}"
+            )
+        return data
+
+    def _op_write(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenant = self._resolve(request)
+        quota = self._quota(tenant)
+        data = self._decode_block(str(request["data"]))
+        quota.admit_ops(1)
+        quota.admit_write_bytes(len(data))
+        tenant.write(int(request["address"]), data)
+        self._m_bytes_written.inc(len(data))
+        return {"tenant": tenant.tenant_id, "address": int(request["address"])}
+
+    def _op_batch(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenant = self._resolve(request)
+        quota = self._quota(tenant)
+        writes = [
+            (int(address), self._decode_block(str(text)))
+            for address, text in request["writes"]
+        ]
+        if not writes:
+            raise ValueError("batch needs at least one write")
+        total = sum(len(data) for _, data in writes)
+        quota.admit_ops(len(writes))
+        quota.admit_write_bytes(total)
+        tenant.write_batch(writes)
+        self._m_bytes_written.inc(total)
+        return {"tenant": tenant.tenant_id, "writes": len(writes)}
+
+    def _op_read(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenant = self._resolve(request)
+        self._quota(tenant).admit_ops(1)
+        result = tenant.read(int(request["address"]))
+        data = result.data
+        clean = bool(getattr(result, "ok", True)) and data is not None
+        self._m_bytes_read.inc(len(data) if data is not None else 0)
+        return {
+            "tenant": tenant.tenant_id,
+            "address": int(request["address"]),
+            "data": data.hex() if data is not None else None,
+            "clean": clean,
+        }
+
+    def _op_stat(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenant = self._resolve(request)
+        payload = tenant.stat()
+        payload["quota"] = self._quota(tenant).state()
+        payload["shard"] = self.shard_index
+        return payload
+
+    def _op_drain(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenant = self._resolve(request)
+        outcome = tenant.drain()
+        self._m_drained.inc()
+        self._refresh_gauges()
+        return outcome
+
+    def _op_retire(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenant = self._resolve(request)
+        outcome = tenant.retire()
+        self._refresh_gauges()
+        return outcome
+
+    def _op_drain_shard(self, request: dict[str, Any]) -> dict[str, Any]:
+        return self.drain_all()
+
+    def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "shard": self.shard_index,
+            "schema": PROTOCOL_SCHEMA,
+            "draining": self.draining,
+            "tenants": sorted(self.tenants),
+        }
+
+    # -- observability payloads (shared with the HTTP endpoints) -------------
+
+    def metrics(self) -> dict[str, Any]:
+        return metrics_payload(self)
+
+    def health(self) -> dict[str, Any]:
+        return health_payload(self)
+
+    # -- the serving loop ---------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._m_conn_accepted.inc()
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except (
+                    asyncio.CancelledError,
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    json.JSONDecodeError,
+                    ValueError,
+                ):
+                    # CancelledError lands here only at loop teardown
+                    # (stop already set); treat it as a hangup.
+                    break
+                await write_frame(writer, self.handle_request(request))
+        finally:
+            self._m_conn_closed.inc()
+            writer.close()
+            # CancelledError included: loop teardown must not surface a
+            # "exception never retrieved" from a half-closed transport.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def serve(self, stop: asyncio.Event) -> None:
+        """Serve the protocol + HTTP sockets until ``stop`` is set."""
+        proto_path = self.router.socket_path(self.shard_index)
+        http_path = self.router.http_socket_path(self.shard_index)
+        for path in (proto_path, http_path):
+            path.unlink(missing_ok=True)
+        server = await asyncio.start_unix_server(
+            self._handle_conn, path=str(proto_path)
+        )
+        http_server = await serve_http(self, str(http_path))
+        try:
+            await stop.wait()
+        finally:
+            server.close()
+            http_server.close()
+            await server.wait_closed()
+            await http_server.wait_closed()
+            for path in (proto_path, http_path):
+                path.unlink(missing_ok=True)
+
+
+def shard_main(
+    root: str,
+    shard_index: int,
+    num_shards: int,
+    secret_seed: int,
+) -> None:
+    """Worker-process entry: recover, serve, drain on SIGTERM."""
+    shard = Shard(root, shard_index, num_shards, secret_seed)
+    shard.recover()
+
+    async def _run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def _graceful() -> None:
+            # Drain first (flush + checkpoint every tenant), then stop:
+            # after this, restart recovery is a checkpoint load.
+            shard.drain_all()
+            stop.set()
+
+        loop.add_signal_handler(signal.SIGTERM, _graceful)
+        loop.add_signal_handler(signal.SIGINT, _graceful)
+        await shard.serve(stop)
+
+    asyncio.run(_run())
+
+
+class ServiceSupervisor:
+    """Owns the shard worker processes; can kill and restart them."""
+
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        num_shards: int = 2,
+        secret_seed: int = 0xDAC2018,
+        registry: MetricRegistry | None = None,
+    ) -> None:
+        self.router = ShardRouter(root, num_shards)
+        self.root = pathlib.Path(root)
+        self.num_shards = num_shards
+        self.secret_seed = secret_seed
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._m_restarts = self.registry.counter("service.shard.restarts")
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._workers: dict[int, Any] = {}
+
+    def _spawn(self, shard: int) -> None:
+        process = self._context.Process(
+            target=shard_main,
+            args=(
+                str(self.root),
+                shard,
+                self.num_shards,
+                self.secret_seed,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._workers[shard] = process
+
+    def start(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        for shard in self.router.shards():
+            self._spawn(shard)
+
+    def alive(self, shard: int) -> bool:
+        process = self._workers.get(shard)
+        return bool(process is not None and process.is_alive())
+
+    def wait_ready(self, timeout: float = 10.0) -> None:
+        """Block until every live shard accepts protocol connections."""
+        deadline = time.monotonic() + timeout
+        for shard in self.router.shards():
+            path = self.router.socket_path(shard)
+            while True:
+                if _socket_accepts(path):
+                    break
+                if not self.alive(shard):
+                    raise ShardUnavailable(
+                        f"shard {shard} died before becoming ready",
+                        shard=shard,
+                    )
+                if time.monotonic() > deadline:
+                    raise ShardUnavailable(
+                        f"shard {shard} not ready within {timeout}s",
+                        shard=shard,
+                    )
+                time.sleep(0.02)
+
+    def kill_shard(self, shard: int) -> None:
+        """SIGKILL a worker: the crash the durability plane exists for."""
+        process = self._workers[shard]
+        if process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=5.0)
+
+    def restart_shard(self, shard: int, timeout: float = 10.0) -> None:
+        """Start a replacement worker and wait for it to recover."""
+        process = self._workers.get(shard)
+        if process is not None and process.is_alive():
+            raise ValueError(f"shard {shard} is still running")
+        self._m_restarts.inc()
+        self._spawn(shard)
+        deadline = time.monotonic() + timeout
+        path = self.router.socket_path(shard)
+        while not _socket_accepts(path):
+            if time.monotonic() > deadline:
+                raise ShardUnavailable(
+                    f"restarted shard {shard} not ready within {timeout}s",
+                    shard=shard,
+                )
+            time.sleep(0.02)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: SIGTERM (drain) every worker, then join."""
+        for process in self._workers.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self._workers.values():
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=timeout)
+        self._workers.clear()
+
+
+def _socket_accepts(path: pathlib.Path) -> bool:
+    import socket
+
+    if not path.exists():
+        return False
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(0.2)
+        probe.connect(str(path))
+        return True
+    except OSError:
+        return False
+    finally:
+        probe.close()
+
+
+class ServiceClient:
+    """Async client: routes each request to the owning shard itself."""
+
+    def __init__(
+        self, root: str | pathlib.Path, num_shards: int
+    ) -> None:
+        self.router = ShardRouter(root, num_shards)
+        self._conns: dict[
+            int, tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = {}
+
+    async def _conn(
+        self, shard: int
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        cached = self._conns.get(shard)
+        if cached is not None:
+            return cached
+        path = self.router.socket_path(shard)
+        try:
+            reader, writer = await asyncio.open_unix_connection(str(path))
+        except (ConnectionError, FileNotFoundError, OSError) as error:
+            raise ShardUnavailable(
+                f"shard {shard} is not answering {path}: {error}",
+                shard=shard,
+            ) from error
+        self._conns[shard] = (reader, writer)
+        return reader, writer
+
+    def _drop(self, shard: int) -> None:
+        cached = self._conns.pop(shard, None)
+        if cached is not None:
+            cached[1].close()
+
+    async def request(
+        self, payload: dict[str, Any], shard: int | None = None
+    ) -> dict[str, Any]:
+        """Send one request; raises the typed error on a refusal."""
+        if shard is None:
+            shard = self.router.shard_of(str(payload["tenant"]))
+        reader, writer = await self._conn(shard)
+        try:
+            await write_frame(writer, payload)
+            response = await read_frame(reader)
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            OSError,
+        ) as error:
+            self._drop(shard)
+            raise ShardUnavailable(
+                f"shard {shard} connection failed mid-request: {error}",
+                shard=shard,
+            ) from error
+        if not response.get("ok", False):
+            raise from_response(response)
+        return response
+
+    async def request_retry(
+        self,
+        payload: dict[str, Any],
+        shard: int | None = None,
+        deadline: float = 10.0,
+        interval: float = 0.05,
+    ) -> dict[str, Any]:
+        """Retry through ShardUnavailable until ``deadline`` seconds.
+
+        Safe for this protocol: writes are idempotent re-applications
+        of the same (address, data) pair, so re-sending after an
+        ambiguous failure converges to the same durable state.
+        """
+        stop_at = time.monotonic() + deadline
+        while True:
+            try:
+                return await self.request(payload, shard=shard)
+            except ShardUnavailable:
+                if time.monotonic() > stop_at:
+                    raise
+                await asyncio.sleep(interval)
+
+    # -- convenience ops ---------------------------------------------------
+
+    async def provision(self, tenant: str, **fields: Any) -> dict[str, Any]:
+        return await self.request(
+            {"op": "provision", "tenant": tenant, **fields}
+        )
+
+    async def write(
+        self, tenant: str, address: int, data: bytes
+    ) -> dict[str, Any]:
+        return await self.request(
+            {
+                "op": "write",
+                "tenant": tenant,
+                "address": address,
+                "data": data.hex(),
+            }
+        )
+
+    async def batch(
+        self, tenant: str, writes: list[tuple[int, bytes]]
+    ) -> dict[str, Any]:
+        return await self.request(
+            {
+                "op": "batch",
+                "tenant": tenant,
+                "writes": [[address, data.hex()] for address, data in writes],
+            }
+        )
+
+    async def read(self, tenant: str, address: int) -> bytes | None:
+        response = await self.request(
+            {"op": "read", "tenant": tenant, "address": address}
+        )
+        data = response.get("data")
+        return bytes.fromhex(data) if data is not None else None
+
+    async def stat(self, tenant: str) -> dict[str, Any]:
+        return await self.request({"op": "stat", "tenant": tenant})
+
+    async def drain(self, tenant: str) -> dict[str, Any]:
+        return await self.request({"op": "drain", "tenant": tenant})
+
+    async def retire(self, tenant: str) -> dict[str, Any]:
+        return await self.request({"op": "retire", "tenant": tenant})
+
+    async def ping(self, shard: int) -> dict[str, Any]:
+        return await self.request({"op": "ping", "tenant": ""}, shard=shard)
+
+    async def drain_shard(self, shard: int) -> dict[str, Any]:
+        return await self.request(
+            {"op": "drain_shard", "tenant": ""}, shard=shard
+        )
+
+    async def close(self) -> None:
+        for shard in list(self._conns):
+            self._drop(shard)
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_SCHEMA",
+    "REJECTION_CODES",
+    "ServiceClient",
+    "ServiceSupervisor",
+    "Shard",
+    "encode_frame",
+    "read_frame",
+    "shard_main",
+    "write_frame",
+]

@@ -1,0 +1,135 @@
+"""FileStore: a :class:`DurableStore` mirrored onto a real directory.
+
+The persist subsystem models stable storage in memory so the crash
+matrix can tear writes deterministically.  A *service* worker can be
+``SIGKILL``\\ ed for real, so its durable state must live on disk: this
+subclass applies every mutation to the in-memory model first (keeping
+every invariant the recovery machine relies on) and then mirrors it
+into the tenant's persist directory.
+
+Layout under ``root``::
+
+    journal/00000000.rec        appended record payload
+    journal/00000000.sealed     empty marker: the atomic commit mark
+    ckpt0.bin / ckpt1.bin       shadow checkpoint slot bodies
+    ckpt0.meta / ckpt1.meta     slot epoch (JSON)
+    ckpt0.sealed / ckpt1.sealed empty marker: the slot's seal
+
+Crash semantics of the mirror: the server acknowledges a write only
+after the seal marker file exists, so a kill at any earlier point
+leaves, at worst, an unsealed (or partially written) record --
+exactly the torn/unsealed tail :func:`repro.persist.journal.scan_journal`
+already discards.  The CRC framing inside each record payload catches a
+partially flushed ``.rec`` file the same way it catches a simulated
+torn write, so :func:`load_file_store` never needs to distinguish the
+two.  Durability is directory-consistency-grade (no ``fsync``; the
+model is process death, not power loss on a real disk).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.persist.store import (
+    CheckpointSlot,
+    CrashPlan,
+    DurableStore,
+    JournalSlot,
+)
+
+_SLOT_COUNT = 2
+
+
+class FileStore(DurableStore):
+    """Durable store whose journal and checkpoint slots live on disk."""
+
+    def __init__(
+        self, root: str | pathlib.Path, plan: CrashPlan | None = None
+    ) -> None:
+        super().__init__(plan=plan)
+        self.root = pathlib.Path(root)
+        self.journal_dir = self.root / "journal"
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- path helpers -------------------------------------------------------
+
+    def _record_path(self, index: int) -> pathlib.Path:
+        return self.journal_dir / f"{index:08d}.rec"
+
+    def _seal_path(self, index: int) -> pathlib.Path:
+        return self.journal_dir / f"{index:08d}.sealed"
+
+    def _slot_paths(
+        self, slot: int
+    ) -> tuple[pathlib.Path, pathlib.Path, pathlib.Path]:
+        base = self.root / f"ckpt{slot}"
+        return (
+            base.with_suffix(".bin"),
+            base.with_suffix(".meta"),
+            base.with_suffix(".sealed"),
+        )
+
+    # -- mirrored mutations -------------------------------------------------
+
+    def journal_append(self, payload: bytes, label: str) -> int:
+        index = super().journal_append(payload, label)
+        self._record_path(index).write_bytes(payload)
+        return index
+
+    def journal_seal(self, index: int, label: str) -> None:
+        super().journal_seal(index, label)
+        self._seal_path(index).touch()
+
+    def journal_truncate(self) -> None:
+        super().journal_truncate()
+        for path in self.journal_dir.iterdir():
+            path.unlink()
+
+    def checkpoint_write(self, slot: int, payload: bytes, epoch: int) -> None:
+        super().checkpoint_write(slot, payload, epoch)
+        body, meta, seal = self._slot_paths(slot)
+        # Unseal first: a kill between the marker removal and the body
+        # write must leave the slot invalid, never half-new-half-sealed.
+        seal.unlink(missing_ok=True)
+        body.write_bytes(payload)
+        meta.write_text(json.dumps({"epoch": epoch}))
+
+    def checkpoint_seal(self, slot: int, epoch: int) -> None:
+        super().checkpoint_seal(slot, epoch)
+        _, _, seal = self._slot_paths(slot)
+        seal.touch()
+
+
+def load_file_store(root: str | pathlib.Path) -> FileStore:
+    """Rebuild a :class:`FileStore` from a (possibly killed) directory.
+
+    A payload file without its seal marker loads as an unsealed slot;
+    recovery's scan discards it, the same as a crash between append and
+    seal in the in-memory model.  Checkpoint slots load the same way.
+    """
+    store = FileStore(root)
+    for rec_path in sorted(store.journal_dir.glob("*.rec")):
+        index = int(rec_path.stem)
+        # Indexes are dense by construction (appends mirror a list);
+        # re-append in sorted order reproduces the list positions.
+        while len(store.journal) < index:
+            # A vanished payload with later survivors cannot happen
+            # without external tampering; represent it as an unsealed
+            # hole so the scan's tail discipline still applies.
+            store.journal.append(JournalSlot(payload=b"", sealed=False))
+        store.journal.append(JournalSlot(payload=b"", sealed=False))
+        store.journal[index].payload = rec_path.read_bytes()
+        store.journal[index].sealed = store._seal_path(index).exists()
+    for slot in range(_SLOT_COUNT):
+        body, meta, seal = store._slot_paths(slot)
+        if not body.exists() or not meta.exists():
+            continue
+        target: CheckpointSlot = store.slots[slot]
+        target.payload = body.read_bytes()
+        target.epoch = int(json.loads(meta.read_text())["epoch"])
+        target.sealed = seal.exists()
+    return store
+
+
+__all__ = ["FileStore", "load_file_store"]

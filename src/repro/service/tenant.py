@@ -1,0 +1,389 @@
+"""Tenant lifecycle: provision -> active -> draining -> retired.
+
+A tenant is one isolated secure-memory namespace: its own 48-byte key
+(derived, never stored), its own counter namespace and protected
+region, its own :class:`~repro.stack.EngineStack` journaling into its
+own :class:`~repro.service.storage.FileStore` directory, and its own
+:class:`~repro.obs.metrics.MetricRegistry` so per-tenant accounting
+never mixes with a neighbour's.
+
+Key derivation: ``SHA-384(repro.service.key/<secret_seed>/<tenant_id>)``
+-- the service stores only the seed (its master secret); per-tenant
+keys are re-derived on every worker start, so the persist directory
+never contains key material.
+
+Lifecycle states:
+
+``ACTIVE``
+    Reads and writes served.
+``DRAINING``
+    Writes refused with :class:`DrainInProgress`; reads still served.
+    Entered by ``drain()``, which flushes the group-commit queue and
+    seals a fresh checkpoint -- after it returns, a kill loses nothing.
+``RETIRED``
+    All traffic refused with :class:`TenantNotFound` (the namespace is
+    gone as far as callers are concerned); the directory remains for
+    audit until deleted out-of-band.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.engine.config import preset
+from repro.obs.metrics import MetricRegistry
+from repro.persist.config import DurabilityConfig
+from repro.persist.recovery import RecoveryReport
+from repro.service.errors import DrainInProgress, TenantNotFound
+from repro.service.quota import QuotaConfig
+from repro.service.storage import FileStore, load_file_store
+from repro.stack import EngineStack
+
+MANIFEST_SCHEMA = "repro.service.tenant/1"
+MANIFEST_NAME = "tenant.json"
+STATE_NAME = "state.json"
+BLOCK_BYTES = 64
+
+_TENANT_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class TenantState(enum.Enum):
+    ACTIVE = "active"
+    DRAINING = "draining"
+    RETIRED = "retired"
+
+
+def derive_key(secret_seed: int, tenant_id: str) -> bytes:
+    """The tenant's 48-byte engine key (16 AES + 24 MAC + 8 tree)."""
+    return hashlib.sha384(
+        f"repro.service.key/{secret_seed}/{tenant_id}".encode()
+    ).digest()
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Everything a worker needs to (re)build one tenant's stack."""
+
+    tenant_id: str
+    preset: str = "combined"
+    region_kb: int = 64
+    resilience: bool = False
+    spare_blocks: int = 4
+    ce_threshold: int = 2
+    checkpoint_interval: int = 32
+    quota: QuotaConfig = field(default_factory=QuotaConfig)
+
+    def __post_init__(self) -> None:
+        if not _TENANT_ID.match(self.tenant_id):
+            raise ValueError(
+                f"tenant id {self.tenant_id!r} must match "
+                f"{_TENANT_ID.pattern} (it names a directory)"
+            )
+        if self.region_kb < 4:
+            raise ValueError("region_kb must be >= 4 (one 64-block group)")
+        if self.spare_blocks < 1 or self.ce_threshold < 1:
+            raise ValueError("spare_blocks and ce_threshold must be >= 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+
+    def engine_config(self):
+        return preset(self.preset, protected_bytes=self.region_kb * 1024)
+
+    def durability_config(self) -> DurabilityConfig:
+        return DurabilityConfig(
+            checkpoint_interval=self.checkpoint_interval
+        )
+
+    def resilience_kwargs(self) -> dict[str, Any] | None:
+        if not self.resilience:
+            return None
+        return {
+            "spare_blocks": self.spare_blocks,
+            "ce_threshold": self.ce_threshold,
+        }
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "tenant_id": self.tenant_id,
+            "preset": self.preset,
+            "region_kb": self.region_kb,
+            "resilience": self.resilience,
+            "spare_blocks": self.spare_blocks,
+            "ce_threshold": self.ce_threshold,
+            "checkpoint_interval": self.checkpoint_interval,
+            "quota": self.quota.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "TenantSpec":
+        if payload.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"unsupported tenant manifest schema "
+                f"{payload.get('schema')!r} (expected {MANIFEST_SCHEMA!r})"
+            )
+        return cls(
+            tenant_id=payload["tenant_id"],
+            preset=payload.get("preset", "combined"),
+            region_kb=int(payload.get("region_kb", 64)),
+            resilience=bool(payload.get("resilience", False)),
+            spare_blocks=int(payload.get("spare_blocks", 4)),
+            ce_threshold=int(payload.get("ce_threshold", 2)),
+            checkpoint_interval=int(payload.get("checkpoint_interval", 32)),
+            quota=QuotaConfig.from_json(payload.get("quota", {})),
+        )
+
+
+class Tenant:
+    """One provisioned tenant: spec + directory + live engine stack."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        directory: pathlib.Path,
+        stack: EngineStack,
+        registry: MetricRegistry,
+        recovery: RecoveryReport | None = None,
+    ) -> None:
+        self.spec = spec
+        self.directory = directory
+        self.stack = stack
+        self.registry = registry
+        self.recovery = recovery
+        self.state = TenantState.ACTIVE
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def provision(
+        cls,
+        root: str | pathlib.Path,
+        spec: TenantSpec,
+        secret_seed: int,
+    ) -> "Tenant":
+        """Create a brand-new tenant under ``root/tenants/<id>``."""
+        directory = tenant_dir(root, spec.tenant_id)
+        manifest = directory / MANIFEST_NAME
+        if manifest.exists():
+            raise ValueError(
+                f"tenant {spec.tenant_id!r} is already provisioned "
+                f"at {directory}"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        registry = MetricRegistry()
+        store = FileStore(directory / "store")
+        stack = EngineStack(
+            spec.engine_config(),
+            derive_key(secret_seed, spec.tenant_id),
+            durability=spec.durability_config(),
+            store=store,
+            resilience=spec.resilience_kwargs(),
+            registry=registry,
+        )
+        # Manifest lands only after the stack (and its epoch-0
+        # checkpoint) exists: a kill mid-provision leaves no manifest,
+        # and restart recovery skips the directory entirely.
+        manifest.write_text(
+            json.dumps(spec.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        return cls(spec, directory, stack, registry)
+
+    @classmethod
+    def open(
+        cls, directory: str | pathlib.Path, secret_seed: int
+    ) -> "Tenant":
+        """Recover a tenant from its directory (the restart path).
+
+        Runs the full persist recovery state machine over the reloaded
+        :class:`FileStore` -- torn tails discarded, checkpoint loaded,
+        journal redone, root and anti-replay verified -- then re-wraps
+        the engine in the tenant's configured stack.
+        """
+        directory = pathlib.Path(directory)
+        spec = read_manifest(directory)
+        store = load_file_store(directory / "store")
+        registry = MetricRegistry()
+        stack, report = EngineStack.recover(
+            store,
+            spec.engine_config(),
+            derive_key(secret_seed, spec.tenant_id),
+            durability=spec.durability_config(),
+            resilience=spec.resilience_kwargs(),
+            registry=registry,
+        )
+        return cls(spec, directory, stack, registry, recovery=report)
+
+    # -- data path ------------------------------------------------------------
+
+    @property
+    def tenant_id(self) -> str:
+        return self.spec.tenant_id
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.stack.capacity_blocks * BLOCK_BYTES
+
+    def _check_readable(self) -> None:
+        if self.state is TenantState.RETIRED:
+            raise TenantNotFound(
+                f"tenant {self.tenant_id!r} is retired",
+                tenant=self.tenant_id,
+            )
+
+    def _check_writable(self) -> None:
+        self._check_readable()
+        if self.state is TenantState.DRAINING:
+            raise DrainInProgress(
+                f"tenant {self.tenant_id!r} is draining; writes refused",
+                tenant=self.tenant_id,
+            )
+
+    def _check_address(self, address: int) -> None:
+        if address % BLOCK_BYTES:
+            raise ValueError("addresses must be 64-byte aligned")
+        if not 0 <= address < self.capacity_bytes:
+            raise ValueError(
+                f"address {address:#x} outside tenant region "
+                f"({self.capacity_bytes:#x} bytes)"
+            )
+
+    def write(self, address: int, data: bytes) -> None:
+        """One acknowledged write: queued, flushed, journal-sealed."""
+        self._check_writable()
+        self._check_address(address)
+        self.stack.write(address, data)
+        self.stack.flush()
+
+    def write_batch(self, writes: list[tuple[int, bytes]]) -> None:
+        """One group-commit: every write sealed under a single txn."""
+        self._check_writable()
+        for address, _ in writes:
+            self._check_address(address)
+        self.stack.write_many(writes)
+
+    def read(self, address: int):
+        self._check_readable()
+        self._check_address(address)
+        return self.stack.read(address)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def drain(self) -> dict[str, Any]:
+        """Flush pending work and checkpoint; then refuse writes.
+
+        Idempotent: draining a draining tenant just re-checkpoints.
+        """
+        self._check_readable()
+        self.state = TenantState.DRAINING
+        self.stack.flush()
+        if self.stack.persist is not None:
+            self.stack.checkpoint()
+        return {
+            "tenant": self.tenant_id,
+            "state": self.state.value,
+            "epoch": (
+                self.stack.persist.epoch
+                if self.stack.persist is not None
+                else None
+            ),
+        }
+
+    def retire(self) -> dict[str, Any]:
+        """Drain (if still needed) and take the namespace away.
+
+        Retirement is durable: a ``state.json`` marker keeps the tenant
+        retired across worker restarts (recovery skips the directory).
+        """
+        if self.state is not TenantState.RETIRED:
+            if self.state is TenantState.ACTIVE:
+                self.drain()
+            self.state = TenantState.RETIRED
+            write_state(self.directory, self.state)
+        return {"tenant": self.tenant_id, "state": self.state.value}
+
+    # -- introspection ---------------------------------------------------------
+
+    def stat(self) -> dict[str, Any]:
+        """Structured per-tenant status for the ``stat`` op."""
+        persist = self.stack.persist
+        resilient = self.stack.resilient
+        out: dict[str, Any] = {
+            "tenant": self.tenant_id,
+            "state": self.state.value,
+            "preset": self.spec.preset,
+            "capacity_bytes": self.capacity_bytes,
+            "metrics": self.registry.snapshot().totals(),
+        }
+        if persist is not None:
+            out["epoch"] = persist.epoch
+            out["next_lsn"] = persist.next_lsn
+            out["journal_live_records"] = persist.store.live_records
+        if resilient is not None:
+            out["spares_remaining"] = resilient.quarantine.spares_remaining
+            out["retired_blocks"] = len(resilient.quarantine.retired_addresses)
+        if self.recovery is not None:
+            out["recovered"] = self.recovery.to_json()
+        return out
+
+    def health(self) -> dict[str, Any]:
+        """The tenant's contribution to the shard /health payload."""
+        status = "ok"
+        detail: dict[str, Any] = {"state": self.state.value}
+        resilient = self.stack.resilient
+        if resilient is not None:
+            spares = resilient.quarantine.spares_remaining
+            detail["spares_remaining"] = spares
+            detail["degraded_blocks"] = resilient.quarantine.degraded_count
+            if detail["degraded_blocks"]:
+                status = "degraded"
+            elif spares == 0:
+                status = "at_risk"
+        if self.state is not TenantState.ACTIVE:
+            status = self.state.value
+        detail["status"] = status
+        return detail
+
+
+def tenant_dir(root: str | pathlib.Path, tenant_id: str) -> pathlib.Path:
+    return pathlib.Path(root) / "tenants" / tenant_id
+
+
+def read_manifest(directory: str | pathlib.Path) -> TenantSpec:
+    manifest = pathlib.Path(directory) / MANIFEST_NAME
+    return TenantSpec.from_json(json.loads(manifest.read_text()))
+
+
+def write_state(directory: str | pathlib.Path, state: TenantState) -> None:
+    (pathlib.Path(directory) / STATE_NAME).write_text(
+        json.dumps({"state": state.value}) + "\n"
+    )
+
+
+def read_state(directory: str | pathlib.Path) -> TenantState:
+    """The persisted lifecycle state (ACTIVE when no marker exists)."""
+    path = pathlib.Path(directory) / STATE_NAME
+    if not path.exists():
+        return TenantState.ACTIVE
+    return TenantState(json.loads(path.read_text())["state"])
+
+
+__all__ = [
+    "BLOCK_BYTES",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "STATE_NAME",
+    "Tenant",
+    "TenantSpec",
+    "TenantState",
+    "derive_key",
+    "read_manifest",
+    "read_state",
+    "tenant_dir",
+    "write_state",
+]

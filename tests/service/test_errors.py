@@ -1,0 +1,65 @@
+"""The typed ServiceError hierarchy and its wire mapping."""
+
+import pytest
+
+from repro.service.errors import (
+    ERROR_CODES,
+    DrainInProgress,
+    QuotaExceeded,
+    ServiceError,
+    ShardUnavailable,
+    TenantNotFound,
+    from_response,
+    to_response,
+)
+
+TYPED = [TenantNotFound, QuotaExceeded, ShardUnavailable, DrainInProgress]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", TYPED)
+    def test_subclasses_service_error(self, cls):
+        assert issubclass(cls, ServiceError)
+
+    @pytest.mark.parametrize("cls", TYPED)
+    def test_code_is_registered(self, cls):
+        error = cls("boom")
+        assert ERROR_CODES[error.code] is cls
+
+    def test_codes_are_distinct(self):
+        codes = {cls("x").code for cls in TYPED}
+        assert len(codes) == len(TYPED)
+
+    def test_detail_kwargs_captured(self):
+        error = TenantNotFound("gone", tenant="t1", shard=3)
+        assert error.detail == {"tenant": "t1", "shard": 3}
+
+
+class TestWireMapping:
+    def test_to_response_shape(self):
+        response = to_response(QuotaExceeded("over", tenant="t1",
+                                             kind="ops"))
+        assert response["ok"] is False
+        assert response["error"]["code"] == "quota_exceeded"
+        assert response["error"]["message"] == "over"
+        assert response["error"]["detail"]["kind"] == "ops"
+
+    @pytest.mark.parametrize("cls", TYPED + [ServiceError])
+    def test_roundtrip_preserves_type(self, cls):
+        original = cls("message here", tenant="t9", extra=7)
+        rebuilt = from_response(to_response(original))
+        assert type(rebuilt) is cls
+        assert rebuilt.code == original.code
+        assert str(rebuilt) == "message here"
+        assert rebuilt.detail == original.detail
+
+    def test_unknown_code_becomes_base_error(self):
+        rebuilt = from_response(
+            {"ok": False,
+             "error": {"code": "martian", "message": "??", "detail": {}}}
+        )
+        assert type(rebuilt) is ServiceError
+
+    def test_from_response_rejects_ok_payload(self):
+        with pytest.raises(ValueError):
+            from_response({"ok": True})

@@ -1,0 +1,135 @@
+"""Token-bucket admission and per-tenant byte budgets."""
+
+import pytest
+
+from repro.service.errors import QuotaExceeded
+from repro.service.quota import QuotaConfig, TenantQuota, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestQuotaConfig:
+    def test_defaults_disable_everything(self):
+        config = QuotaConfig()
+        quota = TenantQuota("t", config, FakeClock())
+        for _ in range(10_000):
+            quota.admit_ops()
+        quota.admit_write_bytes(1 << 40)
+
+    def test_rate_and_burst_enable_together(self):
+        with pytest.raises(ValueError):
+            QuotaConfig(rate_ops=5.0, burst_ops=0)
+        with pytest.raises(ValueError):
+            QuotaConfig(rate_ops=0.0, burst_ops=5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QuotaConfig(rate_ops=-1.0, burst_ops=1)
+        with pytest.raises(ValueError):
+            QuotaConfig(max_bytes_written=-1)
+
+    def test_json_roundtrip(self):
+        config = QuotaConfig(rate_ops=2.5, burst_ops=10,
+                             max_bytes_written=4096)
+        assert QuotaConfig.from_json(config.to_json()) == config
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refill_is_rate_times_elapsed(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=10, clock=clock)
+        assert bucket.try_acquire(10)
+        clock.advance(2.5)  # 5 tokens back
+        assert bucket.try_acquire(5)
+        assert not bucket.try_acquire(1)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=4, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_batch_cost_is_per_item(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=8, clock=clock)
+        assert bucket.try_acquire(8)
+        assert not bucket.try_acquire(1)
+
+    def test_invalid_count(self):
+        bucket = TokenBucket(rate=1.0, burst=1, clock=FakeClock())
+        with pytest.raises(ValueError):
+            bucket.try_acquire(0)
+
+
+class TestTenantQuota:
+    def test_ops_refusal_is_typed_with_detail(self):
+        clock = FakeClock()
+        quota = TenantQuota(
+            "t1", QuotaConfig(rate_ops=1.0, burst_ops=2), clock
+        )
+        quota.admit_ops(2)
+        with pytest.raises(QuotaExceeded) as err:
+            quota.admit_ops()
+        assert err.value.code == "quota_exceeded"
+        assert err.value.detail["kind"] == "ops"
+        assert err.value.detail["tenant"] == "t1"
+
+    def test_ops_recover_after_refill(self):
+        clock = FakeClock()
+        quota = TenantQuota(
+            "t1", QuotaConfig(rate_ops=1.0, burst_ops=1), clock
+        )
+        quota.admit_ops()
+        with pytest.raises(QuotaExceeded):
+            quota.admit_ops()
+        clock.advance(1.0)
+        quota.admit_ops()
+
+    def test_byte_budget_is_cumulative(self):
+        quota = TenantQuota(
+            "t2", QuotaConfig(max_bytes_written=128), FakeClock()
+        )
+        quota.admit_write_bytes(64)
+        quota.admit_write_bytes(64)
+        with pytest.raises(QuotaExceeded) as err:
+            quota.admit_write_bytes(1)
+        assert err.value.detail["kind"] == "bytes"
+        assert err.value.detail["bytes_written"] == 128
+
+    def test_refused_bytes_not_charged(self):
+        quota = TenantQuota(
+            "t3", QuotaConfig(max_bytes_written=100), FakeClock()
+        )
+        quota.admit_write_bytes(90)
+        with pytest.raises(QuotaExceeded):
+            quota.admit_write_bytes(20)
+        quota.admit_write_bytes(10)  # the budget's remainder still fits
+
+    def test_state_snapshot(self):
+        clock = FakeClock()
+        quota = TenantQuota(
+            "t4",
+            QuotaConfig(rate_ops=5.0, burst_ops=5, max_bytes_written=256),
+            clock,
+        )
+        quota.admit_ops(3)
+        quota.admit_write_bytes(64)
+        state = quota.state()
+        assert state["bytes_written"] == 64
+        assert state["max_bytes_written"] == 256
+        assert state["tokens"] == pytest.approx(2.0)

@@ -1,0 +1,62 @@
+"""Deterministic tenant -> shard routing."""
+
+import pathlib
+
+import pytest
+
+from repro.service.router import ShardRouter, shard_of
+
+
+class TestShardOf:
+    def test_deterministic_across_calls(self):
+        assert all(
+            shard_of(f"tenant-{i}", 4) == shard_of(f"tenant-{i}", 4)
+            for i in range(64)
+        )
+
+    def test_pinned_values(self):
+        # Pinned so a routing change (which would orphan every tenant
+        # directory on disk) cannot land silently.
+        assert shard_of("tenant-00", 2) == 0
+        assert shard_of("tenant-01", 2) == 1
+        assert shard_of("t0", 2) == 1
+        assert shard_of("t2", 2) == 0
+
+    def test_range(self):
+        for shards in (1, 2, 3, 8):
+            for i in range(100):
+                assert 0 <= shard_of(f"t{i}", shards) < shards
+
+    def test_every_shard_reachable(self):
+        owners = {shard_of(f"tenant-{i:03d}", 4) for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_single_shard_owns_all(self):
+        assert {shard_of(f"x{i}", 1) for i in range(20)} == {0}
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of("t", 0)
+
+
+class TestShardRouter:
+    def test_socket_paths_distinct_per_shard(self, tmp_path):
+        router = ShardRouter(tmp_path, 3)
+        paths = {router.socket_path(s) for s in router.shards()}
+        paths |= {router.http_socket_path(s) for s in router.shards()}
+        assert len(paths) == 6
+        assert all(p.parent == pathlib.Path(tmp_path) for p in paths)
+
+    def test_socket_for_matches_shard_of(self, tmp_path):
+        router = ShardRouter(tmp_path, 4)
+        for i in range(32):
+            tenant = f"tenant-{i}"
+            expected = router.socket_path(shard_of(tenant, 4))
+            assert router.socket_for(tenant) == expected
+
+    def test_out_of_range_shard_rejected(self, tmp_path):
+        router = ShardRouter(tmp_path, 2)
+        with pytest.raises(ValueError):
+            router.socket_path(2)
+        with pytest.raises(ValueError):
+            router.http_socket_path(-1)
