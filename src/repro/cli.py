@@ -25,6 +25,7 @@ import json
 import os
 import pathlib
 import random
+import subprocess
 import sys
 import tempfile
 import time
@@ -427,7 +428,21 @@ def _cmd_lint(args) -> int:
         return 0
     paths = args.paths or [_default_lint_root()]
     baseline = Baseline.load(args.baseline) if args.baseline else None
-    result = run_lint(paths, baseline=baseline)
+    check_only = None
+    if args.changed is not None:
+        changed = _changed_files(args.changed)
+        if changed is None:
+            print(
+                "warning: git unavailable; --changed ignored, linting "
+                "everything",
+                file=sys.stderr,
+            )
+        elif not changed:
+            print(f"no python files changed against {args.changed}")
+            return 0
+        else:
+            check_only = changed
+    result = run_lint(paths, baseline=baseline, check_only=check_only)
     if args.write_baseline:
         Baseline.from_diagnostics(
             result.diagnostics + result.grandfathered
@@ -448,6 +463,34 @@ def _cmd_lint(args) -> int:
 def _default_lint_root() -> str:
     """The installed ``repro`` package tree (works from any cwd)."""
     return str(pathlib.Path(__file__).resolve().parent)
+
+
+def _changed_files(ref: str) -> list[str] | None:
+    """Python files changed against ``ref``, plus untracked ones, as
+    absolute paths; ``None`` when git is unavailable (caller falls back
+    to a full lint).  Discovery and the cross-file passes still cover
+    the whole tree -- only *judgement* narrows to these files."""
+    def _git(*argv: str, cwd: str | None = None) -> str:
+        return subprocess.run(
+            ["git", *argv],
+            capture_output=True, text=True, check=True, cwd=cwd,
+        ).stdout
+
+    try:
+        root = _git("rev-parse", "--show-toplevel").strip()
+        diff = _git("diff", "--name-only", ref, "--", "*.py", cwd=root)
+        untracked = _git(
+            "ls-files", "--others", "--exclude-standard", "--", "*.py",
+            cwd=root,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    out = []
+    for line in {*diff.splitlines(), *untracked.splitlines()}:
+        path = pathlib.Path(root) / line
+        if path.suffix == ".py" and path.exists():
+            out.append(str(path))
+    return sorted(out)
 
 
 def _cmd_serve(args) -> int:
@@ -744,12 +787,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="domain-aware static analysis (bit-width contracts, "
-             "determinism, metric catalog, hygiene)",
+             "determinism, metric catalog, hygiene, secret-taint, "
+             "txn typestate, asyncio safety)",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the "
                         "installed repro package)")
     p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                   metavar="REF",
+                   help="only report findings for files changed against "
+                        "REF (default HEAD) plus untracked files; "
+                        "cross-file analysis still sees the whole tree")
     p.add_argument("--baseline", metavar="FILE", default=None,
                    help="JSON baseline of grandfathered findings")
     p.add_argument("--write-baseline", metavar="FILE", default=None,

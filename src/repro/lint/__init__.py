@@ -13,22 +13,37 @@ code      checker
 RL001     bit-width contracts: literals in ``core/``/``ecc/``/``crypto/``
           cross-checked against :mod:`repro.lint.contracts`
 RL002     determinism: no wallclock, unseeded RNGs or unordered-set
-          iteration in simulation paths
+          iteration in simulation and service paths
 RL003     metric catalog: dotted metric names resolve against
           :mod:`repro.obs.catalog`
 RL004     simulation hygiene: mutable defaults, bare except, stat-struct
           writes that bypass the RegistryView shims
+RL005     secret-taint: key material must never flow into persistence,
+          log/metric labels, or wire frames (dataflow over the CFG)
+RL006     durable-write typestate: journaled mutations sit between
+          ``begin_txn`` and a seal on every path; quarantine folds
+          must be journaled (the PR 6 bug class, now a gate)
+RL007     asyncio-safety: no blocking calls in service coroutines, no
+          shard-state mutation straddling an ``await``, no swallowed
+          ``CancelledError``
 ========  ==================================================================
 
-Run it as ``repro lint [PATHS] [--format json] [--baseline FILE]``, or
-programmatically via :func:`repro.lint.framework.run_lint`.
+RL001-RL004 are per-file AST matchers; RL005-RL007 are flow-aware,
+built on the intraprocedural CFGs of :mod:`repro.lint.flow` and the
+project-wide call graph of :mod:`repro.lint.callgraph`.
+
+Run it as ``repro lint [PATHS] [--format json] [--baseline FILE]
+[--changed [REF]]``, or programmatically via
+:func:`repro.lint.framework.run_lint`.
 """
 
 from __future__ import annotations
 
 from repro.lint.baseline import Baseline
+from repro.lint.callgraph import ImportMap, ProjectIndex
 from repro.lint.checkers import CHECKER_CLASSES, default_checkers
 from repro.lint.diagnostics import Diagnostic, Severity, Suppressions
+from repro.lint.flow import CFG, Dataflow, build_cfg
 from repro.lint.framework import (
     Checker,
     LintResult,
@@ -40,14 +55,19 @@ from repro.lint.reporters import REPORT_SCHEMA, render_json, render_text
 
 __all__ = [
     "Baseline",
+    "CFG",
     "CHECKER_CLASSES",
     "Checker",
+    "Dataflow",
     "Diagnostic",
+    "ImportMap",
     "LintResult",
+    "ProjectIndex",
     "REPORT_SCHEMA",
     "Severity",
     "SourceUnit",
     "Suppressions",
+    "build_cfg",
     "default_checkers",
     "lint_text",
     "render_json",

@@ -1,4 +1,4 @@
-"""The domain checkers RL001-RL004."""
+"""The domain checkers RL001-RL007."""
 
 from __future__ import annotations
 
@@ -6,6 +6,9 @@ from repro.lint.checkers.rl001_bitwidth import BitWidthContracts
 from repro.lint.checkers.rl002_determinism import DeterminismChecker
 from repro.lint.checkers.rl003_metrics import MetricCatalogChecker
 from repro.lint.checkers.rl004_hygiene import HygieneChecker
+from repro.lint.checkers.rl005_secret_taint import SecretTaintChecker
+from repro.lint.checkers.rl006_txn_typestate import TxnTypestateChecker
+from repro.lint.checkers.rl007_asyncio import AsyncSafetyChecker
 from repro.lint.framework import Checker
 
 CHECKER_CLASSES: tuple[type[Checker], ...] = (
@@ -13,6 +16,9 @@ CHECKER_CLASSES: tuple[type[Checker], ...] = (
     DeterminismChecker,
     MetricCatalogChecker,
     HygieneChecker,
+    SecretTaintChecker,
+    TxnTypestateChecker,
+    AsyncSafetyChecker,
 )
 
 
@@ -26,10 +32,13 @@ def default_checkers() -> list[Checker]:
 
 
 __all__ = [
+    "AsyncSafetyChecker",
     "BitWidthContracts",
     "CHECKER_CLASSES",
     "DeterminismChecker",
     "HygieneChecker",
     "MetricCatalogChecker",
+    "SecretTaintChecker",
+    "TxnTypestateChecker",
     "default_checkers",
 ]

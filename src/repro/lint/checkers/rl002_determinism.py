@@ -18,15 +18,20 @@ simulation packages (``core/``, ``memsim/``, ``persist/``,
 
 The observability plane (``obs/``) legitimately reads wallclock -- its
 tracer and probes measure real elapsed time -- so it is exempt, as is
-the analysis/harness layer, which is allowed to talk to the host.  This
-is the bug class the PR 2 crc32-seed fix patched by hand; now it is a
-gate.
+the analysis/harness layer, which is allowed to talk to the host.  The
+service plane (``service/``) and the composed stack (``stack.py``) *are*
+in scope: their engines must replay deterministically, and the places
+where wallclock is intentional -- request-latency histograms, the quota
+token buckets' monotonic clocks, supervisor readiness deadlines -- each
+carry a documented inline suppression.  This is the bug class the PR 2
+crc32-seed fix patched by hand; now it is a gate.
 """
 
 from __future__ import annotations
 
 import ast
 
+from repro.lint.callgraph import ImportMap
 from repro.lint.framework import Checker, Reporter, SourceUnit
 
 _WALLCLOCK = {
@@ -70,38 +75,6 @@ def _dotted(node: ast.AST) -> tuple[str, ...]:
     return ()
 
 
-class _ImportMap:
-    """Local alias -> canonical module path, per file."""
-
-    def __init__(self, tree: ast.Module):
-        self.modules: dict[str, str] = {}
-        self.names: dict[str, tuple[str, str]] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    self.modules[alias.asname or alias.name.split(".")[0]] = (
-                        alias.name
-                    )
-            elif isinstance(node, ast.ImportFrom) and node.module:
-                for alias in node.names:
-                    self.names[alias.asname or alias.name] = (
-                        node.module,
-                        alias.name,
-                    )
-
-    def resolve(self, chain: tuple[str, ...]) -> tuple[str, ...]:
-        """Canonicalize the leading alias of a dotted chain."""
-        if not chain:
-            return chain
-        head = chain[0]
-        if head in self.modules:
-            return tuple(self.modules[head].split(".")) + chain[1:]
-        if head in self.names:
-            module, original = self.names[head]
-            return tuple(module.split(".")) + (original,) + chain[1:]
-        return chain
-
-
 def _has_seed_argument(call: ast.Call) -> bool:
     if call.args:
         return True
@@ -116,14 +89,15 @@ class DeterminismChecker(Checker):
         "or iterate unordered sets"
     )
     scopes = (
-        "core/", "fast/", "memsim/", "persist/", "resilience/", "workloads/",
+        "core/", "fast/", "memsim/", "persist/", "resilience/", "service/",
+        "stack.py", "workloads/",
     )
     #: wallclock is the obs plane's whole job; analysis/harness may talk
     #: to the host.
     exempt_scopes = ("obs/",)
 
     def check(self, unit: SourceUnit, report: Reporter) -> None:
-        imports = _ImportMap(unit.tree)
+        imports = ImportMap(unit.tree)
         for node in ast.walk(unit.tree):
             if isinstance(node, ast.Call):
                 self._check_call(node, imports, report)
@@ -136,7 +110,7 @@ class DeterminismChecker(Checker):
                     self._check_iteration(generator.iter, report)
 
     def _check_call(
-        self, node: ast.Call, imports: _ImportMap, report: Reporter
+        self, node: ast.Call, imports: ImportMap, report: Reporter
     ) -> None:
         chain = imports.resolve(_dotted(node.func))
         if not chain:

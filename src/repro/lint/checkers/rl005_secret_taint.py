@@ -1,0 +1,318 @@
+"""RL005: key material must never reach persistence, telemetry or wire.
+
+The service hands every tenant engine a 48-byte key derived from the
+master ``secret_seed`` (``service.tenant.derive_key``); the engines fan
+that out into AES round keys and MAC/PRF subkeys.  All of it is *key
+material*, and the system's whole security argument assumes it lives
+only in process memory: the journal, checkpoints, metric labels, log
+lines and wire frames are all places an operator (or an attacker with
+the disk) can read.
+
+This checker runs a forward taint analysis over each function's CFG
+(:mod:`repro.lint.flow`), driven by the declarative
+:data:`repro.lint.contracts.TAINT_MODEL`:
+
+* **sources** -- calls to the sanctioned key-derivation functions,
+  parameters and attributes with key-bearing names.  The source-call set
+  is widened project-wide before checking: any function that *returns* a
+  source call's result unsanitized (a wrapper around ``derive_key``) is
+  itself a source, found by fixpoint over the
+  :class:`~repro.lint.callgraph.ProjectIndex`.
+* **propagation** -- through assignment (including tuple unpacking and
+  loop targets), arithmetic, f-strings, containers, slicing, method
+  calls on tainted receivers (``key.hex()`` is still the key) and
+  unknown calls with tainted arguments.  Taint does **not** flow through
+  attribute loads on a tainted object: a supervisor constructed with a
+  secret is tainted as a whole, but ``supervisor.router`` is not key
+  material.
+* **sanitizers** -- the crypto primitives.  Ciphertext, MAC tags,
+  digests and keystream are *designed* to be stored; ``encrypt(key,
+  pt)`` declassifies.  Sizes and type queries reveal no key bits.
+* **sinks** -- persistence (journal/checkpoint/file writes), telemetry
+  (log/metric/trace), and wire (frame encoders); the message says which
+  kind leaked.
+
+Sets are deliberately narrow: a missed source hides a finding, but an
+over-broad one would cry wolf, and a taint gate the tree cannot keep
+clean gets deleted within a month.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.callgraph import ProjectIndex
+from repro.lint.contracts import TAINT_MODEL, TaintModel
+from repro.lint.flow import (
+    Dataflow,
+    FlowNode,
+    build_cfg,
+    dotted_name,
+    functions_of,
+    own_calls,
+)
+from repro.lint.framework import Checker, Reporter, SourceUnit
+
+#: paths where key material legitimately lives (crypto kernels, engine
+#: layers) or that compose them (service, stacks, persistence).
+_SCOPES = (
+    "core/", "crypto/", "fast/", "persist/", "resilience/", "service/",
+    "stack.py",
+)
+
+_SINK_VERBS = {
+    "persistence": "is written durably via",
+    "telemetry": "leaks into logs/metrics via",
+    "wire": "leaves the process via",
+}
+
+
+def _trailing(call: ast.Call) -> str:
+    chain = dotted_name(call.func)
+    return chain[-1] if chain else ""
+
+
+class _Taint:
+    """Expression taint judgement against one dataflow state."""
+
+    def __init__(self, model: TaintModel, sources: frozenset[str]):
+        self.model = model
+        self.sources = sources
+
+    def tainted(self, expr: ast.AST, state: frozenset[str]) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in state
+        if isinstance(expr, ast.Attribute):
+            chain = dotted_name(expr)
+            if chain and ".".join(chain) in state:
+                return True
+            return expr.attr in self.model.source_attrs
+        if isinstance(expr, ast.Call):
+            name = _trailing(expr)
+            if name in self.model.sanitizers:
+                return False
+            if name in self.sources:
+                return True
+            if isinstance(expr.func, ast.Attribute) and self.tainted(
+                expr.func.value, state
+            ):
+                return True  # method on key material stays key material
+            if name[:1].isupper():
+                # Instantiation stores the key; the instance is not key
+                # bytes.  Reads back out (obj.secret_seed) are caught by
+                # the source-attr set, so object-level taint would only
+                # smear onto everything computed *near* the object.
+                return False
+            return any(
+                self.tainted(arg, state)
+                for arg in [*expr.args, *[kw.value for kw in expr.keywords]]
+            )
+        if isinstance(expr, (ast.Lambda, ast.Constant)):
+            return False
+        # generic: BinOp, JoinedStr, containers, Subscript, IfExp, ...
+        return any(
+            self.tainted(child, state)
+            for child in ast.iter_child_nodes(expr)
+            if isinstance(child, ast.expr)
+        )
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    """Assignable names a store-target binds (dotted for attributes;
+    the container for subscript stores: ``d[k] = key`` taints ``d``)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Attribute):
+        chain = dotted_name(target)
+        return [".".join(chain)] if chain else []
+    if isinstance(target, ast.Subscript):
+        return _target_names(target.value)  # container absorbs the value
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for element in target.elts:
+            out.extend(_target_names(element))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def _returns_source(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, sources: set[str]
+) -> bool:
+    """Lexical check: does this function return a source call's result
+    (directly, or via a local assigned from one)?"""
+    source_locals: set[str] = set()
+    returns: list[ast.expr] = []
+    todo: list[ast.AST] = list(node.body)
+    while todo:
+        child = todo.pop(0)
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if isinstance(child, ast.Assign) and isinstance(
+            child.value, ast.Call
+        ):
+            if _trailing(child.value) in sources:
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        source_locals.add(target.id)
+        if isinstance(child, ast.Return) and child.value is not None:
+            returns.append(child.value)
+        todo.extend(ast.iter_child_nodes(child))
+    for value in returns:
+        if isinstance(value, ast.Call) and _trailing(value) in sources:
+            return True
+        if isinstance(value, ast.Name) and value.id in source_locals:
+            return True
+    return False
+
+
+class SecretTaintChecker(Checker):
+    code = "RL005"
+    name = "secret-taint"
+    description = (
+        "key material must never reach persistence, log/metric labels, "
+        "or wire frames"
+    )
+    scopes = _SCOPES
+    needs_project = True
+
+    def __init__(self) -> None:
+        self.model = TAINT_MODEL
+        self._sources: frozenset[str] = self.model.source_calls
+
+    def prepare(self, project: ProjectIndex) -> None:
+        """Widen the source-call set: wrappers returning a source call's
+        result unsanitized are sources too (fixpoint, project-wide)."""
+        sources = set(self.model.source_calls)
+        changed = True
+        while changed:
+            changed = False
+            for info in project.functions.values():
+                if info.name in sources:
+                    continue
+                if _returns_source(info.node, sources):
+                    sources.add(info.name)
+                    changed = True
+        self._sources = frozenset(sources)
+
+    def check(self, unit: SourceUnit, report: Reporter) -> None:
+        judge = _Taint(self.model, self._sources)
+        for func in functions_of(unit.tree):
+            self._check_function(func, judge, report)
+
+    def _check_function(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        judge: _Taint,
+        report: Reporter,
+    ) -> None:
+        entry = frozenset(
+            arg.arg
+            for arg in [
+                *func.args.posonlyargs,
+                *func.args.args,
+                *func.args.kwonlyargs,
+            ]
+            if arg.arg in self.model.source_params
+        )
+        cfg = build_cfg(func)
+
+        def transfer(
+            node: FlowNode, state: frozenset[str]
+        ) -> frozenset[str]:
+            return self._transfer(node.stmt, state, judge)
+
+        def join(a: frozenset[str], b: frozenset[str]) -> frozenset[str]:
+            return a | b
+
+        flow = Dataflow(cfg, transfer, join, entry).solve()
+
+        for node in cfg.statements():
+            state = flow.state_at(node.index)
+            if state is None:
+                continue  # unreachable
+            for call in own_calls(node.stmt):
+                kind = self.model.sink_kind(_trailing(call))
+                if kind is None:
+                    continue
+                for value in [
+                    *call.args,
+                    *[kw.value for kw in call.keywords],
+                ]:
+                    if judge.tainted(value, state):
+                        report(
+                            call,
+                            f"key material ({ast.unparse(value)[:40]}) "
+                            f"{_SINK_VERBS[kind]} "
+                            f"{_trailing(call)}(); keys must stay in "
+                            "process memory",
+                        )
+                        break
+
+    def _transfer(
+        self,
+        stmt: ast.stmt | None,
+        state: frozenset[str],
+        judge: _Taint,
+    ) -> frozenset[str]:
+        if stmt is None:
+            return state
+        names = set(state)
+        if isinstance(stmt, ast.Assign):
+            hot = judge.tainted(stmt.value, state)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, hot, names, state, judge)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            hot = judge.tainted(stmt.value, state)
+            self._bind(stmt.target, stmt.value, hot, names, state, judge)
+        elif isinstance(stmt, ast.AugAssign):
+            hot = judge.tainted(stmt.value, state) or judge.tainted(
+                stmt.target, state
+            )
+            for name in _target_names(stmt.target):
+                (names.add if hot else names.discard)(name)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            hot = judge.tainted(stmt.iter, state)
+            for name in _target_names(stmt.target):
+                (names.add if hot else names.discard)(name)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is None:
+                    continue
+                hot = judge.tainted(item.context_expr, state)
+                for name in _target_names(item.optional_vars):
+                    (names.add if hot else names.discard)(name)
+        return frozenset(names)
+
+    def _bind(
+        self,
+        target: ast.expr,
+        value: ast.expr,
+        hot: bool,
+        names: set[str],
+        state: frozenset[str],
+        judge: _Taint,
+    ) -> None:
+        # element-wise tuple unpacking when shapes line up
+        if isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+            value, (ast.Tuple, ast.List)
+        ):
+            if len(target.elts) == len(value.elts):
+                for sub_t, sub_v in zip(target.elts, value.elts):
+                    self._bind(
+                        sub_t,
+                        sub_v,
+                        judge.tainted(sub_v, state),
+                        names,
+                        state,
+                        judge,
+                    )
+                return
+        for name in _target_names(target):
+            (names.add if hot else names.discard)(name)
+
+
+__all__ = ["SecretTaintChecker"]

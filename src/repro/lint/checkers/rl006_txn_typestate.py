@@ -1,0 +1,245 @@
+"""RL006: durable writes follow the journal's transaction typestate.
+
+DESIGN §9's protocol: every durable mutation is mirrored into an open
+journal transaction (``begin_txn`` ... ``record_data``/``record_meta``
+... ``commit_txn``), the ``commit_txn`` seal is the acknowledgement
+barrier, and an exception mid-transaction must ``abort_txn`` before
+re-raising.  Resilience-plane folds journal through self-sealing
+``append_resilience`` records instead -- the path PR 6's
+quarantine-resurrection bug skipped, resurrecting retired blocks on
+recovery.
+
+Two analyses, both driven by :data:`repro.lint.contracts.TXN_MODEL`:
+
+* **Typestate over the CFG.**  Per *receiver chain* (``self.persist``
+  and a local ``persist`` are tracked separately), each path carries a
+  state in {UNKNOWN, OPEN, CLOSED}; the checker only acts on **must**
+  facts -- a singleton state set.  That discipline is what keeps the
+  engines' guarded idiom (``if self.persist is not None: begin``; later
+  a guarded commit) clean: the join of the guarded and unguarded arms is
+  {OPEN, UNKNOWN}, not a must-OPEN.  Flagged:
+
+  - ``begin_txn`` when a transaction is must-OPEN (double begin);
+  - ``record_data``/``record_meta`` when must-CLOSED (write after seal);
+  - must-OPEN at the normal exit (transaction never sealed);
+  - must-OPEN at the raise exit (no ``except: abort; raise`` protection
+    -- an exception would leak the open transaction).
+
+  Exception edges carry the statement's *post*-state (the protocol calls
+  are atomic transitions), so ``begin; try: ...; except BaseException:
+  abort; raise`` attributes the open state to the handler correctly.
+
+* **The fold rule** (lexical + call graph).  Any function that mutates a
+  quarantine map (``retire``/``apply_retire``/``apply_degrade`` on a
+  receiver mentioning ``quarantine``) must journal: it must call
+  ``append_resilience`` directly or transitively reach it through the
+  :class:`~repro.lint.callgraph.ProjectIndex` (so ``self.
+  _journal_resilience(...)`` counts).  Recovery *replay* applies
+  already-journaled events by design and carries the one documented
+  suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.callgraph import ProjectIndex
+from repro.lint.contracts import TXN_MODEL
+from repro.lint.flow import (
+    EXIT,
+    RAISE_EXIT,
+    Dataflow,
+    FlowNode,
+    build_cfg,
+    calls_in,
+    dotted_name,
+    functions_of,
+    own_calls,
+)
+from repro.lint.framework import Checker, Reporter, SourceUnit
+
+_UNKNOWN = "unknown"
+_OPEN = "open"
+_CLOSED = "closed"
+
+#: dataflow state: frozenset of (receiver, typestate) pairs
+_State = frozenset
+
+_SCOPES = (
+    "core/", "fast/", "memsim/", "persist/", "resilience/", "service/",
+    "stack.py",
+)
+
+
+def _receiver(chain: tuple[str, ...]) -> str:
+    """``("self","persist","begin_txn")`` -> ``"self.persist"``."""
+    return ".".join(chain[:-1])
+
+
+def _states_of(state: _State, receiver: str) -> set[str]:
+    found = {st for recv, st in state if recv == receiver}
+    return found or {_UNKNOWN}
+
+
+class TxnTypestateChecker(Checker):
+    code = "RL006"
+    name = "txn-typestate"
+    description = (
+        "journaled mutations must sit between begin_txn and a seal on "
+        "every path; quarantine folds must be journaled"
+    )
+    scopes = _SCOPES
+    needs_project = True
+
+    def __init__(self) -> None:
+        self.model = TXN_MODEL
+        self._project: ProjectIndex | None = None
+
+    def prepare(self, project: ProjectIndex) -> None:
+        self._project = project
+
+    def check(self, unit: SourceUnit, report: Reporter) -> None:
+        qualnames: dict[int, str] = {}
+        if self._project is not None:
+            for info in self._project.functions.values():
+                if info.unit is unit:
+                    qualnames[id(info.node)] = info.qualname
+        for func in functions_of(unit.tree):
+            self._check_typestate(func, report)
+            self._check_fold_rule(func, qualnames.get(id(func)), report)
+
+    # -- typestate over the CFG ----------------------------------------------
+
+    def _check_typestate(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        report: Reporter,
+    ) -> None:
+        protocol = self.model.begin_calls | self.model.end_calls
+        if not any(
+            chain and chain[-1] in protocol
+            for stmt in func.body
+            for call in calls_in(stmt)
+            for chain in (dotted_name(call.func),)
+        ):
+            return  # no transaction protocol here; nothing to track
+
+        cfg = build_cfg(func)
+
+        def transfer(node: FlowNode, state: _State) -> _State:
+            assert node.stmt is not None
+            pairs = set(state)
+            for call in own_calls(node.stmt):
+                chain = dotted_name(call.func)
+                if not chain:
+                    continue
+                name, recv = chain[-1], _receiver(chain)
+                if name in self.model.begin_calls:
+                    pairs = {p for p in pairs if p[0] != recv}
+                    pairs.add((recv, _OPEN))
+                elif name in self.model.end_calls:
+                    pairs = {p for p in pairs if p[0] != recv}
+                    pairs.add((recv, _CLOSED))
+            return frozenset(pairs)
+
+        def join(a: _State, b: _State) -> _State:
+            return a | b
+
+        flow = Dataflow(cfg, transfer, join, frozenset()).solve()
+
+        begins: dict[str, ast.Call] = {}
+        for node in cfg.statements():
+            state = flow.state_at(node.index)
+            if state is None:
+                continue  # unreachable statement
+            for call in own_calls(node.stmt):
+                chain = dotted_name(call.func)
+                if not chain:
+                    continue
+                name, recv = chain[-1], _receiver(chain)
+                if name in self.model.begin_calls:
+                    begins.setdefault(recv, call)
+                    if _states_of(state, recv) == {_OPEN}:
+                        report(
+                            call,
+                            f"{name}() on {recv or 'the store'} while its "
+                            "transaction is already open on every path "
+                            "(double begin)",
+                        )
+                elif name in self.model.durable_calls:
+                    if _states_of(state, recv) == {_CLOSED}:
+                        report(
+                            call,
+                            f"durable {name}() on {recv or 'the store'} "
+                            "after its transaction was sealed on every "
+                            "path; writes must land between begin_txn "
+                            "and the seal",
+                        )
+
+        for exit_index, what in (
+            (EXIT, "returns"),
+            (RAISE_EXIT, "raises"),
+        ):
+            exit_state = flow.state_at(exit_index)
+            if exit_state is None:
+                continue  # that exit is unreachable
+            for recv, begin_call in begins.items():
+                if _states_of(exit_state, recv) == {_OPEN}:
+                    if exit_index == EXIT:
+                        message = (
+                            f"transaction on {recv or 'the store'} opened "
+                            "here is still open when the function "
+                            f"{what}; seal with commit_txn or abort_txn"
+                        )
+                    else:
+                        message = (
+                            f"exception path leaks the open transaction "
+                            f"on {recv or 'the store'}; wrap the body in "
+                            "try/except BaseException: abort_txn(); raise"
+                        )
+                    report(begin_call, message)
+
+    # -- the fold rule (PR 6 quarantine-resurrection class) --------------------
+
+    def _check_fold_rule(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str | None,
+        report: Reporter,
+    ) -> None:
+        mutations: list[tuple[ast.Call, str]] = []
+        direct_journal = False
+        for stmt in func.body:
+            for call in calls_in(stmt):
+                chain = dotted_name(call.func)
+                if not chain:
+                    continue
+                if chain[-1] in self.model.fold_journal_calls:
+                    direct_journal = True
+                if chain[-1] in self.model.fold_mutations and any(
+                    any(marker in part.lower() for marker in
+                        self.model.fold_receivers)
+                    for part in chain[:-1]
+                ):
+                    mutations.append((call, chain[-1]))
+        if not mutations or direct_journal:
+            return
+        if (
+            qualname is not None
+            and self._project is not None
+            and self._project.reaches(
+                qualname, self.model.fold_journal_calls
+            )
+        ):
+            return
+        for call, name in mutations:
+            report(
+                call,
+                f"quarantine mutation {name}() is never journaled from "
+                "this function; fold events must reach "
+                "append_resilience (directly or via a helper) or "
+                "recovery will resurrect retired blocks",
+            )
+
+
+__all__ = ["TxnTypestateChecker"]

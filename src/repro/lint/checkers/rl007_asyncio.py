@@ -1,0 +1,239 @@
+"""RL007: coroutine hygiene in the service plane.
+
+The service runs one event loop per shard (DESIGN §12); shard-owned
+state is safe to mutate without locks *only because* a coroutine holds
+the loop until it awaits.  That argument fails three ways, each of which
+this checker flags inside ``async def``s under ``service/``, driven by
+:data:`repro.lint.contracts.ASYNC_MODEL`:
+
+* **Blocking calls** -- ``time.sleep``, ``subprocess.*``, synchronous
+  ``pathlib`` file I/O.  One blocking call stalls every tenant on the
+  shard.  Resolution goes through the import map, so ``from time import
+  sleep as pause`` still matches.  The enforced answer is
+  ``asyncio.to_thread`` (or hoisting the I/O out of the async path);
+  startup-time exceptions carry documented suppressions.
+* **Awaits straddling a shard-state mutation sequence.**  Two lexical
+  mutations of the same shard-owned attribute (``tenants``, ``quotas``,
+  ``retired``, ``draining``) with an ``await`` between them mean another
+  request can observe -- or race -- the half-applied update.  The check
+  is lexical (source order within one coroutine), which is exactly the
+  reviewer's squint it automates.
+* **Swallowed cancellation** -- an ``except`` that catches
+  ``CancelledError`` (explicitly, via ``BaseException``, or bare) and
+  does not re-raise, or ``contextlib.suppress`` listing it.  Swallowing
+  cancellation turns shard drain/shutdown into a hang.  Plain ``except
+  Exception`` is fine: since 3.8 it does not catch ``CancelledError``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import ImportMap
+from repro.lint.contracts import ASYNC_MODEL
+from repro.lint.flow import dotted_name
+from repro.lint.framework import Checker, Reporter, SourceUnit
+
+#: method names that mutate a set/dict shard attribute in place
+_MUTATORS = frozenset({
+    "add", "append", "clear", "discard", "extend", "pop", "popitem",
+    "remove", "setdefault", "update",
+})
+
+
+def _own_nodes(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Every AST node belonging to this coroutine body, nested
+    function/class bodies excluded (they run on their own schedule)."""
+    todo: list[ast.AST] = list(func.body)
+    while todo:
+        node = todo.pop(0)
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    """Trailing names of the exception types one handler catches
+    ([""] for a bare ``except``)."""
+    if handler.type is None:
+        return [""]
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    out = []
+    for node in types:
+        chain = dotted_name(node)
+        out.append(chain[-1] if chain else "")
+    return out
+
+
+class AsyncSafetyChecker(Checker):
+    code = "RL007"
+    name = "asyncio-safety"
+    description = (
+        "service coroutines must not block the loop, straddle shard-state "
+        "mutations across awaits, or swallow cancellation"
+    )
+    scopes = ("service/",)
+
+    def __init__(self) -> None:
+        self.model = ASYNC_MODEL
+
+    def check(self, unit: SourceUnit, report: Reporter) -> None:
+        imports = ImportMap(unit.tree)
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                self._check_coroutine(node, imports, report)
+
+    def _check_coroutine(
+        self,
+        func: ast.AsyncFunctionDef,
+        imports: ImportMap,
+        report: Reporter,
+    ) -> None:
+        events: list[tuple[int, int, str, ast.AST]] = []
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Call):
+                self._check_call(node, imports, report)
+                attr = self._call_mutates(node)
+                if attr is not None:
+                    events.append(
+                        (node.lineno, node.col_offset, attr, node)
+                    )
+            elif isinstance(node, ast.Await):
+                events.append((node.lineno, node.col_offset, "", node))
+            elif isinstance(node, (ast.Attribute, ast.Subscript)):
+                attr = self._store_mutates(node)
+                if attr is not None:
+                    events.append(
+                        (node.lineno, node.col_offset, attr, node)
+                    )
+            elif isinstance(node, ast.Try):
+                self._check_handlers(node, report)
+        self._check_straddle(events, report)
+
+    # -- blocking calls -------------------------------------------------------
+
+    def _check_call(
+        self, call: ast.Call, imports: ImportMap, report: Reporter
+    ) -> None:
+        chain = imports.resolve(dotted_name(call.func))
+        if not chain:
+            return
+        if tuple(chain[-2:]) in self.model.blocking_calls:
+            report(
+                call,
+                f"blocking call {'.'.join(chain)}() in a coroutine "
+                "stalls every tenant on this shard; use the asyncio "
+                "equivalent or asyncio.to_thread",
+            )
+            return
+        if len(chain) >= 2 and chain[-1] in self.model.blocking_methods:
+            report(
+                call,
+                f"synchronous file I/O {'.'.join(chain[-2:])}() in a "
+                "coroutine; hoist it out of the async path or wrap in "
+                "asyncio.to_thread",
+            )
+            return
+        if chain[-1] == "suppress" and any(
+            dotted_name(arg)
+            and dotted_name(arg)[-1] in self.model.must_propagate
+            for arg in call.args
+        ):
+            report(
+                call,
+                "contextlib.suppress of CancelledError silences "
+                "cancellation; shard drain would hang -- let it "
+                "propagate",
+            )
+
+    # -- shard-state mutations straddling awaits ------------------------------
+
+    def _call_mutates(self, call: ast.Call) -> str | None:
+        chain = dotted_name(call.func)
+        if len(chain) >= 2 and chain[-1] in _MUTATORS:
+            for part in chain[:-1]:
+                if part in self.model.shard_state_attrs:
+                    return part
+        return None
+
+    def _store_mutates(
+        self, node: ast.Attribute | ast.Subscript
+    ) -> str | None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            target = (
+                node.value if isinstance(node, ast.Subscript) else node
+            )
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in self.model.shard_state_attrs
+            ):
+                return target.attr
+        return None
+
+    def _check_straddle(
+        self,
+        events: list[tuple[int, int, str, ast.AST]],
+        report: Reporter,
+    ) -> None:
+        awaited_since: dict[str, bool] = {}
+        for _line, _col, attr, node in sorted(
+            events, key=lambda e: (e[0], e[1])
+        ):
+            if attr == "":  # an await suspends every pending sequence
+                for key in awaited_since:
+                    awaited_since[key] = True
+            elif awaited_since.get(attr):
+                report(
+                    node,
+                    f"mutation of shard-owned '{attr}' straddles an "
+                    "await: interleaved requests can observe the "
+                    "half-applied update; finish the mutation before "
+                    "suspending",
+                )
+                awaited_since[attr] = False
+            else:
+                awaited_since[attr] = False
+
+    # -- swallowed cancellation -----------------------------------------------
+
+    def _check_handlers(self, node: ast.Try, report: Reporter) -> None:
+        for handler in node.handlers:
+            caught = _caught_names(handler)
+            if not any(
+                name in self.model.must_propagate
+                or name in ("", "BaseException")
+                for name in caught
+            ):
+                continue
+            reraises = False
+            todo: list[ast.AST] = list(handler.body)
+            while todo:
+                child = todo.pop(0)
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                if isinstance(child, ast.Raise):
+                    reraises = True
+                    break
+                todo.extend(ast.iter_child_nodes(child))
+            if not reraises:
+                report(
+                    handler,
+                    "except clause catches CancelledError without "
+                    "re-raising; swallowed cancellation turns shard "
+                    "drain/shutdown into a hang",
+                )
+
+
+__all__ = ["AsyncSafetyChecker"]

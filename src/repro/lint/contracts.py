@@ -279,6 +279,169 @@ IDENTIFIER_WIDTHS: dict[str, int] = {
 }
 
 
+# -- flow-contract tables (RL005-RL007) ---------------------------------------
+#
+# The flow-aware checkers are driven by the same philosophy as the bit
+# tables above: one declarative model, checkers that only interpret it.
+# Everything here is a *name* set -- the analyses are intentionally
+# name-based (the AST has no types), and every set below errs on the
+# side the checker can afford: source sets narrow (miss a source ->
+# miss a finding, never a false alarm), sanitizer sets narrow (an
+# unlisted declassifier -> a finding to fix or document, never silence).
+
+
+@dataclass(frozen=True)
+class TaintModel:
+    """Sources, sinks and sanitizers of the RL005 secret-taint checker.
+
+    *Key material* is anything derived from a tenant or engine secret:
+    the service's per-tenant 48-byte keys, AES round keys, MAC/PRF
+    subkeys, the master ``secret_seed``.  It may flow through crypto
+    primitives (whose outputs -- ciphertext, MAC tags, digests -- are
+    *designed* to be stored) but must never itself reach persistence,
+    log/metric labels, or wire frames.
+    """
+
+    #: calls whose return value IS key material (the sanctioned
+    #: key-derivation functions; RL005 widens this set project-wide to
+    #: any function that returns one of these results unsanitized)
+    source_calls: frozenset[str]
+    #: parameter names that carry key material into a function
+    source_params: frozenset[str]
+    #: attribute names that hold key material on an object
+    source_attrs: frozenset[str]
+    #: calls that *declassify*: their output is safe to store even when
+    #: an argument is key material (ciphertext, tags, digests, sizes)
+    sanitizers: frozenset[str]
+    #: method/function names whose arguments become durable state
+    persistence_sinks: frozenset[str]
+    #: names whose arguments end up in logs, metric names, traces
+    telemetry_sinks: frozenset[str]
+    #: names whose arguments leave the process on the wire
+    wire_sinks: frozenset[str]
+
+    def sink_kind(self, name: str) -> str | None:
+        if name in self.persistence_sinks:
+            return "persistence"
+        if name in self.telemetry_sinks:
+            return "telemetry"
+        if name in self.wire_sinks:
+            return "wire"
+        return None
+
+
+TAINT_MODEL = TaintModel(
+    source_calls=frozenset({
+        "derive_key",      # service.tenant: the per-tenant 48-byte key
+        "expand_key",      # crypto.aes: AES round keys
+        "key_schedule",
+        "derive_subkeys",  # MAC/PRF subkey derivation
+        "split_key",
+    }),
+    source_params=frozenset({
+        "key", "aes_key", "mac_key", "tree_key", "prf_key", "master_key",
+        "round_keys", "subkeys", "secret_seed",
+    }),
+    source_attrs=frozenset({
+        "aes_key", "mac_key", "tree_key", "prf_key", "master_key",
+        "round_keys", "secret_seed", "_key", "_aes_key", "_mac_key",
+        "_tree_key",
+    }),
+    sanitizers=frozenset({
+        # crypto primitives: their outputs are designed to be stored
+        "encrypt", "decrypt", "encrypt_block", "decrypt_block",
+        "keystream", "keystream_block", "keystream_blocks", "tag", "mac",
+        "digest", "hexdigest", "prf",
+        # size/shape/identity queries reveal no key bits
+        "len", "bool", "isinstance", "type", "id", "range",
+    }),
+    persistence_sinks=frozenset({
+        "record_data", "record_meta", "append_resilience",
+        "journal_append", "checkpoint_write", "write_checkpoint",
+        "write_text", "write_bytes", "write_state", "dump", "dumps",
+    }),
+    telemetry_sinks=frozenset({
+        "counter", "gauge", "histogram", "log", "info", "warning",
+        "error", "debug", "exception", "print", "observe",
+    }),
+    wire_sinks=frozenset({
+        "encode_frame", "write_frame", "to_response",
+    }),
+)
+
+
+@dataclass(frozen=True)
+class TxnModel:
+    """The durable-write typestate protocol RL006 enforces.
+
+    The protocol (DESIGN §9): every durable mutation is mirrored into an
+    open journal transaction, and the ``commit_txn`` seal is the
+    acknowledgement barrier.  Resilience-plane folds journal through
+    self-sealing ``append_resilience`` records instead.
+    """
+
+    #: call opening a transaction (CLOSED -> OPEN)
+    begin_calls: frozenset[str]
+    #: calls sealing/discarding one (OPEN -> CLOSED)
+    end_calls: frozenset[str]
+    #: durable mutations legal only while a transaction is open
+    durable_calls: frozenset[str]
+    #: quarantine-map mutations that must be journaled on every path
+    #: (the PR 6 quarantine-resurrection bug class)
+    fold_mutations: frozenset[str]
+    #: receiver chains fold mutations are matched against
+    fold_receivers: frozenset[str]
+    #: journaling calls that satisfy the fold rule (directly, or
+    #: transitively through the call graph)
+    fold_journal_calls: frozenset[str]
+
+
+TXN_MODEL = TxnModel(
+    begin_calls=frozenset({"begin_txn"}),
+    end_calls=frozenset({"commit_txn", "abort_txn"}),
+    durable_calls=frozenset({"record_data", "record_meta"}),
+    fold_mutations=frozenset({"retire", "apply_retire", "apply_degrade"}),
+    fold_receivers=frozenset({"quarantine"}),
+    fold_journal_calls=frozenset({"append_resilience"}),
+)
+
+
+@dataclass(frozen=True)
+class AsyncModel:
+    """What RL007 considers unsafe inside ``service/`` coroutines."""
+
+    #: dotted calls that block the event loop outright
+    blocking_calls: frozenset[tuple[str, ...]]
+    #: method names that do synchronous file I/O on their receiver
+    blocking_methods: frozenset[str]
+    #: attributes naming shard-owned state; mutations of one of these
+    #: must not straddle an ``await`` (one-event-loop-per-shard
+    #: serialization, DESIGN §12)
+    shard_state_attrs: frozenset[str]
+    #: exception names that must never be swallowed in a coroutine
+    must_propagate: frozenset[str]
+
+
+ASYNC_MODEL = AsyncModel(
+    blocking_calls=frozenset({
+        ("time", "sleep"),
+        ("subprocess", "run"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+        ("os", "system"),
+        ("socket", "create_connection"),
+    }),
+    blocking_methods=frozenset({
+        "read_text", "write_text", "read_bytes", "write_bytes",
+        "mkdir", "unlink", "touch", "rename", "rmdir",
+    }),
+    shard_state_attrs=frozenset({
+        "tenants", "quotas", "retired", "draining",
+    }),
+    must_propagate=frozenset({"CancelledError"}),
+)
+
+
 def validate() -> None:
     """Check every derived relation between the constants.
 
@@ -313,6 +476,12 @@ validate()
 
 __all__ = [
     "ADDRESS_BITS",
+    "ASYNC_MODEL",
+    "AsyncModel",
+    "TAINT_MODEL",
+    "TXN_MODEL",
+    "TaintModel",
+    "TxnModel",
     "BASE_DELTA_BITS",
     "BLOCK_BYTES",
     "BitField",

@@ -1,0 +1,371 @@
+"""Intraprocedural control-flow graphs and a worklist dataflow solver.
+
+This is the engine under the flow-aware checkers (RL005 secret-taint,
+RL006 durable-write typestate).  It is deliberately small and concrete:
+
+* :func:`build_cfg` turns one ``ast.FunctionDef`` / ``AsyncFunctionDef``
+  into a :class:`CFG` whose nodes are *statements* (not basic blocks --
+  at lint granularity the simplicity is worth more than the constant
+  factor).  Three synthetic nodes exist in every graph: ``ENTRY``,
+  ``EXIT`` (normal return / fall-off-the-end) and ``RAISE_EXIT``
+  (exception escaping the function).  Keeping the two exits apart lets
+  the typestate checker say *which kind* of path leaks an open
+  transaction.
+* Every statement that can raise carries an **exception edge** to the
+  innermost enclosing handler (or ``RAISE_EXIT``).  Exception edges
+  propagate the statement's *post*-state: the txn-protocol calls the
+  typestate checker cares about (``begin``/``commit``/``abort``) are
+  atomic transitions, and assuming completion on the throwing edge is
+  what keeps the guarded ``begin/try/except BaseException: abort; raise``
+  idiom in ``core.engine.secure_memory``/``fast.batch_memory`` clean.
+* :class:`Dataflow` is a forward worklist solver over any join
+  semilattice the caller supplies as plain callables.  Analyses built on
+  it here are *may*-analyses over small sets (tainted names, txn states),
+  so fixpoints are a handful of iterations.
+
+``try/finally`` is approximated: the finally suite is built once and its
+exit fans out to the normal successor *and* both synthetic exits, rather
+than being duplicated per continuation.  That merges states across
+continuations -- sound for the may-analyses used here, and the checkers
+only act on *must* facts (singleton state sets), so the merge can hide a
+finding but never invent one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Hashable, Iterator, TypeVar
+
+ENTRY = 0
+EXIT = 1
+RAISE_EXIT = 2
+
+#: statements that can never raise and therefore carry no exception edge
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+
+@dataclass
+class FlowNode:
+    """One CFG node: a statement, or a synthetic entry/exit."""
+
+    index: int
+    stmt: ast.stmt | None
+    succ: list[int] = field(default_factory=list)
+    #: exception-edge successors (post-state propagates along these)
+    exc: list[int] = field(default_factory=list)
+
+    @property
+    def synthetic(self) -> bool:
+        return self.stmt is None
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    nodes: list[FlowNode] = field(default_factory=list)
+
+    def node(self, index: int) -> FlowNode:
+        return self.nodes[index]
+
+    def statements(self) -> Iterator[FlowNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def predecessors(self) -> dict[int, list[tuple[int, bool]]]:
+        """index -> [(pred_index, is_exception_edge), ...]."""
+        preds: dict[int, list[tuple[int, bool]]] = {
+            n.index: [] for n in self.nodes
+        }
+        for node in self.nodes:
+            for succ in node.succ:
+                preds[succ].append((node.index, False))
+            for succ in node.exc:
+                preds[succ].append((node.index, True))
+        return preds
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.cfg = CFG(func=func)
+        for index in (ENTRY, EXIT, RAISE_EXIT):
+            self.cfg.nodes.append(FlowNode(index=index, stmt=None))
+
+    def _new(self, stmt: ast.stmt) -> FlowNode:
+        node = FlowNode(index=len(self.cfg.nodes), stmt=stmt)
+        self.cfg.nodes.append(node)
+        return node
+
+    # ``handler`` is where a raise inside the current region lands;
+    # ``break_to``/``continue_to`` are loop targets (None outside loops).
+    def seq(
+        self,
+        stmts: list[ast.stmt],
+        succ: int,
+        handler: int,
+        break_to: int | None,
+        continue_to: int | None,
+    ) -> int:
+        """Wire a statement sequence; returns its entry node index."""
+        entry = succ
+        for stmt in reversed(stmts):
+            entry = self.one(stmt, entry, handler, break_to, continue_to)
+        return entry
+
+    def one(
+        self,
+        stmt: ast.stmt,
+        succ: int,
+        handler: int,
+        break_to: int | None,
+        continue_to: int | None,
+    ) -> int:
+        node = self._new(stmt)
+        raises = not isinstance(stmt, _NO_RAISE)
+
+        if isinstance(stmt, (ast.If,)):
+            body = self.seq(stmt.body, succ, handler, break_to, continue_to)
+            orelse = self.seq(
+                stmt.orelse, succ, handler, break_to, continue_to
+            )
+            node.succ = [body, orelse]
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            orelse = self.seq(
+                stmt.orelse, succ, handler, break_to, continue_to
+            )
+            body = self.seq(stmt.body, node.index, handler, succ, node.index)
+            node.succ = [body, orelse]
+        elif isinstance(stmt, ast.Try):
+            after = succ
+            if stmt.finalbody:
+                # The finally suite is built once; a synthetic join after
+                # it fans out to the normal successor and both exits so
+                # states arriving on exceptional/return continuations
+                # are not lost (see module docstring).
+                join = self._synthetic([after, EXIT, RAISE_EXIT])
+                after = self.seq(
+                    stmt.finalbody, join, handler, break_to, continue_to
+                )
+            handler_entries = [
+                self.seq(clause.body, after, handler, break_to, continue_to)
+                for clause in stmt.handlers
+            ]
+            # A raise in the body dispatches to every handler and -- no
+            # handler may match -- onward to the enclosing handler,
+            # through the finally suite when present.
+            escape = after if stmt.finalbody else handler
+            dispatch = self._synthetic(
+                handler_entries + [escape]
+                if handler_entries
+                else [escape]
+            )
+            orelse_entry = self.seq(
+                stmt.orelse, after, dispatch, break_to, continue_to
+            )
+            body_entry = self.seq(
+                stmt.body, orelse_entry, dispatch, break_to, continue_to
+            )
+            node.succ = [body_entry]
+            raises = False
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body = self.seq(stmt.body, succ, handler, break_to, continue_to)
+            node.succ = [body]
+        elif isinstance(stmt, ast.Return):
+            node.succ = [EXIT]
+        elif isinstance(stmt, ast.Raise):
+            node.succ = [handler]
+            raises = False
+        elif isinstance(stmt, ast.Break):
+            node.succ = [break_to if break_to is not None else succ]
+        elif isinstance(stmt, ast.Continue):
+            node.succ = [continue_to if continue_to is not None else succ]
+        else:
+            node.succ = [succ]
+
+        if raises:
+            node.exc = [handler]
+        return node.index
+
+    def _synthetic(self, targets: list[int]) -> int:
+        """Synthetic fan-out/join point (exception dispatch, finally)."""
+        deduped = list(dict.fromkeys(targets))
+        if len(deduped) == 1:
+            return deduped[0]
+        node = FlowNode(index=len(self.cfg.nodes), stmt=None)
+        self.cfg.nodes.append(node)
+        node.succ = deduped
+        return node.index
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the statement-level CFG of one function body."""
+    builder = _Builder(func)
+    entry = builder.seq(
+        func.body, EXIT, RAISE_EXIT, break_to=None, continue_to=None
+    )
+    builder.cfg.node(ENTRY).succ = [entry]
+    return builder.cfg
+
+
+S = TypeVar("S", bound=Hashable)
+
+
+class Dataflow(Generic[S]):
+    """Forward worklist solver over a join semilattice.
+
+    ``transfer(node, state)`` returns the post-state of executing one
+    statement; ``join(a, b)`` merges states at control-flow merges.
+    Exception edges propagate the post-state (see module docstring).
+    States must be hashable (use ``frozenset`` for set lattices).
+    """
+
+    def __init__(
+        self,
+        cfg: CFG,
+        transfer: Callable[[FlowNode, S], S],
+        join: Callable[[S, S], S],
+        entry_state: S,
+    ) -> None:
+        self.cfg = cfg
+        self.transfer = transfer
+        self.join = join
+        self.entry_state = entry_state
+        self.in_states: dict[int, S] = {}
+        self.out_states: dict[int, S] = {}
+
+    def solve(self, max_iterations: int = 10000) -> "Dataflow[S]":
+        preds = self.cfg.predecessors()
+        self.in_states = {ENTRY: self.entry_state}
+        self.out_states = {ENTRY: self.entry_state}
+        work = list(self.cfg.node(ENTRY).succ)
+        iterations = 0
+        while work:
+            iterations += 1
+            if iterations > max_iterations:  # pragma: no cover - backstop
+                raise RuntimeError("dataflow did not converge")
+            index = work.pop()
+            node = self.cfg.node(index)
+            incoming: S | None = None
+            for pred, _is_exc in preds[index]:
+                state = self.out_states.get(pred)
+                if state is None:
+                    continue
+                incoming = (
+                    state
+                    if incoming is None
+                    else self.join(incoming, state)
+                )
+            if incoming is None:
+                continue
+            out = (
+                incoming
+                if node.stmt is None
+                else self.transfer(node, incoming)
+            )
+            changed = (
+                index not in self.in_states
+                or self.in_states[index] != incoming
+                or self.out_states.get(index) != out
+            )
+            self.in_states[index] = incoming
+            self.out_states[index] = out
+            if changed:
+                for succ in node.succ:
+                    work.append(succ)
+                for succ in node.exc:
+                    work.append(succ)
+        return self
+
+    def state_at(self, index: int) -> S | None:
+        """In-state of a node (None when unreachable)."""
+        return self.in_states.get(index)
+
+
+def functions_of(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in a module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def calls_in(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Every call expression inside one statement, in source order.
+
+    Nested function/class definitions are opaque: their bodies execute
+    at call time, not where they appear, so their calls are excluded.
+    """
+    todo: list[ast.AST] = [stmt]
+    while todo:
+        node = todo.pop(0)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def own_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Calls evaluated by the statement *itself* at its CFG node.
+
+    Compound statements contribute only their header expressions (the
+    ``if``/``while`` test, the ``for`` iterable, the context managers):
+    their suites are separate CFG nodes, and attributing suite calls to
+    the header would double-count them with the wrong dataflow state.
+    """
+    headers: list[ast.expr]
+    if isinstance(stmt, (ast.If, ast.While)):
+        headers = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        headers = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        headers = [item.context_expr for item in stmt.items]
+    elif isinstance(
+        stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        headers = []
+    else:
+        yield from calls_in(stmt)
+        return
+    for header in headers:
+        todo: list[ast.AST] = [header]
+        while todo:
+            node = todo.pop(0)
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            todo.extend(ast.iter_child_nodes(node))
+
+
+def dotted_name(node: ast.AST) -> tuple[str, ...]:
+    """Attribute chain as a name tuple (``a.b.c`` -> ("a","b","c"));
+    empty when the expression is not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return tuple(parts)
+    return ()
+
+
+__all__ = [
+    "CFG",
+    "Dataflow",
+    "ENTRY",
+    "EXIT",
+    "FlowNode",
+    "RAISE_EXIT",
+    "build_cfg",
+    "calls_in",
+    "dotted_name",
+    "functions_of",
+    "own_calls",
+]

@@ -25,7 +25,7 @@ from __future__ import annotations
 import ast
 import pathlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.lint.baseline import Baseline
 from repro.lint.diagnostics import Diagnostic, Severity, Suppressions
@@ -89,6 +89,9 @@ class Checker:
     scopes: tuple[str, ...] = ()
     #: ``subpath`` prefixes explicitly exempted (wins over ``scopes``).
     exempt_scopes: tuple[str, ...] = ()
+    #: flow-aware checkers set this to receive the project-wide
+    #: :class:`~repro.lint.callgraph.ProjectIndex` via :meth:`prepare`.
+    needs_project = False
 
     def applies_to(self, subpath: str) -> bool:
         if any(subpath.startswith(p) for p in self.exempt_scopes):
@@ -96,6 +99,15 @@ class Checker:
         if not self.scopes:
             return True
         return any(subpath.startswith(p) for p in self.scopes)
+
+    def prepare(self, project: Any) -> None:
+        """Receive the project index (``needs_project`` checkers only).
+
+        Runs once per lint drive, over the index of *every* unit --
+        including units outside this checker's scopes, so symbol
+        resolution and call-graph queries see the whole program even
+        when judgement is scoped (or narrowed by ``--changed``).
+        """
 
     def collect(self, unit: SourceUnit) -> None:
         """Cross-file fact gathering; runs on every unit first."""
@@ -173,12 +185,24 @@ def load_units(
 
 
 def lint_units(
-    units: Sequence[SourceUnit], checkers: Sequence[Checker]
+    units: Sequence[SourceUnit],
+    checkers: Sequence[Checker],
+    check_only: set[str] | None = None,
 ) -> tuple[list[Diagnostic], int]:
-    """Two-phase drive: collect over all units, then check.
+    """Three-phase drive: prepare, collect over all units, then check.
 
+    ``check_only`` (resolved absolute posix paths) narrows the *check*
+    phase -- the prepare/collect phases always see every unit, so the
+    flow-aware checkers' symbol tables stay whole under ``--changed``.
     Returns (surviving diagnostics, count suppressed inline).
     """
+    if any(checker.needs_project for checker in checkers):
+        from repro.lint.callgraph import ProjectIndex
+
+        project = ProjectIndex.build(units)
+        for checker in checkers:
+            if checker.needs_project:
+                checker.prepare(project)
     for checker in checkers:
         for unit in units:
             if checker.applies_to(unit.subpath):
@@ -187,6 +211,8 @@ def lint_units(
     diagnostics: list[Diagnostic] = []
     suppressed = 0
     for unit in units:
+        if check_only is not None and _resolved(unit.path) not in check_only:
+            continue
         for checker in checkers:
             if not checker.applies_to(unit.subpath):
                 continue
@@ -220,19 +246,38 @@ def lint_units(
     return diagnostics, suppressed
 
 
+def _resolved(path: str) -> str:
+    return pathlib.Path(path).resolve().as_posix()
+
+
 def run_lint(
     paths: Sequence[str | pathlib.Path],
     checkers: Sequence[Checker] | None = None,
     baseline: Baseline | None = None,
+    check_only: Sequence[str | pathlib.Path] | None = None,
 ) -> LintResult:
-    """Lint files/directories and return the full result."""
+    """Lint files/directories and return the full result.
+
+    ``check_only`` restricts which files produce findings (``--changed``
+    mode); discovery, parsing and cross-file fact gathering still cover
+    every file under ``paths``.
+    """
     if checkers is None:
         from repro.lint.checkers import default_checkers
 
         checkers = default_checkers()
     files = discover_files(paths)
     units, parse_errors = load_units(files)
-    diagnostics, suppressed = lint_units(units, checkers)
+    only = (
+        {_resolved(str(p)) for p in check_only}
+        if check_only is not None
+        else None
+    )
+    if only is not None:
+        parse_errors = [
+            e for e in parse_errors if _resolved(e.path) in only
+        ]
+    diagnostics, suppressed = lint_units(units, checkers, check_only=only)
     result = LintResult(
         diagnostics=diagnostics,
         suppressed=suppressed,

@@ -305,10 +305,16 @@ class ResilientMemory:
                 if payload.get("errlog"):
                     self.log.restore_state(payload["errlog"])
             elif event == "retire":
+                # Recovery replays records the journal already holds;
+                # re-journaling here would double every fold on each
+                # crash/restart cycle.
+                # repro-lint: disable=RL006
                 self.quarantine.apply_retire(
                     payload["logical"], payload["physical"], payload["spare"]
                 )
             elif event == "degrade":
+                # Same: replay of an already-journaled degrade.
+                # repro-lint: disable=RL006
                 self.quarantine.apply_degrade(payload["logical"])
         self._g_spares.set(self.quarantine.spares_remaining)
 

@@ -396,6 +396,7 @@ class Shard:
             while True:
                 try:
                     request = await read_frame(reader)
+                # repro-lint: disable=RL007
                 except (
                     asyncio.CancelledError,
                     asyncio.IncompleteReadError,
@@ -412,6 +413,7 @@ class Shard:
             writer.close()
             # CancelledError included: loop teardown must not surface a
             # "exception never retrieved" from a half-closed transport.
+            # repro-lint: disable=RL007
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
@@ -420,6 +422,9 @@ class Shard:
         proto_path = self.router.socket_path(self.shard_index)
         http_path = self.router.http_socket_path(self.shard_index)
         for path in (proto_path, http_path):
+            # Startup, before any client can connect: unlinking a stale
+            # socket path is sub-millisecond and nothing else runs yet.
+            # repro-lint: disable=RL007
             path.unlink(missing_ok=True)
         server = await asyncio.start_unix_server(
             self._handle_conn, path=str(proto_path)
@@ -433,6 +438,8 @@ class Shard:
             await server.wait_closed()
             await http_server.wait_closed()
             for path in (proto_path, http_path):
+                # Teardown mirror of the startup unlink above.
+                # repro-lint: disable=RL007
                 path.unlink(missing_ok=True)
 
 
@@ -510,6 +517,8 @@ class ServiceSupervisor:
 
     def wait_ready(self, timeout: float = 10.0) -> None:
         """Block until every live shard accepts protocol connections."""
+        # Supervisor readiness deadline: host process, real time.
+        # repro-lint: disable=RL002
         deadline = time.monotonic() + timeout
         for shard in self.router.shards():
             path = self.router.socket_path(shard)
@@ -521,6 +530,7 @@ class ServiceSupervisor:
                         f"shard {shard} died before becoming ready",
                         shard=shard,
                     )
+                # repro-lint: disable=RL002
                 if time.monotonic() > deadline:
                     raise ShardUnavailable(
                         f"shard {shard} not ready within {timeout}s",
@@ -542,9 +552,12 @@ class ServiceSupervisor:
             raise ValueError(f"shard {shard} is still running")
         self._m_restarts.inc()
         self._spawn(shard)
+        # Restart deadline: host process, real time.
+        # repro-lint: disable=RL002
         deadline = time.monotonic() + timeout
         path = self.router.socket_path(shard)
         while not _socket_accepts(path):
+            # repro-lint: disable=RL002
             if time.monotonic() > deadline:
                 raise ShardUnavailable(
                     f"restarted shard {shard} not ready within {timeout}s",
@@ -651,11 +664,14 @@ class ServiceClient:
         of the same (address, data) pair, so re-sending after an
         ambiguous failure converges to the same durable state.
         """
+        # Retry deadline against a real restarting process.
+        # repro-lint: disable=RL002
         stop_at = time.monotonic() + deadline
         while True:
             try:
                 return await self.request(payload, shard=shard)
             except ShardUnavailable:
+                # repro-lint: disable=RL002
                 if time.monotonic() > stop_at:
                     raise
                 await asyncio.sleep(interval)

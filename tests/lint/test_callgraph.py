@@ -1,0 +1,121 @@
+"""Project-wide symbol table, call resolution and reachability."""
+
+from repro.lint.callgraph import ImportMap, ProjectIndex, module_name_of
+from repro.lint.framework import SourceUnit
+
+import ast
+
+
+def unit(source, subpath):
+    return SourceUnit.from_source(source, path=subpath, subpath=subpath)
+
+
+class TestModuleNames:
+    def test_package_path(self):
+        assert module_name_of("core/engine/units.py") == (
+            "repro.core.engine.units"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name_of("service/__init__.py") == "repro.service"
+
+    def test_bare_fixture_keeps_stem(self):
+        assert module_name_of("fixture.py") == "fixture"
+
+
+class TestImportMap:
+    def test_aliased_module(self):
+        imap = ImportMap(ast.parse("import numpy as np\n"))
+        assert imap.resolve(("np", "zeros")) == ("numpy", "zeros")
+
+    def test_from_import_alias(self):
+        imap = ImportMap(
+            ast.parse("from time import sleep as pause\n")
+        )
+        assert imap.resolve(("pause",)) == ("time", "sleep")
+
+    def test_unknown_head_passes_through(self):
+        imap = ImportMap(ast.parse("x = 1\n"))
+        assert imap.resolve(("self", "persist")) == ("self", "persist")
+
+
+class TestProjectIndex:
+    def test_collects_functions_and_methods(self):
+        index = ProjectIndex.build([
+            unit(
+                "def helper():\n    pass\n"
+                "class Engine:\n"
+                "    def write(self):\n        pass\n",
+                "core/engine.py",
+            )
+        ])
+        assert "repro.core.engine.helper" in index.functions
+        assert "repro.core.engine.Engine.write" in index.functions
+
+    def test_self_call_resolves_within_class(self):
+        index = ProjectIndex.build([
+            unit(
+                "class Engine:\n"
+                "    def write(self):\n"
+                "        self.journal()\n"
+                "    def journal(self):\n"
+                "        pass\n",
+                "core/engine.py",
+            )
+        ])
+        info = index.functions["repro.core.engine.Engine.write"]
+        (call,) = info.calls
+        assert call.targets == ("repro.core.engine.Engine.journal",)
+
+    def test_cross_module_import_resolves_exactly(self):
+        index = ProjectIndex.build([
+            unit("def derive():\n    pass\n", "crypto/keys.py"),
+            unit(
+                "from repro.crypto.keys import derive\n"
+                "def use():\n    derive()\n",
+                "service/tenant.py",
+            ),
+        ])
+        info = index.functions["repro.service.tenant.use"]
+        (call,) = info.calls
+        assert call.targets == ("repro.crypto.keys.derive",)
+
+    def test_by_name_fallback_is_may_edge(self):
+        index = ProjectIndex.build([
+            unit("class Q:\n    def fold(self):\n        pass\n",
+                 "resilience/quarantine.py"),
+            unit("def run(q):\n    q.fold()\n", "resilience/runtime.py"),
+        ])
+        info = index.functions["repro.resilience.runtime.run"]
+        (call,) = info.calls
+        assert call.targets == ("repro.resilience.quarantine.Q.fold",)
+
+    def test_reaches_is_transitive(self):
+        index = ProjectIndex.build([
+            unit(
+                "class R:\n"
+                "    def fold(self):\n"
+                "        self.note()\n"
+                "    def note(self):\n"
+                "        self.persist.append_resilience()\n",
+                "resilience/runtime.py",
+            )
+        ])
+        assert index.reaches(
+            "repro.resilience.runtime.R.fold", {"append_resilience"}
+        )
+        assert not index.reaches(
+            "repro.resilience.runtime.R.fold", {"begin_txn"}
+        )
+
+    def test_reaches_respects_depth_limit(self):
+        chain = "\n".join(
+            f"def f{i}():\n    f{i + 1}()" for i in range(10)
+        ) + "\ndef f10():\n    target()\n"
+        index = ProjectIndex.build([unit(chain, "core/chain.py")])
+        assert not index.reaches(
+            "repro.core.chain.f0", {"target"}, max_depth=3
+        )
+        assert index.reaches(
+            "repro.core.chain.f0", {"target"}, max_depth=12
+        )

@@ -1,0 +1,109 @@
+"""``--changed`` mode: narrowed judgement over whole-program analysis."""
+
+import json
+import pathlib
+import subprocess
+
+from repro.cli import _changed_files
+from repro.lint import REPORT_SCHEMA, render_json, run_lint
+
+DIRTY = "x = value >> 30\n"  # one RL001 finding
+
+
+def _write_tree(tmp_path):
+    root = tmp_path / "repro" / "core"
+    root.mkdir(parents=True)
+    a = root / "alpha.py"
+    b = root / "beta.py"
+    a.write_text(DIRTY)
+    b.write_text(DIRTY)
+    return a, b
+
+
+class TestCheckOnly:
+    def test_judgement_narrows_to_selected_files(self, tmp_path):
+        a, b = _write_tree(tmp_path)
+        full = run_lint([tmp_path])
+        assert len(full.diagnostics) == 2
+
+        narrowed = run_lint([tmp_path], check_only=[a])
+        assert len(narrowed.diagnostics) == 1
+        assert narrowed.diagnostics[0].path.endswith("alpha.py")
+        # discovery/collect still covered both files
+        assert narrowed.files_checked == 2
+
+    def test_cross_file_facts_survive_narrowing(self, tmp_path):
+        # RL005's widening must see the *unchanged* wrapper module even
+        # when only the leaking module is up for judgement.
+        root = tmp_path / "repro" / "service"
+        root.mkdir(parents=True)
+        keys = root / "keys.py"
+        keys.write_text(
+            "from repro.service.tenant import derive_key\n"
+            "def tenant_key(seed, tid):\n"
+            "    return derive_key(seed, tid)\n"
+        )
+        manifest = root / "manifest.py"
+        manifest.write_text(
+            "from repro.service.keys import tenant_key\n"
+            "def leak(store, seed, tid):\n"
+            "    store.write_state(tenant_key(seed, tid))\n"
+        )
+        narrowed = run_lint([tmp_path], check_only=[manifest])
+        assert [d.code for d in narrowed.diagnostics] == ["RL005"]
+
+    def test_empty_selection_reports_nothing(self, tmp_path):
+        _write_tree(tmp_path)
+        result = run_lint([tmp_path], check_only=[])
+        assert result.diagnostics == []
+
+
+class TestGitChangedFiles:
+    def _git(self, *argv, cwd):
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+            cwd=cwd, check=True, capture_output=True,
+        )
+
+    def test_diff_plus_untracked(self, tmp_path, monkeypatch):
+        self._git("init", "-q", cwd=tmp_path)
+        tracked = tmp_path / "tracked.py"
+        tracked.write_text("a = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        self._git("add", ".", cwd=tmp_path)
+        self._git("commit", "-q", "-m", "seed", cwd=tmp_path)
+
+        tracked.write_text("a = 2\n")
+        fresh = tmp_path / "fresh.py"
+        fresh.write_text("b = 1\n")
+
+        monkeypatch.chdir(tmp_path)
+        changed = _changed_files("HEAD")
+        assert changed is not None
+        names = {pathlib.Path(p).name for p in changed}
+        assert names == {"tracked.py", "fresh.py"}
+
+    def test_unavailable_git_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # not a repository
+        assert _changed_files("HEAD") is None
+
+
+class TestJsonReport:
+    def test_new_codes_render_under_schema(self, tmp_path):
+        root = tmp_path / "repro" / "service"
+        root.mkdir(parents=True)
+        (root / "fixture.py").write_text(
+            "import time\n"
+            "async def handle(persist, key):\n"
+            "    time.sleep(0.1)\n"
+            "    persist.record_meta(0, key)\n"
+        )
+        payload = json.loads(render_json(run_lint([tmp_path])))
+        assert payload["schema"] == REPORT_SCHEMA
+        codes = {f["code"] for f in payload["findings"]}
+        assert codes == {"RL005", "RL007"}
+        for finding in payload["findings"]:
+            assert {"path", "line", "code", "message", "severity"} <= set(
+                finding
+            )
+        assert payload["summary"]["errors"] == len(payload["findings"])

@@ -1,0 +1,184 @@
+"""CFG construction and the worklist dataflow solver."""
+
+import ast
+
+from repro.lint.flow import (
+    ENTRY,
+    EXIT,
+    RAISE_EXIT,
+    Dataflow,
+    build_cfg,
+    calls_in,
+    dotted_name,
+    own_calls,
+)
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def assigned_names(source):
+    """Toy may-analysis: the set of names possibly assigned on some
+    path reaching each point; returns the sets at both exits."""
+    cfg = cfg_of(source)
+
+    def transfer(node, state):
+        names = set(state)
+        if isinstance(node.stmt, ast.Assign):
+            for target in node.stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return frozenset(names)
+
+    flow = Dataflow(
+        cfg, transfer, lambda a, b: a | b, frozenset()
+    ).solve()
+    return flow.state_at(EXIT), flow.state_at(RAISE_EXIT)
+
+
+class TestCfgShape:
+    def test_linear_body_chains_to_exit(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+        stmts = list(cfg.statements())
+        assert len(stmts) == 2
+        # built in reverse: last statement falls through to EXIT
+        assert any(EXIT in node.succ for node in stmts)
+        assert cfg.node(ENTRY).succ  # entry wired to the first statement
+
+    def test_return_goes_to_exit(self):
+        cfg = cfg_of("def f():\n    return 1\n")
+        (node,) = cfg.statements()
+        assert node.succ == [EXIT]
+
+    def test_raise_goes_to_raise_exit(self):
+        cfg = cfg_of("def f():\n    raise ValueError()\n")
+        (node,) = cfg.statements()
+        assert node.succ == [RAISE_EXIT]
+
+    def test_if_has_two_successors(self):
+        cfg = cfg_of("def f(x):\n    if x:\n        a = 1\n    b = 2\n")
+        branch = next(
+            n for n in cfg.statements() if isinstance(n.stmt, ast.If)
+        )
+        assert len(branch.succ) == 2
+
+    def test_while_loops_back(self):
+        cfg = cfg_of("def f(x):\n    while x:\n        x = step(x)\n")
+        header = next(
+            n for n in cfg.statements() if isinstance(n.stmt, ast.While)
+        )
+        body = next(
+            n for n in cfg.statements() if isinstance(n.stmt, ast.Assign)
+        )
+        assert header.index in body.succ  # back edge
+
+    def test_statements_carry_exception_edges(self):
+        cfg = cfg_of("def f():\n    a = risky()\n")
+        (node,) = cfg.statements()
+        assert node.exc == [RAISE_EXIT]
+
+    def test_try_body_raise_lands_in_handler(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a = risky()\n"
+            "    except ValueError:\n"
+            "        b = 1\n"
+        )
+        body = next(
+            n
+            for n in cfg.statements()
+            if isinstance(n.stmt, ast.Assign)
+            and n.stmt.targets[0].id == "a"
+        )
+        assert body.exc and body.exc != [RAISE_EXIT]
+
+
+class TestDataflow:
+    def test_branch_join_is_union(self):
+        at_exit, _ = assigned_names(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+        )
+        assert at_exit == {"a", "b"}
+
+    def test_loop_reaches_fixpoint(self):
+        at_exit, _ = assigned_names(
+            "def f(x):\n"
+            "    while x:\n"
+            "        a = 1\n"
+            "        x = advance(x)\n"
+        )
+        assert at_exit == {"a", "x"}
+
+    def test_exception_edge_carries_post_state(self):
+        # `a = 1` cannot raise *after* completing, but `b = risky()` can
+        # -- and its exception edge carries the post-state, so `a` (and
+        # optimistically `b`) reach RAISE_EXIT.
+        _, at_raise = assigned_names(
+            "def f():\n"
+            "    a = 1\n"
+            "    b = risky()\n"
+        )
+        assert at_raise is not None and "a" in at_raise
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of("def f():\n    return 1\n    a = dead()\n")
+        flow = Dataflow(
+            cfg,
+            lambda node, state: state,
+            lambda a, b: a | b,
+            frozenset(),
+        ).solve()
+        dead = next(
+            n for n in cfg.statements() if isinstance(n.stmt, ast.Assign)
+        )
+        assert flow.state_at(dead.index) is None
+
+    def test_finally_runs_on_both_continuations(self):
+        at_exit, at_raise = assigned_names(
+            "def f():\n"
+            "    try:\n"
+            "        a = risky()\n"
+            "    finally:\n"
+            "        fin = 1\n"
+        )
+        assert "fin" in at_exit
+        assert "fin" in at_raise
+
+
+class TestCallHelpers:
+    def test_calls_in_covers_nested_suites(self):
+        stmt = ast.parse(
+            "if cond():\n    inner()\n"
+        ).body[0]
+        names = [dotted_name(c.func)[-1] for c in calls_in(stmt)]
+        assert sorted(names) == ["cond", "inner"]
+
+    def test_own_calls_sees_only_the_header(self):
+        stmt = ast.parse(
+            "if cond():\n    inner()\n"
+        ).body[0]
+        names = [dotted_name(c.func)[-1] for c in own_calls(stmt)]
+        assert names == ["cond"]
+
+    def test_calls_in_skips_nested_defs(self):
+        stmt = ast.parse(
+            "def g():\n    hidden()\n"
+        ).body[0]
+        assert list(calls_in(stmt)) == []
+
+    def test_dotted_name_of_chain(self):
+        expr = ast.parse("a.b.c").body[0].value
+        assert dotted_name(expr) == ("a", "b", "c")
+
+    def test_dotted_name_of_impure_chain_is_empty(self):
+        expr = ast.parse("f().b").body[0].value
+        assert dotted_name(expr) == ()

@@ -73,6 +73,8 @@ class TestCheckerFactory:
         # runs would leak view fields between unrelated lint calls.
         first = default_checkers()
         second = default_checkers()
-        assert {c.code for c in first} == {"RL001", "RL002", "RL003", "RL004"}
+        assert {c.code for c in first} == {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        }
         for a, b in zip(first, second):
             assert a is not b

@@ -1,0 +1,163 @@
+"""RL005 secret-taint: key material vs persistence/telemetry/wire."""
+
+from repro.lint import lint_text
+from repro.lint.checkers.rl005_secret_taint import SecretTaintChecker
+from repro.lint.framework import SourceUnit, lint_units
+
+
+def findings(source, subpath="service/fixture.py"):
+    return lint_text(source, [SecretTaintChecker()], subpath=subpath)
+
+
+class TestPersistenceLeaks:
+    def test_tenant_key_into_filestore_record(self):
+        # The ISSUE's acceptance fixture: a tenant key written into a
+        # durable store record.
+        out = findings(
+            "from repro.service.tenant import derive_key\n"
+            "class Manifest:\n"
+            "    def provision(self, store, secret_seed, tenant_id):\n"
+            "        key = derive_key(secret_seed, tenant_id)\n"
+            "        record = {'tenant': tenant_id, 'key': key.hex()}\n"
+            "        store.write_state(record)\n"
+        )
+        assert len(out) == 1
+        assert out[0].code == "RL005"
+        assert "written durably" in out[0].message
+
+    def test_key_param_into_journal(self):
+        out = findings(
+            "def stash(persist, key):\n"
+            "    persist.record_meta(0, key)\n"
+        )
+        assert len(out) == 1
+
+    def test_key_attr_into_journal(self):
+        out = findings(
+            "class Engine:\n"
+            "    def snapshot(self):\n"
+            "        self.persist.record_data(0, self.mac_key)\n"
+        )
+        assert len(out) == 1
+
+    def test_sliced_key_is_still_key(self):
+        out = findings(
+            "def stash(persist, key):\n"
+            "    persist.record_data(0, key[:16])\n"
+        )
+        assert len(out) == 1
+
+
+class TestTelemetryAndWire:
+    def test_key_into_log_line(self):
+        out = findings(
+            "def debug(log, mac_key):\n"
+            "    log.info(f'key is {mac_key.hex()}')\n"
+        )
+        assert len(out) == 1
+        assert "logs/metrics" in out[0].message
+
+    def test_key_into_wire_frame(self):
+        out = findings(
+            "def reply(key):\n"
+            "    return encode_frame({'key': key})\n"
+        )
+        assert len(out) == 1
+        assert "leaves the process" in out[0].message
+
+
+class TestSanitizersAndNonLeaks:
+    def test_ciphertext_is_declassified(self):
+        assert findings(
+            "from repro.service.tenant import derive_key\n"
+            "def provision(store, secret_seed, tenant_id, data):\n"
+            "    key = derive_key(secret_seed, tenant_id)\n"
+            "    ct = encrypt(key, data)\n"
+            "    store.write_state({'tenant': tenant_id, 'blob': ct})\n"
+        ) == []
+
+    def test_key_length_is_not_a_leak(self):
+        assert findings(
+            "def check(log, key):\n"
+            "    log.info(f'key is {len(key)} bytes')\n"
+        ) == []
+
+    def test_attribute_load_on_tainted_object_is_clean(self):
+        # an attribute read off key material is not itself key bytes
+        # (unless its name is in the source-attr set)
+        assert findings(
+            "def show(key):\n"
+            "    meta = key.origin\n"
+            "    print(meta)\n"
+        ) == []
+
+    def test_instantiation_does_not_taint_the_instance(self):
+        assert findings(
+            "def run(secret_seed, out):\n"
+            "    sup = Supervisor(secret_seed=secret_seed)\n"
+            "    results = drive(sup)\n"
+            "    out.write_text(dumps(results))\n"
+        ) == []
+
+    def test_reassignment_clears_taint(self):
+        assert findings(
+            "def reuse(persist, key):\n"
+            "    key = b'public'\n"
+            "    persist.record_data(0, key)\n"
+        ) == []
+
+    def test_out_of_scope_paths_are_ignored(self):
+        assert findings(
+            "def stash(persist, key):\n"
+            "    persist.record_meta(0, key)\n",
+            subpath="harness/fixture.py",
+        ) == []
+
+
+class TestWidening:
+    def test_wrapper_returning_key_is_a_source(self):
+        out = findings(
+            "from repro.service.tenant import derive_key\n"
+            "def tenant_key(seed, tid):\n"
+            "    return derive_key(seed, tid)\n"
+            "def leak(store, seed, tid):\n"
+            "    store.write_state(tenant_key(seed, tid))\n"
+        )
+        assert len(out) == 1
+
+    def test_widening_spans_units(self):
+        units = [
+            SourceUnit.from_source(
+                "from repro.service.tenant import derive_key\n"
+                "def tenant_key(seed, tid):\n"
+                "    k = derive_key(seed, tid)\n"
+                "    return k\n",
+                path="service/keys.py",
+                subpath="service/keys.py",
+            ),
+            SourceUnit.from_source(
+                "from repro.service.keys import tenant_key\n"
+                "def leak(store, seed, tid):\n"
+                "    store.write_state(tenant_key(seed, tid))\n",
+                path="service/manifest.py",
+                subpath="service/manifest.py",
+            ),
+        ]
+        diags, _ = lint_units(units, [SecretTaintChecker()])
+        assert len(diags) == 1
+        assert diags[0].path == "service/manifest.py"
+
+
+class TestSuppression:
+    def test_inline_suppression_round_trip(self):
+        source = (
+            "def stash(persist, key):\n"
+            "    # repro-lint: disable=RL005\n"
+            "    persist.record_meta(0, key)\n"
+        )
+        unit = SourceUnit.from_source(
+            source, path="service/fixture.py", subpath="service/fixture.py"
+        )
+        diags, suppressed = lint_units([unit], [SecretTaintChecker()])
+        assert diags == []
+        assert suppressed == 1

@@ -1,0 +1,155 @@
+"""RL006 durable-write typestate and the quarantine fold rule."""
+
+from repro.lint import lint_text
+from repro.lint.checkers.rl006_txn_typestate import TxnTypestateChecker
+from repro.lint.framework import SourceUnit, lint_units
+
+
+def findings(source, subpath="fast/fixture.py"):
+    return lint_text(source, [TxnTypestateChecker()], subpath=subpath)
+
+
+class TestTypestate:
+    def test_clean_group_commit_idiom(self):
+        # mirror of fast.batch_memory.flush
+        assert findings(
+            "def flush(persist, writes):\n"
+            "    persist.begin_txn()\n"
+            "    try:\n"
+            "        for addr, data in writes:\n"
+            "            persist.record_data(addr, data)\n"
+            "    except BaseException:\n"
+            "        persist.abort_txn()\n"
+            "        raise\n"
+            "    persist.commit_txn(label='flush')\n"
+        ) == []
+
+    def test_clean_guarded_idiom(self):
+        # mirror of core.engine.secure_memory.write: begin/seal both
+        # guarded; the path join is {OPEN, UNKNOWN}, never must-OPEN
+        assert findings(
+            "class Engine:\n"
+            "    def write(self, addr, data):\n"
+            "        if self.persist is not None:\n"
+            "            self.persist.begin_txn()\n"
+            "        try:\n"
+            "            self._store(addr, data)\n"
+            "        except BaseException:\n"
+            "            if self.persist is not None:\n"
+            "                self.persist.abort_txn()\n"
+            "            raise\n"
+            "        if self.persist is not None:\n"
+            "            self.persist.commit_txn(label='write')\n"
+        ) == []
+
+    def test_missing_seal_flags_both_exits(self):
+        out = findings(
+            "def leaky(persist, writes):\n"
+            "    persist.begin_txn()\n"
+            "    for addr, data in writes:\n"
+            "        persist.record_data(addr, data)\n"
+        )
+        messages = " | ".join(d.message for d in out)
+        assert len(out) == 2
+        assert "still open when the function returns" in messages
+        assert "exception path leaks" in messages
+
+    def test_double_begin_flagged(self):
+        out = findings(
+            "def twice(persist):\n"
+            "    persist.begin_txn()\n"
+            "    persist.begin_txn()\n"
+        )
+        assert any("double begin" in d.message for d in out)
+
+    def test_durable_write_after_seal_flagged(self):
+        out = findings(
+            "def late(persist, addr, data):\n"
+            "    persist.begin_txn()\n"
+            "    persist.commit_txn(label='x')\n"
+            "    persist.record_data(addr, data)\n"
+        )
+        assert len(out) == 1
+        assert "after its transaction was sealed" in out[0].message
+
+    def test_unguarded_write_without_txn_is_not_flagged(self):
+        # entry state is UNKNOWN: callers may hold the transaction open
+        # (mirror of secure_memory._store_block behind `in_txn` guards)
+        assert findings(
+            "def store(persist, addr, data):\n"
+            "    persist.record_data(addr, data)\n"
+        ) == []
+
+    def test_receivers_tracked_separately(self):
+        assert findings(
+            "def two(a, b):\n"
+            "    a.begin_txn()\n"
+            "    b.begin_txn()\n"
+            "    a.commit_txn(label='a')\n"
+            "    b.commit_txn(label='b')\n"
+        ) == []
+
+
+class TestFoldRule:
+    def test_pr6_resilience_fold_bug_is_caught(self):
+        # The ISSUE's acceptance fixture: the PR 6 quarantine-
+        # resurrection recovery bug -- a durable fold mutation with no
+        # journaled record, so recovery resurrects the retired block.
+        out = findings(
+            "class Runtime:\n"
+            "    def fold(self, logical, physical, spare):\n"
+            "        self.quarantine.retire(logical, physical, spare)\n"
+            "        self.memory.remap(logical, physical)\n",
+            subpath="resilience/runtime.py",
+        )
+        assert len(out) == 1
+        assert out[0].code == "RL006"
+        assert "never journaled" in out[0].message
+
+    def test_direct_journal_satisfies_the_rule(self):
+        assert findings(
+            "class Runtime:\n"
+            "    def fold(self, logical, physical, spare):\n"
+            "        self.quarantine.retire(logical, physical, spare)\n"
+            "        self.persist.append_resilience('retire', {})\n",
+            subpath="resilience/runtime.py",
+        ) == []
+
+    def test_journaling_helper_satisfies_via_call_graph(self):
+        assert findings(
+            "class Runtime:\n"
+            "    def fold(self, logical, physical, spare):\n"
+            "        self.quarantine.retire(logical, physical, spare)\n"
+            "        self._journal('retire', {})\n"
+            "    def _journal(self, event, payload):\n"
+            "        self.persist.append_resilience(event, payload)\n",
+            subpath="resilience/runtime.py",
+        ) == []
+
+    def test_non_quarantine_retire_is_out_of_scope(self):
+        # tenant lifecycle retire() has nothing to do with the fold rule
+        assert findings(
+            "class Shard:\n"
+            "    def drop(self, tid):\n"
+            "        self.tenants[tid].retire()\n",
+            subpath="service/server.py",
+        ) == []
+
+
+class TestSuppression:
+    def test_inline_suppression_round_trip(self):
+        source = (
+            "class Runtime:\n"
+            "    def replay(self, logical):\n"
+            "        # recovery replay of an already-journaled fold\n"
+            "        # repro-lint: disable=RL006\n"
+            "        self.quarantine.apply_retire(logical, 0, 0)\n"
+        )
+        unit = SourceUnit.from_source(
+            source,
+            path="resilience/fixture.py",
+            subpath="resilience/fixture.py",
+        )
+        diags, suppressed = lint_units([unit], [TxnTypestateChecker()])
+        assert diags == []
+        assert suppressed == 1

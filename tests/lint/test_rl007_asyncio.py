@@ -1,0 +1,173 @@
+"""RL007 asyncio-safety: blocking calls, straddled mutations, cancellation."""
+
+from repro.lint import lint_text
+from repro.lint.checkers.rl007_asyncio import AsyncSafetyChecker
+from repro.lint.framework import SourceUnit, lint_units
+
+
+def findings(source, subpath="service/fixture.py"):
+    return lint_text(source, [AsyncSafetyChecker()], subpath=subpath)
+
+
+class TestBlockingCalls:
+    def test_time_sleep_in_coroutine(self):
+        out = findings(
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert len(out) == 1
+        assert "blocking call time.sleep()" in out[0].message
+
+    def test_aliased_import_still_matches(self):
+        out = findings(
+            "from time import sleep as pause\n"
+            "async def handle():\n"
+            "    pause(0.1)\n"
+        )
+        assert len(out) == 1
+
+    def test_sync_file_io_in_coroutine(self):
+        out = findings(
+            "async def dump(path, blob):\n"
+            "    path.write_bytes(blob)\n"
+        )
+        assert len(out) == 1
+        assert "synchronous file I/O" in out[0].message
+
+    def test_sync_function_may_block(self):
+        # only coroutines hold the shard loop; plain defs are fine
+        assert findings(
+            "import time\n"
+            "def wait():\n"
+            "    time.sleep(0.1)\n"
+        ) == []
+
+    def test_asyncio_sleep_is_fine(self):
+        assert findings(
+            "import asyncio\n"
+            "async def handle():\n"
+            "    await asyncio.sleep(0.1)\n"
+        ) == []
+
+    def test_to_thread_reference_is_not_a_call(self):
+        assert findings(
+            "import asyncio\n"
+            "async def dump(path, blob):\n"
+            "    await asyncio.to_thread(path.write_bytes, blob)\n"
+        ) == []
+
+    def test_only_service_paths_in_scope(self):
+        assert findings(
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(0.1)\n",
+            subpath="harness/fixture.py",
+        ) == []
+
+
+class TestStraddledMutations:
+    def test_mutation_await_mutation_flagged(self):
+        out = findings(
+            "async def move(self, req):\n"
+            "    self.tenants[req.tid] = 1\n"
+            "    await self.flush()\n"
+            "    self.tenants.pop(req.tid)\n"
+        )
+        assert len(out) == 1
+        assert "straddles an await" in out[0].message
+
+    def test_grouped_mutations_then_await_are_fine(self):
+        assert findings(
+            "async def move(self, req):\n"
+            "    self.tenants[req.tid] = 1\n"
+            "    self.tenants.pop(req.old)\n"
+            "    await self.flush()\n"
+        ) == []
+
+    def test_different_attrs_do_not_interfere(self):
+        assert findings(
+            "async def move(self, req):\n"
+            "    self.tenants[req.tid] = 1\n"
+            "    await self.flush()\n"
+            "    self.quotas[req.tid] = 2\n"
+        ) == []
+
+    def test_non_shard_state_is_ignored(self):
+        assert findings(
+            "async def move(self, req):\n"
+            "    self.cache[req.tid] = 1\n"
+            "    await self.flush()\n"
+            "    self.cache.pop(req.tid)\n"
+        ) == []
+
+
+class TestSwallowedCancellation:
+    def test_except_cancelled_without_reraise(self):
+        out = findings(
+            "import asyncio\n"
+            "async def run(self):\n"
+            "    try:\n"
+            "        await self.step()\n"
+            "    except asyncio.CancelledError:\n"
+            "        pass\n"
+        )
+        assert len(out) == 1
+        assert "without re-raising" in out[0].message
+
+    def test_reraise_is_fine(self):
+        assert findings(
+            "import asyncio\n"
+            "async def run(self):\n"
+            "    try:\n"
+            "        await self.step()\n"
+            "    except asyncio.CancelledError:\n"
+            "        self.cleanup()\n"
+            "        raise\n"
+        ) == []
+
+    def test_bare_except_flagged(self):
+        out = findings(
+            "async def run(self):\n"
+            "    try:\n"
+            "        await self.step()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        assert len(out) == 1
+
+    def test_except_exception_is_fine(self):
+        # since 3.8, Exception does not catch CancelledError
+        assert findings(
+            "async def run(self):\n"
+            "    try:\n"
+            "        await self.step()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        ) == []
+
+    def test_contextlib_suppress_flagged(self):
+        out = findings(
+            "import asyncio, contextlib\n"
+            "async def run(self):\n"
+            "    with contextlib.suppress(asyncio.CancelledError):\n"
+            "        await self.step()\n"
+        )
+        assert len(out) == 1
+        assert "suppress" in out[0].message
+
+
+class TestSuppression:
+    def test_inline_suppression_round_trip(self):
+        source = (
+            "async def serve(path):\n"
+            "    # startup, before any client can connect\n"
+            "    # repro-lint: disable=RL007\n"
+            "    path.unlink(missing_ok=True)\n"
+        )
+        unit = SourceUnit.from_source(
+            source, path="service/fixture.py", subpath="service/fixture.py"
+        )
+        diags, suppressed = lint_units([unit], [AsyncSafetyChecker()])
+        assert diags == []
+        assert suppressed == 1
