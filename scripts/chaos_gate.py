@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Acceptance gate for a ``repro chaos`` campaign payload.
+
+Usage::
+
+    python scripts/chaos_gate.py [BENCH_chaos.json]
+
+``repro chaos --json-out BENCH_chaos.json`` records what one campaign
+(disk faults x shard kill x induced overload x deadline probes)
+actually observed; this gate turns that record into a red/green build.
+Every check is a claim the resilience layer makes in DESIGN.md:
+
+* **zero silent corruption** -- ``sdc_blocks == 0`` and
+  ``inline_mismatches == 0``: no acknowledged write ever read back as
+  a value outside its candidate set;
+* **every refusal typed** -- no ``internal`` error code anywhere: an
+  untyped refusal is a bug escaping as a 500;
+* **circuit breaker cycled** -- it opened under the shard kill,
+  admitted a half-open probe, and re-closed (all three transition
+  counters >= 1): the breaker recovered, it did not just trip;
+* **overload shed** -- the burst saw >= 1 typed ``Overloaded``
+  refusal: the dispatch queue is genuinely bounded;
+* **deadlines enforced** -- >= 1 ``deadline_ms = 0`` probe came back
+  ``deadline_exceeded``: expiry is checked before dispatch;
+* **degraded mode reached and survivable** -- the victim tenant ended
+  the campaign refusing writes (typed ``degraded``) while still
+  serving reads;
+* **kill + restart happened** -- both chaos events are in the record;
+* **bounded retry amplification** -- total client frame sends <= 3x
+  logical operations: backoff + breaker keep the retry tax bounded
+  even while a shard is down, instead of hammering the socket in a
+  hot loop.
+
+Stdlib only; exits non-zero listing every violated claim.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+MAX_AMPLIFICATION = 3.0
+EXPECTED_SCHEMA = "repro.service.chaos/1"
+
+
+def check(payload: dict) -> list[str]:
+    """Every acceptance violation in ``payload`` (empty = pass)."""
+    failures: list[str] = []
+    if payload.get("schema") != EXPECTED_SCHEMA:
+        failures.append(
+            f"schema is {payload.get('schema')!r}, "
+            f"expected {EXPECTED_SCHEMA!r}"
+        )
+        return failures
+    results = payload.get("results", {})
+
+    if results.get("sdc_blocks", 1) != 0:
+        failures.append(
+            f"silent corruption: sdc_blocks = {results.get('sdc_blocks')}"
+        )
+    if results.get("inline_mismatches", 1) != 0:
+        failures.append(
+            "silent corruption: inline_mismatches = "
+            f"{results.get('inline_mismatches')}"
+        )
+    if results.get("verified_blocks", 0) < 1:
+        failures.append("no blocks verified: the campaign proved nothing")
+
+    refusals = results.get("refusals", {})
+    if refusals.get("internal", 0) != 0:
+        failures.append(
+            f"{refusals['internal']} untyped 'internal' refusal(s)"
+        )
+
+    breaker = results.get("breaker", {})
+    for transition in ("opened", "half_open", "closed"):
+        if breaker.get(transition, 0) < 1:
+            failures.append(
+                f"breaker never {transition}: the open -> half-open -> "
+                "closed recovery cycle was not observed"
+            )
+
+    overload = results.get("overload", {})
+    if overload.get("shed", 0) < 1:
+        failures.append(
+            "overload burst was never shed: the dispatch queue bound "
+            "did not engage"
+        )
+
+    deadline = results.get("deadline", {})
+    if deadline.get("refused", 0) < 1:
+        failures.append(
+            "no deadline_ms=0 probe came back deadline_exceeded"
+        )
+
+    degraded = results.get("degraded", {})
+    if not degraded.get("write_refused", False):
+        failures.append(
+            f"victim tenant {degraded.get('tenant')!r} did not refuse "
+            "the post-campaign write (degraded mode not reached or not "
+            "enforced)"
+        )
+    if not degraded.get("read_ok", False):
+        failures.append(
+            f"victim tenant {degraded.get('tenant')!r} refused a read: "
+            "degraded mode must stay readable"
+        )
+
+    actions = {event.get("action") for event in results.get("kill_events", [])}
+    for action in ("kill", "restart"):
+        if action not in actions:
+            failures.append(f"chaos {action} event missing from the record")
+
+    client = results.get("client", {})
+    amplification = client.get("amplification", None)
+    if amplification is None:
+        failures.append("no retry-amplification measurement recorded")
+    elif amplification > MAX_AMPLIFICATION:
+        failures.append(
+            f"retry amplification {amplification}x exceeds the "
+            f"{MAX_AMPLIFICATION}x ceiling ({client.get('sends')} sends "
+            f"/ {results.get('logical_ops')} logical ops)"
+        )
+
+    if not payload.get("all_verified", False):
+        failures.append("payload's own all_verified flag is false")
+    return failures
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = pathlib.Path(argv[0] if argv else "BENCH_chaos.json")
+    if not path.exists():
+        print(f"chaos_gate: FAIL: {path} not found "
+              "(run `repro chaos --json-out` first)", file=sys.stderr)
+        return 1
+    payload = json.loads(path.read_text())
+    failures = check(payload)
+    results = payload.get("results", {})
+    print(
+        f"chaos_gate: {path}: acked={results.get('acked_ops')} "
+        f"verified={results.get('verified_blocks')} "
+        f"sdc={results.get('sdc_blocks')} "
+        f"refusals={sorted(results.get('refusals', {}).items())} "
+        f"amplification={results.get('client', {}).get('amplification')}x"
+    )
+    for failure in failures:
+        print(f"chaos_gate: FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("chaos_gate: PASS: every resilience claim held")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ which is exactly how correctness-critical code rots.  Floors:
 
 * ``repro.crypto``     >= 90% lines
 * ``repro.core``       >= 90% lines
+* ``repro.faultfs``    >= 85% lines
 * ``repro.persist``    >= 85% lines
 * ``repro.resilience`` >= 85% lines
 * ``repro.service``    >= 85% lines
@@ -37,6 +38,7 @@ import xml.etree.ElementTree as ET
 FLOORS = {
     "repro/crypto/": 0.90,
     "repro/core/": 0.90,
+    "repro/faultfs/": 0.85,
     "repro/persist/": 0.85,
     "repro/resilience/": 0.85,
     "repro/service/": 0.85,

@@ -65,6 +65,7 @@ from repro.resilience.campaign import FaultCampaign, default_models
 from repro.resilience.recovery import RetryPolicy
 from repro.resilience.runtime import ResilientMemory
 from repro.resilience.torture import TortureSpec, run_torture
+from repro.service.chaos import ChaosSpec, run_chaos
 from repro.service.loadgen import LoadgenSpec, run_loadgen
 from repro.service.quota import QuotaConfig
 from repro.service.server import ServiceSupervisor
@@ -577,6 +578,75 @@ def _cmd_loadgen(args) -> int:
     return 0 if payload["all_verified"] else 1
 
 
+def _cmd_chaos(args) -> int:
+    spec = ChaosSpec(
+        tenants=args.tenants,
+        shards=args.shards,
+        ops_per_tenant=args.ops,
+        region_kb=args.region_kb,
+        preset=args.preset,
+        seed=args.seed,
+        secret_seed=args.secret_seed,
+        fault_rate=args.fault_rate,
+        boost_rate=args.boost_rate,
+        degraded_after=args.degraded_after,
+        max_queue_depth=args.queue_depth,
+        kill_shard=args.kill_shard,
+        overload_probes=args.overload_probes,
+        deadline_probes=args.deadline_probes,
+    )
+    if args.root:
+        payload = run_chaos(spec, args.root, out_path=args.json_out)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+            payload = run_chaos(spec, root, out_path=args.json_out)
+    results = payload["results"]
+    refusal_rows = [
+        [code, count]
+        for code, count in sorted(results["refusals"].items())
+    ]
+    print(
+        format_table(
+            f"Chaos campaign ({spec.tenants} tenants x {spec.shards} "
+            f"shards, kill shard {spec.kill_shard}, victim "
+            f"{payload['config']['victim_tenant']})",
+            ["refusal code", "count"],
+            refusal_rows or [["(none)", 0]],
+        )
+    )
+    breaker = results["breaker"]
+    overload = results["overload"]
+    deadline = results["deadline"]
+    degraded = results["degraded"]
+    print(
+        f"\nacked: {results['acked_ops']}   "
+        f"verified blocks: {results['verified_blocks']}   "
+        f"SDC: {results['sdc_blocks']}   "
+        f"ambiguous ok: {results['ambiguous_ok_blocks']}\n"
+        f"breaker: opened={breaker['opened']} "
+        f"half_open={breaker['half_open']} closed={breaker['closed']}   "
+        f"overload shed: {overload['shed']}/{overload['probes']}   "
+        f"deadline refused: {deadline['refused']}/{deadline['sent']}\n"
+        f"degraded tenant {degraded['tenant']}: "
+        f"write_refused={degraded['write_refused']} "
+        f"read_ok={degraded['read_ok']}   "
+        f"retry amplification: {results['client']['amplification']}x "
+        f"({results['client']['sends']} sends / "
+        f"{results['logical_ops']} logical ops)\n"
+        f"all_verified: {payload['all_verified']}"
+    )
+    if args.json_out:
+        print(f"wrote chaos bench payload to {args.json_out}",
+              file=sys.stderr)
+    if args.health_out:
+        pathlib.Path(args.health_out).write_text(
+            json.dumps(payload["health"], indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote /health snapshots to {args.health_out}",
+              file=sys.stderr)
+    return 0 if payload["all_verified"] else 1
+
+
 def _cmd_trace(args) -> int:
     app = _resolve_profile(args.app)
     records = app.trace(
@@ -850,6 +920,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json-out", metavar="FILE", default=None,
                    help="write the BENCH_service payload as JSON")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "chaos",
+        help="full-surface resilience campaign: disk faults x shard "
+             "kill x induced overload x deadline probes, verified "
+             "against an ambiguity-aware shadow (zero SDC, every "
+             "refusal typed)",
+    )
+    p.add_argument("--root", default=None,
+                   help="service root (default: a temp dir, removed)")
+    p.add_argument("--tenants", type=int, default=4)
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--ops", type=int, default=120,
+                   help="operations per tenant")
+    p.add_argument("--region-kb", type=int, default=16,
+                   help="protected region per tenant in KiB")
+    p.add_argument("--preset", default="combined",
+                   choices=sorted(PRESETS))
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--secret-seed", type=int, default=0xDAC2018)
+    p.add_argument("--fault-rate", type=float, default=0.002,
+                   help="background disk-fault rate per fs step")
+    p.add_argument("--boost-rate", type=float, default=0.35,
+                   help="boosted fault rate for the victim tenant")
+    p.add_argument("--degraded-after", type=int, default=4,
+                   help="storage faults before a tenant degrades")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="per-shard dispatch queue bound (overload)")
+    p.add_argument("--kill-shard", type=int, default=1,
+                   help="SIGKILL this shard once mid-run, then restart")
+    p.add_argument("--overload-probes", type=int, default=32,
+                   help="concurrent raw connections in the overload burst")
+    p.add_argument("--deadline-probes", type=int, default=8,
+                   help="requests sent with deadline_ms=0")
+    p.add_argument("--json-out", metavar="FILE", default=None,
+                   help="write the BENCH_chaos payload as JSON")
+    p.add_argument("--health-out", metavar="FILE", default=None,
+                   help="write the final /health snapshots as JSON")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("trace", help="generate a workload trace file")
     p.add_argument("app", choices=table2_apps() + sorted(MICRO_PROFILES))

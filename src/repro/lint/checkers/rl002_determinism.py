@@ -3,8 +3,8 @@
 A simulator whose exhibits must reproduce bit-for-bit cannot consult
 wallclock time, the process-global random state, or anything else that
 varies between two runs of the same seed.  This checker flags, in the
-simulation packages (``core/``, ``memsim/``, ``persist/``,
-``resilience/``, ``workloads/``):
+simulation packages (``core/``, ``faultfs/``, ``memsim/``,
+``persist/``, ``resilience/``, ``workloads/``):
 
 * **wallclock reads** -- ``time.time``/``monotonic``/``perf_counter``
   (and ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
@@ -89,8 +89,8 @@ class DeterminismChecker(Checker):
         "or iterate unordered sets"
     )
     scopes = (
-        "core/", "fast/", "memsim/", "persist/", "resilience/", "service/",
-        "stack.py", "workloads/",
+        "core/", "fast/", "faultfs/", "memsim/", "persist/", "resilience/",
+        "service/", "stack.py", "workloads/",
     )
     #: wallclock is the obs plane's whole job; analysis/harness may talk
     #: to the host.

@@ -437,6 +437,10 @@ ASYNC_MODEL = AsyncModel(
     }),
     shard_state_attrs=frozenset({
         "tenants", "quotas", "retired", "draining",
+        # PR 9 additions: the shard's idempotency cache and the
+        # client's per-shard breaker map are loop-owned mutable state
+        # exactly like the tenant tables.
+        "_idem", "_breakers",
     }),
     must_propagate=frozenset({"CancelledError"}),
 )

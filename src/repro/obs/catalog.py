@@ -232,6 +232,9 @@ def _persist_specs() -> list[MetricSpec]:
                    "epoch checkpoints written and sealed"),
         MetricSpec("persist.checkpoint.bytes", "counter",
                    "ciphertext bytes captured by checkpoints"),
+        MetricSpec("persist.checkpoint.deferred", "counter",
+                   "due checkpoints deferred by a storage fault "
+                   "(the piggybacked write's ack stands)"),
         MetricSpec("persist.resilience.append", "counter",
                    "resilience-plane events journaled"),
         MetricSpec("recovery.run", "counter",
@@ -274,7 +277,13 @@ SERVICE_OPS = (
 #: Typed rejection codes the shard meters (plus the internal bucket).
 SERVICE_REJECTIONS = (
     "tenant_not_found", "quota_exceeded", "drain_in_progress",
-    "shard_unavailable", "internal",
+    "shard_unavailable", "deadline_exceeded", "overloaded",
+    "degraded", "storage_fault", "internal",
+)
+
+#: The storage-fault taxonomy (closed set, mirrors faultfs.FaultKind).
+FAULTFS_KINDS = (
+    "eio", "enospc", "short_write", "lost_before_fsync", "crash_rename",
 )
 
 
@@ -316,6 +325,60 @@ def _service_specs() -> list[MetricSpec]:
                    "tenants refusing writes while draining"),
         MetricSpec("service.tenants.retired", "gauge",
                    "tenants durably retired on this shard"),
+        # -- ISSUE 9: deadlines, overload shedding, idempotent replay --
+        MetricSpec("service.deadline.expired", "counter",
+                   "requests refused because their deadline_ms expired "
+                   "in the dispatch queue"),
+        MetricSpec("service.deadline.wait_ms", "histogram",
+                   "dispatch-queue wait per executed request (ms)"),
+        MetricSpec("service.overload.shed", "counter",
+                   "requests shed at the queue-depth bound (charged "
+                   "nothing against quotas)"),
+        MetricSpec("service.queue.depth", "gauge",
+                   "shard dispatch-queue depth"),
+        MetricSpec("service.idem.hits", "counter",
+                   "requests answered from the idempotency-key cache"),
+        MetricSpec("service.idem.stored", "counter",
+                   "ok responses stored under an idempotency key"),
+        MetricSpec("service.degraded.entered", "counter",
+                   "tenants entering degraded read-only mode"),
+        MetricSpec("service.degraded.active", "gauge",
+                   "tenants currently in degraded read-only mode"),
+        # -- ISSUE 9: client-side circuit breaker + retry accounting --
+        MetricSpec("service.breaker.opened", "counter",
+                   "circuit-breaker closed->open transitions"),
+        MetricSpec("service.breaker.half_open", "counter",
+                   "circuit-breaker open->half-open probe admissions"),
+        MetricSpec("service.breaker.closed", "counter",
+                   "circuit-breaker half-open->closed recoveries"),
+        MetricSpec("service.breaker.fast_fail", "counter",
+                   "requests refused locally while a breaker was open"),
+        MetricSpec("service.client.sends", "counter",
+                   "request frames actually written to a shard socket"),
+        MetricSpec("service.client.retries", "counter",
+                   "client retries after a retryable refusal"),
+    ]
+    return out
+
+
+def _faultfs_specs() -> list[MetricSpec]:
+    """The fault-injecting file layer (:mod:`repro.faultfs`)."""
+    out = [
+        MetricSpec("faultfs.steps", "counter",
+                   "file operations numbered by the fault layer"),
+        MetricSpec("faultfs.fsyncs", "counter",
+                   "file-content fsync barriers executed"),
+        MetricSpec("faultfs.dir_fsyncs", "counter",
+                   "directory-entry fsync barriers executed"),
+        MetricSpec("faultfs.crashes", "counter",
+                   "simulated power losses (crash() calls)"),
+        MetricSpec("faultfs.rolled_back", "counter",
+                   "unsynced effects rolled back by simulated power loss"),
+    ]
+    out += [
+        MetricSpec(f"faultfs.injected.{kind}", "counter",
+                   f"injected '{kind}' storage faults")
+        for kind in FAULTFS_KINDS
     ]
     return out
 
@@ -329,6 +392,7 @@ _SPECS: list[MetricSpec] = (
     + _persist_specs()
     + _stack_specs()
     + _service_specs()
+    + _faultfs_specs()
     + [
         MetricSpec("probe.*", "histogram",
                    "wallclock span per probe point (one per site)"),
@@ -385,6 +449,7 @@ __all__ = [
     "CATALOG",
     "COUNTER_SCHEMES",
     "FAMILIES",
+    "FAULTFS_KINDS",
     "SERVICE_OPS",
     "SERVICE_REJECTIONS",
     "MetricSpec",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.faultfs.plan import StorageFault
 from repro.obs.metrics import MetricRegistry, get_registry
 from repro.persist.checkpoint import Checkpoint, write_checkpoint
 from repro.persist.config import DurabilityConfig
@@ -79,6 +80,7 @@ class PersistenceManager:
         self._m_abort = registry.counter("persist.txn.abort")
         self._m_gc_txns = registry.counter("persist.group_commit.txns")
         self._m_gc_writes = registry.counter("persist.group_commit.writes")
+        self._m_cp_deferred = registry.counter("persist.checkpoint.deferred")
 
     # -- wiring ---------------------------------------------------------------
 
@@ -221,7 +223,14 @@ class PersistenceManager:
             or (capacity and self.store.live_records >= capacity)
         )
         if due:
-            self.checkpoint()
+            try:
+                self.checkpoint()
+            except StorageFault:
+                # A faulting *checkpoint* must not refuse the already
+                # sealed write it piggybacks on: the journal record is
+                # durable, so the ack stands.  Defer -- the next commit
+                # re-runs the due check and retries the checkpoint.
+                self._m_cp_deferred.inc()
 
     def checkpoint(self) -> Checkpoint:
         """Snapshot the bound engine state into the next epoch's slot."""

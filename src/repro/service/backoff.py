@@ -1,0 +1,47 @@
+"""Exponential backoff with full jitter (the AWS-architecture flavor).
+
+The old ``request_retry`` loop hammered a restarting shard every 50 ms
+flat -- N clients all retrying in lockstep is a synchronized thundering
+herd exactly when the service is weakest.  *Full jitter* draws each
+sleep uniformly from ``[0, min(cap, base * 2**attempt))``: the expected
+backoff still doubles per attempt, but clients decorrelate immediately,
+so a restarted shard sees a trickle instead of a wall.
+
+The draw comes from a caller-supplied *seeded* ``random.Random``: retry
+schedules are reproducible per client (RL002-clean) while still
+decorrelated across clients via their distinct seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Full-jitter exponential backoff: sleep ~ U[0, min(cap, base*2^n))."""
+
+    base: float = 0.02
+    cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0.0 or self.cap < self.base:
+            raise ValueError("need 0 < base <= cap")
+
+    def ceiling(self, attempt: int) -> float:
+        """The un-jittered ceiling for retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        # 2**attempt overflows nothing here: cap clamps long before
+        # the float does, so short-circuit the power once it is past.
+        if self.base * 2.0 ** min(attempt, 63) >= self.cap:
+            return self.cap
+        return self.base * 2.0**attempt
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """One jittered sleep for retry ``attempt``."""
+        return rng.uniform(0.0, self.ceiling(attempt))
+
+
+__all__ = ["BackoffPolicy"]

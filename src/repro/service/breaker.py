@@ -1,0 +1,113 @@
+"""A per-shard circuit breaker: closed -> open -> half-open -> closed.
+
+The breaker sits in front of each shard connection on the *client*
+side.  Consecutive transport failures trip it open; while open, calls
+fail fast locally (no socket churn against a dead worker, no 30-second
+pile-up of doomed requests).  After ``cooldown`` seconds the breaker
+admits a limited number of *half-open probes*; one probe succeeding
+closes the breaker, one failing re-opens it for another cooldown.
+
+Typed service refusals (quota, deadline, degraded...) are *successes*
+to the breaker: the shard answered, so the circuit is healthy -- only
+transport-level failures (connect refused, mid-request hangup) count.
+
+The breaker is plain single-threaded state -- the client runs on one
+event loop -- and takes an injectable ``clock`` so tests drive it with
+a fake time source.  ``on_transition(old, new)`` lets the owner meter
+state changes (``service.breaker.*``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recover knobs for one :class:`CircuitBreaker`."""
+
+    failure_threshold: int = 5
+    cooldown: float = 0.25
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown <= 0.0:
+            raise ValueError("cooldown must be > 0")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+class CircuitBreaker:
+    """One shard's circuit state."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.clock = clock
+        self.on_transition = on_transition
+        self.state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+
+    def _transition(self, new: str) -> None:
+        old, self.state = self.state, new
+        if old != new and self.on_transition is not None:
+            self.on_transition(old, new)
+
+    def allow(self) -> bool:
+        """Whether one request may proceed right now.
+
+        In ``half_open`` this *admits a probe* (at most
+        ``half_open_probes`` in flight); the caller must follow up with
+        exactly one ``record_success``/``record_failure`` per admitted
+        request in every state.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self._opened_at < self.config.cooldown:
+                return False
+            self._transition(HALF_OPEN)
+            self._probes_inflight = 0
+        if self._probes_inflight >= self.config.half_open_probes:
+            return False
+        self._probes_inflight += 1
+        return True
+
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._transition(CLOSED)
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._open()
+            return
+        self._failures += 1
+        if self.state == CLOSED and (
+            self._failures >= self.config.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._failures = 0
+        self._opened_at = self.clock()
+        self._transition(OPEN)
+
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]

@@ -54,6 +54,48 @@ class DrainInProgress(ServiceError):
     code = "drain_in_progress"
 
 
+class DeadlineExceeded(ServiceError):
+    """The request's ``deadline_ms`` expired before the shard ran it.
+
+    Refused *before* dispatch, so nothing was applied: safe to retry.
+    ``deadline_ms <= 0`` is "expired on arrival" -- a deterministic
+    refusal lever for tests and probes.
+    """
+
+    code = "deadline_exceeded"
+
+
+class Overloaded(ServiceError):
+    """The shard's dispatch queue is full; shed before any work.
+
+    Charged nothing against quotas (the tenant did not consume
+    service); the client should back off and retry.
+    """
+
+    code = "overloaded"
+
+
+class TenantDegraded(ServiceError):
+    """The tenant is in degraded read-only mode; writes are refused.
+
+    Entered on repeated storage faults or spare-pool exhaustion; reads
+    are still served and ``/health`` reports the reason.
+    """
+
+    code = "degraded"
+
+
+class StorageFaulted(ServiceError):
+    """The tenant's backing store refused this durable mutation.
+
+    The write was **not** acknowledged, but the failure is ambiguous
+    one level up: the journal record may or may not have sealed before
+    the fault.  Re-sending the same (address, data) pair converges.
+    """
+
+    code = "storage_fault"
+
+
 #: wire code -> exception class, for client-side rehydration
 ERROR_CODES: dict[str, type[ServiceError]] = {
     cls.code: cls
@@ -63,6 +105,10 @@ ERROR_CODES: dict[str, type[ServiceError]] = {
         QuotaExceeded,
         ShardUnavailable,
         DrainInProgress,
+        DeadlineExceeded,
+        Overloaded,
+        TenantDegraded,
+        StorageFaulted,
     )
 }
 
@@ -91,11 +137,15 @@ def from_response(payload: dict[str, Any]) -> ServiceError:
 
 
 __all__ = [
+    "DeadlineExceeded",
     "DrainInProgress",
     "ERROR_CODES",
+    "Overloaded",
     "QuotaExceeded",
     "ServiceError",
     "ShardUnavailable",
+    "StorageFaulted",
+    "TenantDegraded",
     "TenantNotFound",
     "from_response",
     "to_response",

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
+from repro.faultfs import FaultProfile, StorageFault
 from repro.service.router import shard_of
 from repro.service.tenant import (
     MANIFEST_NAME,
@@ -108,8 +109,16 @@ def recover_tenants(
     *,
     shard: int = 0,
     num_shards: int = 1,
+    fault_profiles: Callable[[str], FaultProfile | None] | None = None,
+    degraded_after: int = 3,
 ) -> tuple[dict[str, Tenant], RecoverySummary]:
-    """Recover every tenant a (re)starting shard worker owns."""
+    """Recover every tenant a (re)starting shard worker owns.
+
+    ``fault_profiles`` maps a tenant id to the :class:`FaultProfile` its
+    rebuilt fault layer should run under (chaos campaigns arm the same
+    profile across restarts so injection pressure survives a kill);
+    recovery itself always runs with the layer disarmed.
+    """
     tenants: dict[str, Tenant] = {}
     summary = RecoverySummary()
     for directory in shard_tenant_directories(root, shard, num_shards):
@@ -121,7 +130,17 @@ def recover_tenants(
                 "root_verified": True,
             }
             continue
-        tenant = Tenant.open(directory, secret_seed)
+        profile = (
+            fault_profiles(directory.name)
+            if fault_profiles is not None
+            else None
+        )
+        tenant = Tenant.open(
+            directory,
+            secret_seed,
+            fault_profile=profile,
+            degraded_after=degraded_after,
+        )
         tenants[tenant.tenant_id] = tenant
         report = tenant.recovery
         summary.tenants[tenant.tenant_id] = (
@@ -131,10 +150,24 @@ def recover_tenants(
 
 
 def drain_tenants(tenants: Iterable[Tenant]) -> DrainReport:
-    """Gracefully drain a set of tenants (flush + checkpoint each)."""
+    """Gracefully drain a set of tenants (flush + checkpoint each).
+
+    A tenant whose backing store faults mid-drain is *recorded*, not
+    raised: its journal simply stays live and the next start recovers
+    it exactly as after a crash.  Teardown must not die on the fault
+    path it exists to mitigate -- and one faulting tenant must not
+    block its neighbours' checkpoints.
+    """
     report = DrainReport()
     for tenant in tenants:
-        report.tenants.append(tenant.drain())
+        try:
+            report.tenants.append(tenant.drain())
+        except StorageFault as fault:
+            report.tenants.append({
+                "tenant": tenant.tenant_id,
+                "state": tenant.state.value,
+                "drain_fault": str(fault),
+            })
     return report
 
 

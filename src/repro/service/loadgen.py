@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.metrics import MetricRegistry
 from repro.service.endpoints import scrape
 from repro.service.errors import QuotaExceeded, ShardUnavailable
 from repro.service.quota import QuotaConfig
@@ -111,10 +112,21 @@ class _TenantTraffic:
     """One tenant's traffic loop + shadow ground truth."""
 
     def __init__(self, tenant_id: str, spec: LoadgenSpec,
-                 root: pathlib.Path) -> None:
+                 root: pathlib.Path,
+                 client_registry: MetricRegistry | None = None) -> None:
         self.tenant_id = tenant_id
         self.spec = spec
-        self.client = ServiceClient(root, spec.shards)
+        self.client = ServiceClient(
+            root,
+            spec.shards,
+            registry=client_registry,
+            rng_seed=int.from_bytes(
+                hashlib.sha256(
+                    f"repro.loadgen.client/{spec.seed}/{tenant_id}".encode()
+                ).digest()[:8],
+                "big",
+            ),
+        )
         self.rng = random.Random(
             f"repro.loadgen/{spec.seed}/{tenant_id}"
         )
@@ -240,8 +252,9 @@ class _TenantTraffic:
 
 async def _drive(spec: LoadgenSpec, root: pathlib.Path,
                  supervisor: ServiceSupervisor) -> dict[str, Any]:
+    client_registry = MetricRegistry()
     traffic = [
-        _TenantTraffic(tenant_id, spec, root)
+        _TenantTraffic(tenant_id, spec, root, client_registry)
         for tenant_id in spec.tenant_ids()
     ]
     for tenant in traffic:
@@ -293,7 +306,15 @@ async def _drive(spec: LoadgenSpec, root: pathlib.Path,
     }
     for tenant in traffic:
         await tenant.close()
+    client_totals = client_registry.snapshot().totals()
     return {
+        "client": {
+            "sends": client_totals.get("service.client.sends", 0),
+            "retries": client_totals.get("service.client.retries", 0),
+            "breaker_opened": client_totals.get(
+                "service.breaker.opened", 0
+            ),
+        },
         "elapsed_s": round(elapsed, 3),
         "throughput_ops_s": round(total_ops / elapsed, 1) if elapsed else 0.0,
         "acked_ops": total_ops,

@@ -22,10 +22,25 @@ connections interleave at frame granularity.  Scaling comes from
 :func:`repro.service.router.shard_of`, and the client routes each
 request itself, so shards share nothing but the filesystem root.
 
+Overload and deadline discipline: every connection enqueues requests
+onto one bounded dispatch queue per shard; a single dispatcher task
+drains it.  A request arriving at a full queue is *shed* with a typed
+:class:`Overloaded` refusal before any work (and before any quota
+charge); a request whose ``deadline_ms`` elapsed while it queued is
+refused with :class:`DeadlineExceeded` -- also strictly before
+dispatch, so a deadline refusal never half-applies anything.  Mutating
+requests may carry an ``idem`` key; the shard caches the success
+response so a client retry after an ambiguous failure cannot double
+apply (re-applying the same (address, data) write is already
+convergent -- the cache makes the *response* exactly-once too).
+
 The supervisor owns the worker processes: it can kill one (``SIGKILL``,
 the crash the durability plane exists for) and restart it; the restarted
 worker replays its tenants' journals via the persist recovery state
-machine before accepting its first request.
+machine before accepting its first request.  The client wraps each
+shard connection in a circuit breaker: consecutive transport failures
+trip it open and calls fail fast until a half-open probe finds the
+replacement worker answering.
 """
 
 from __future__ import annotations
@@ -36,18 +51,27 @@ import json
 import multiprocessing
 import os
 import pathlib
+import random
 import signal
 import struct
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.faultfs import FaultProfile, StorageFault
 from repro.obs.catalog import SERVICE_OPS, SERVICE_REJECTIONS
 from repro.obs.metrics import MetricRegistry
+from repro.service.backoff import BackoffPolicy
+from repro.service.breaker import BreakerConfig, CircuitBreaker
 from repro.service.endpoints import health_payload, metrics_payload, serve_http
 from repro.service.errors import (
+    DeadlineExceeded,
     DrainInProgress,
+    Overloaded,
     ServiceError,
     ShardUnavailable,
+    StorageFaulted,
     TenantNotFound,
     from_response,
     to_response,
@@ -99,6 +123,38 @@ async def write_frame(
     await writer.drain()
 
 
+@dataclass(frozen=True)
+class ShardOptions:
+    """Resilience knobs one shard worker runs under.
+
+    Plain picklable data: the supervisor ships it to spawned workers.
+    ``fault_profile`` arms every tenant's :class:`FaultFS` with
+    rate-based storage faults; ``fault_boost_tenant`` (if set) gets
+    ``fault_boost_profile`` instead, so a chaos campaign can hammer one
+    victim while the rest see background rates.
+    """
+
+    max_queue_depth: int = 64
+    degraded_after: int = 3
+    idem_capacity: int = 256
+    fault_profile: FaultProfile | None = None
+    fault_boost_tenant: str = ""
+    fault_boost_profile: FaultProfile | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.degraded_after < 1:
+            raise ValueError("degraded_after must be >= 1")
+        if self.idem_capacity < 1:
+            raise ValueError("idem_capacity must be >= 1")
+
+    def profile_for(self, tenant_id: str) -> FaultProfile | None:
+        if tenant_id == self.fault_boost_tenant:
+            return self.fault_boost_profile
+        return self.fault_profile
+
+
 class Shard:
     """One worker's state: its tenants, quotas, and request handlers."""
 
@@ -110,6 +166,7 @@ class Shard:
         secret_seed: int,
         registry: MetricRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
+        options: ShardOptions | None = None,
     ) -> None:
         self.router = ShardRouter(root, num_shards)
         self.root = pathlib.Path(root)
@@ -117,6 +174,7 @@ class Shard:
         self.secret_seed = secret_seed
         self.registry = registry if registry is not None else MetricRegistry()
         self.clock = clock
+        self.options = options if options is not None else ShardOptions()
         self.tenants: dict[str, Tenant] = {}
         self.quotas: dict[str, TenantQuota] = {}
         self.retired: set[str] = set()
@@ -142,6 +200,22 @@ class Shard:
         self._g_active = reg.gauge("service.tenants.active")
         self._g_draining = reg.gauge("service.tenants.draining")
         self._g_retired = reg.gauge("service.tenants.retired")
+        self._m_deadline_expired = reg.counter("service.deadline.expired")
+        self._h_deadline_wait = reg.histogram("service.deadline.wait_ms")
+        self._m_shed = reg.counter("service.overload.shed")
+        self._g_queue = reg.gauge("service.queue.depth")
+        self._m_idem_hits = reg.counter("service.idem.hits")
+        self._m_idem_stored = reg.counter("service.idem.stored")
+        self._m_degraded_entered = reg.counter("service.degraded.entered")
+        self._g_degraded = reg.gauge("service.degraded.active")
+        #: bounded idempotency cache: key -> the success response
+        self._idem: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        #: bounded dispatch queue; exists only while serve() runs (the
+        #: in-process test path calls submit() without a queue and gets
+        #: direct dispatch)
+        self._queue: asyncio.Queue[
+            tuple[dict[str, Any], asyncio.Future, float]
+        ] | None = None
         self._handlers: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
             "provision": self._op_provision,
             "write": self._op_write,
@@ -163,6 +237,8 @@ class Shard:
             self.secret_seed,
             shard=self.shard_index,
             num_shards=self.router.num_shards,
+            fault_profiles=self.options.profile_for,
+            degraded_after=self.options.degraded_after,
         )
         self.tenants = tenants
         self.retired = {
@@ -199,6 +275,13 @@ class Shard:
         self._g_retired.set(
             states.count(TenantState.RETIRED) + len(self.retired)
         )
+        self._g_degraded.set(
+            sum(
+                1
+                for tenant in self.tenants.values()
+                if tenant.degraded_reason is not None
+            )
+        )
 
     # -- request dispatch ---------------------------------------------------
 
@@ -221,6 +304,23 @@ class Shard:
                 error.code, self._m_rejected["internal"]
             ).inc()
             return to_response(error)
+        except StorageFault as fault:
+            # The tenant's backing store refused a durable mutation.
+            # Not acknowledged, typed, and accounted against the
+            # tenant's degraded-mode budget -- never a shard crash.
+            tenant = self.tenants.get(str(request.get("tenant", "")))
+            if tenant is not None and tenant.record_storage_fault(fault):
+                self._m_degraded_entered.inc()
+                self._refresh_gauges()
+            self._m_rejected["storage_fault"].inc()
+            return to_response(
+                StorageFaulted(
+                    f"storage fault during {op!r}: {fault}",
+                    op=op,
+                    kind=fault.kind.value,
+                    fs_step=fault.step,
+                )
+            )
         except (KeyError, TypeError, ValueError) as error:
             # Malformed requests (missing fields, bad hex, unaligned
             # addresses) are client errors, reported structurally --
@@ -231,6 +331,101 @@ class Shard:
             )
         finally:
             self._h_latency[op].observe((self.clock() - start) * 1000.0)
+
+    # -- the dispatch queue: shedding, deadlines, idempotency -----------------
+
+    async def submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Admit one request: shed, enqueue, and await its response.
+
+        Shedding happens *here*, at admission: a full queue refuses
+        with :class:`Overloaded` before the request costs anything
+        (no quota charge, no engine work).  Without a running queue
+        (in-process tests, no serve() loop) dispatch is direct.
+        """
+        queue = self._queue
+        if queue is None:
+            return self._served(request)
+        if queue.qsize() >= self.options.max_queue_depth:
+            self._m_shed.inc()
+            self._m_rejected["overloaded"].inc()
+            return to_response(
+                Overloaded(
+                    f"shard {self.shard_index} dispatch queue is full "
+                    f"({self.options.max_queue_depth} deep); shed",
+                    shard=self.shard_index,
+                    queue_depth=queue.qsize(),
+                )
+            )
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        queue.put_nowait((request, future, self.clock()))
+        self._g_queue.set(queue.qsize())
+        return await future
+
+    async def _dispatch_loop(self) -> None:
+        """The single dispatcher: drains the queue in arrival order."""
+        queue = self._queue
+        assert queue is not None
+        while True:
+            request, future, enqueued_at = await queue.get()
+            self._g_queue.set(queue.qsize())
+            waited_ms = (self.clock() - enqueued_at) * 1000.0
+            self._h_deadline_wait.observe(waited_ms)
+            response = self._expired(request, waited_ms)
+            if response is None:
+                response = self._served(request)
+            if not future.done():
+                future.set_result(response)
+
+    def _expired(
+        self, request: dict[str, Any], waited_ms: float
+    ) -> dict[str, Any] | None:
+        """The deadline check, strictly before dispatch.
+
+        ``deadline_ms`` bounds *queue wait*: a request that waited
+        longer than the caller gave it is refused without touching the
+        engine, so a deadline refusal never half-applies.  A deadline
+        of <= 0 is "expired on arrival" -- deterministic by
+        construction, which is what probes and tests want.
+        """
+        raw = request.get("deadline_ms")
+        if raw is None:
+            return None
+        deadline_ms = float(raw)
+        if deadline_ms > 0.0 and waited_ms <= deadline_ms:
+            return None
+        self._m_deadline_expired.inc()
+        self._m_rejected["deadline_exceeded"].inc()
+        return to_response(
+            DeadlineExceeded(
+                f"deadline of {deadline_ms:g}ms expired after "
+                f"{waited_ms:.3f}ms queued on shard {self.shard_index}",
+                shard=self.shard_index,
+                deadline_ms=deadline_ms,
+                waited_ms=round(waited_ms, 3),
+            )
+        )
+
+    def _served(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Idempotency-cache wrapper around :meth:`handle_request`.
+
+        Only *success* responses are cached: a refusal must re-run so
+        a retry can succeed once the refusing condition clears.
+        """
+        key = request.get("idem")
+        if key is not None:
+            cached = self._idem.get(str(key))
+            if cached is not None:
+                self._m_idem_hits.inc()
+                return dict(cached)
+        response = self.handle_request(request)
+        if key is not None and response.get("ok", False):
+            self._idem[str(key)] = dict(response)
+            self._m_idem_stored.inc()
+            while len(self._idem) > self.options.idem_capacity:
+                self._idem.popitem(last=False)
+        return response
 
     def _resolve(self, request: dict[str, Any]) -> Tenant:
         tenant_id = str(request["tenant"])
@@ -287,7 +482,13 @@ class Shard:
                 f"tenant {spec.tenant_id!r} already exists",
                 tenant=spec.tenant_id,
             )
-        tenant = Tenant.provision(self.root, spec, self.secret_seed)
+        tenant = Tenant.provision(
+            self.root,
+            spec,
+            self.secret_seed,
+            fault_profile=self.options.profile_for(spec.tenant_id),
+            degraded_after=self.options.degraded_after,
+        )
         self.tenants[spec.tenant_id] = tenant
         self.quotas[spec.tenant_id] = TenantQuota(
             spec.tenant_id, spec.quota, self.clock
@@ -407,7 +608,7 @@ class Shard:
                     # CancelledError lands here only at loop teardown
                     # (stop already set); treat it as a hangup.
                     break
-                await write_frame(writer, self.handle_request(request))
+                await write_frame(writer, await self.submit(request))
         finally:
             self._m_conn_closed.inc()
             writer.close()
@@ -426,6 +627,8 @@ class Shard:
             # socket path is sub-millisecond and nothing else runs yet.
             # repro-lint: disable=RL007
             path.unlink(missing_ok=True)
+        self._queue = asyncio.Queue()
+        dispatcher = asyncio.create_task(self._dispatch_loop())
         server = await asyncio.start_unix_server(
             self._handle_conn, path=str(proto_path)
         )
@@ -435,6 +638,14 @@ class Shard:
         finally:
             server.close()
             http_server.close()
+            dispatcher.cancel()
+            # Reaping our own just-cancelled dispatcher: the
+            # CancelledError *is* the expected completion here, and the
+            # enclosing coroutine still propagates its own cancellation.
+            # repro-lint: disable=RL007
+            with contextlib.suppress(asyncio.CancelledError):
+                await dispatcher
+            self._queue = None
             await server.wait_closed()
             await http_server.wait_closed()
             for path in (proto_path, http_path):
@@ -448,9 +659,12 @@ def shard_main(
     shard_index: int,
     num_shards: int,
     secret_seed: int,
+    options: ShardOptions | None = None,
 ) -> None:
     """Worker-process entry: recover, serve, drain on SIGTERM."""
-    shard = Shard(root, shard_index, num_shards, secret_seed)
+    shard = Shard(
+        root, shard_index, num_shards, secret_seed, options=options
+    )
     shard.recover()
 
     async def _run() -> None:
@@ -479,11 +693,13 @@ class ServiceSupervisor:
         num_shards: int = 2,
         secret_seed: int = 0xDAC2018,
         registry: MetricRegistry | None = None,
+        options: ShardOptions | None = None,
     ) -> None:
         self.router = ShardRouter(root, num_shards)
         self.root = pathlib.Path(root)
         self.num_shards = num_shards
         self.secret_seed = secret_seed
+        self.options = options
         self.registry = registry if registry is not None else MetricRegistry()
         self._m_restarts = self.registry.counter("service.shard.restarts")
         methods = multiprocessing.get_all_start_methods()
@@ -500,6 +716,7 @@ class ServiceSupervisor:
                 shard,
                 self.num_shards,
                 self.secret_seed,
+                self.options,
             ),
             daemon=True,
         )
@@ -594,16 +811,80 @@ def _socket_accepts(path: pathlib.Path) -> bool:
         probe.close()
 
 
+#: refusals worth a client-side retry: the shard either never saw the
+#: request (transport failure, breaker open) or refused it strictly
+#: before dispatch (shed, deadline) -- re-sending cannot double-apply.
+RETRYABLE_ERRORS = (ShardUnavailable, Overloaded, DeadlineExceeded)
+
+#: ops whose requests get an auto-attached idempotency key
+_MUTATING_OPS = frozenset({"provision", "write", "batch"})
+
+
 class ServiceClient:
-    """Async client: routes each request to the owning shard itself."""
+    """Async client: routes each request to the owning shard itself.
+
+    Resilience plumbing, per shard: a :class:`CircuitBreaker` trips
+    open after consecutive transport failures so retries fail fast
+    instead of piling onto a dead socket, and :meth:`request_retry`
+    sleeps exponential-backoff-with-full-jitter between attempts
+    (seeded ``random.Random``: schedules are reproducible per client,
+    decorrelated across clients).  Mutating requests sent through
+    :meth:`request_retry` carry an auto-attached idempotency key, so a
+    retry that lands after an ambiguous failure returns the cached
+    success instead of double-applying.
+    """
 
     def __init__(
-        self, root: str | pathlib.Path, num_shards: int
+        self,
+        root: str | pathlib.Path,
+        num_shards: int,
+        *,
+        registry: MetricRegistry | None = None,
+        backoff: BackoffPolicy | None = None,
+        breaker: BreakerConfig | None = None,
+        rng_seed: int = 0,
     ) -> None:
         self.router = ShardRouter(root, num_shards)
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.breaker_config = (
+            breaker if breaker is not None else BreakerConfig()
+        )
+        self._rng = random.Random(rng_seed)
         self._conns: dict[
             int, tuple[asyncio.StreamReader, asyncio.StreamWriter]
         ] = {}
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._idem_prefix = f"{os.getpid():x}.{id(self):x}"
+        self._idem_next = 0
+        reg = self.registry
+        self._m_sends = reg.counter("service.client.sends")
+        self._m_retries = reg.counter("service.client.retries")
+        self._m_fast_fail = reg.counter("service.breaker.fast_fail")
+        self._m_transitions = {
+            "open": reg.counter("service.breaker.opened"),
+            "half_open": reg.counter("service.breaker.half_open"),
+            "closed": reg.counter("service.breaker.closed"),
+        }
+
+    def _breaker(self, shard: int) -> CircuitBreaker:
+        breaker = self._breakers.get(shard)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.breaker_config,
+                on_transition=lambda _old, new: (
+                    self._m_transitions[new].inc()
+                ),
+            )
+            self._breakers[shard] = breaker
+        return breaker
+
+    def breaker_states(self) -> dict[int, str]:
+        """Current circuit state per shard (for reports and tests)."""
+        return {
+            shard: breaker.state
+            for shard, breaker in sorted(self._breakers.items())
+        }
 
     async def _conn(
         self, shard: int
@@ -630,51 +911,90 @@ class ServiceClient:
     async def request(
         self, payload: dict[str, Any], shard: int | None = None
     ) -> dict[str, Any]:
-        """Send one request; raises the typed error on a refusal."""
+        """Send one request; raises the typed error on a refusal.
+
+        The shard's circuit breaker gates the send: while open, the
+        call fails fast with :class:`ShardUnavailable` without touching
+        the socket.  A *typed* refusal counts as breaker success (the
+        shard answered; the circuit is healthy) -- only transport
+        failures trip it.
+        """
         if shard is None:
             shard = self.router.shard_of(str(payload["tenant"]))
-        reader, writer = await self._conn(shard)
+        breaker = self._breaker(shard)
+        if not breaker.allow():
+            self._m_fast_fail.inc()
+            raise ShardUnavailable(
+                f"shard {shard} circuit is {breaker.state}; failing fast",
+                shard=shard,
+                breaker=breaker.state,
+            )
         try:
+            reader, writer = await self._conn(shard)
+            self._m_sends.inc()
             await write_frame(writer, payload)
             response = await read_frame(reader)
+        except ShardUnavailable:
+            breaker.record_failure()
+            raise
         except (
             ConnectionError,
             asyncio.IncompleteReadError,
             OSError,
         ) as error:
             self._drop(shard)
+            breaker.record_failure()
             raise ShardUnavailable(
                 f"shard {shard} connection failed mid-request: {error}",
                 shard=shard,
             ) from error
+        breaker.record_success()
         if not response.get("ok", False):
             raise from_response(response)
         return response
+
+    def _attach_idem(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """A copy of ``payload`` with an idempotency key on mutators."""
+        if payload.get("op") not in _MUTATING_OPS or "idem" in payload:
+            return payload
+        self._idem_next += 1
+        return {
+            **payload,
+            "idem": f"{self._idem_prefix}.{self._idem_next}",
+        }
 
     async def request_retry(
         self,
         payload: dict[str, Any],
         shard: int | None = None,
         deadline: float = 10.0,
-        interval: float = 0.05,
     ) -> dict[str, Any]:
-        """Retry through ShardUnavailable until ``deadline`` seconds.
+        """Retry retryable refusals until ``deadline`` seconds.
 
-        Safe for this protocol: writes are idempotent re-applications
-        of the same (address, data) pair, so re-sending after an
-        ambiguous failure converges to the same durable state.
+        Retries :data:`RETRYABLE_ERRORS` only -- refusals the shard
+        issued strictly before dispatch, or transport failures.  The
+        ambiguous-transport case is additionally covered twice over:
+        writes re-apply the same (address, data) pair (convergent), and
+        the auto-attached idempotency key makes the response itself
+        exactly-once.  Sleeps use full-jitter exponential backoff, so
+        concurrent clients hammering a restarting shard decorrelate
+        instead of retrying in lockstep.
         """
+        payload = self._attach_idem(payload)
         # Retry deadline against a real restarting process.
         # repro-lint: disable=RL002
         stop_at = time.monotonic() + deadline
+        attempt = 0
         while True:
             try:
                 return await self.request(payload, shard=shard)
-            except ShardUnavailable:
+            except RETRYABLE_ERRORS:
                 # repro-lint: disable=RL002
                 if time.monotonic() > stop_at:
                     raise
-                await asyncio.sleep(interval)
+                self._m_retries.inc()
+                await asyncio.sleep(self.backoff.delay(attempt, self._rng))
+                attempt += 1
 
     # -- convenience ops ---------------------------------------------------
 
@@ -740,9 +1060,11 @@ __all__ = [
     "OPS",
     "PROTOCOL_SCHEMA",
     "REJECTION_CODES",
+    "RETRYABLE_ERRORS",
     "ServiceClient",
     "ServiceSupervisor",
     "Shard",
+    "ShardOptions",
     "encode_frame",
     "read_frame",
     "shard_main",

@@ -3,9 +3,12 @@
 The persist subsystem models stable storage in memory so the crash
 matrix can tear writes deterministically.  A *service* worker can be
 ``SIGKILL``\\ ed for real, so its durable state must live on disk: this
-subclass applies every mutation to the in-memory model first (keeping
-every invariant the recovery machine relies on) and then mirrors it
-into the tenant's persist directory.
+subclass mirrors every mutation into the tenant's persist directory
+through a :class:`~repro.faultfs.layer.FaultFS` layer, then applies it
+to the in-memory model (keeping every invariant the recovery machine
+relies on).  Disk first: if the device refuses the mutation with a
+:class:`~repro.faultfs.plan.StorageFault`, the in-memory model stays
+untouched and the store remains usable for the retry.
 
 Layout under ``root``::
 
@@ -15,15 +18,21 @@ Layout under ``root``::
     ckpt0.meta / ckpt1.meta     slot epoch (JSON)
     ckpt0.sealed / ckpt1.sealed empty marker: the slot's seal
 
-Crash semantics of the mirror: the server acknowledges a write only
-after the seal marker file exists, so a kill at any earlier point
-leaves, at worst, an unsealed (or partially written) record --
-exactly the torn/unsealed tail :func:`repro.persist.journal.scan_journal`
-already discards.  The CRC framing inside each record payload catches a
-partially flushed ``.rec`` file the same way it catches a simulated
-torn write, so :func:`load_file_store` never needs to distinguish the
-two.  Durability is directory-consistency-grade (no ``fsync``; the
-model is process death, not power loss on a real disk).
+Durability barriers (ISSUE 9; the "no fsync" caveat is gone):
+
+* ``journal_seal`` fsyncs the record payload, creates the seal marker,
+  and fsyncs the journal directory -- only then is the write
+  acknowledgeable, so power loss at any earlier point leaves at worst
+  an unsealed (or torn) record that
+  :func:`repro.persist.journal.scan_journal` already discards.
+* ``checkpoint_write`` stages the slot body in a temp file and lands it
+  with an atomic ``os.replace`` after an fsync, so a crash mid-rewrite
+  never shows a half-new body under an old seal; ``checkpoint_seal``
+  fsyncs the marker's directory entry.
+
+The CRC framing inside each record payload catches a partially flushed
+``.rec`` file the same way it catches a simulated torn write, so
+:func:`load_file_store` never needs to distinguish the two.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from __future__ import annotations
 import json
 import pathlib
 
+from repro.faultfs.layer import FaultFS
 from repro.persist.store import (
     CheckpointSlot,
     CrashPlan,
@@ -45,12 +55,16 @@ class FileStore(DurableStore):
     """Durable store whose journal and checkpoint slots live on disk."""
 
     def __init__(
-        self, root: str | pathlib.Path, plan: CrashPlan | None = None
+        self,
+        root: str | pathlib.Path,
+        plan: CrashPlan | None = None,
+        fs: FaultFS | None = None,
     ) -> None:
         super().__init__(plan=plan)
         self.root = pathlib.Path(root)
+        self.fs = fs if fs is not None else FaultFS()
         self.journal_dir = self.root / "journal"
-        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.fs.mkdir(self.journal_dir)
 
     # -- path helpers -------------------------------------------------------
 
@@ -70,45 +84,75 @@ class FileStore(DurableStore):
             base.with_suffix(".sealed"),
         )
 
+    def _will_crash(self) -> bool:
+        """Whether the *next* in-memory step is an armed crash point.
+
+        A ``CrashPlan`` models power lost at the in-memory mutation;
+        mirroring that mutation to disk first would leave the disk
+        ahead of the lost power, so the mirror is skipped and the
+        superclass raises :class:`SimulatedCrash` as before.
+        """
+        return self.plan is not None and self.plan.step == self.step
+
     # -- mirrored mutations -------------------------------------------------
 
     def journal_append(self, payload: bytes, label: str) -> int:
-        index = super().journal_append(payload, label)
-        self._record_path(index).write_bytes(payload)
-        return index
+        if not self._will_crash():
+            self.fs.write_bytes(self._record_path(len(self.journal)), payload)
+        return super().journal_append(payload, label)
 
     def journal_seal(self, index: int, label: str) -> None:
+        if not self._will_crash():
+            # Barrier order: payload durable, then the marker, then the
+            # marker's directory entry -- the ack point.
+            self.fs.fsync(self._record_path(index))
+            self.fs.touch(self._seal_path(index))
+            self.fs.fsync_dir(self.journal_dir)
         super().journal_seal(index, label)
-        self._seal_path(index).touch()
 
     def journal_truncate(self) -> None:
+        if not self._will_crash():
+            for path in sorted(self.journal_dir.iterdir()):
+                self.fs.unlink(path)
+            self.fs.fsync_dir(self.journal_dir)
         super().journal_truncate()
-        for path in self.journal_dir.iterdir():
-            path.unlink()
 
     def checkpoint_write(self, slot: int, payload: bytes, epoch: int) -> None:
+        if not self._will_crash():
+            body, meta, seal = self._slot_paths(slot)
+            # Unseal first: a kill between the marker removal and the
+            # body landing must leave the slot invalid, never
+            # half-new-half-sealed.
+            self.fs.unlink(seal)
+            self.fs.fsync_dir(self.root)
+            staging = body.with_suffix(".tmp")
+            self.fs.write_bytes(staging, payload)
+            self.fs.fsync(staging)
+            self.fs.replace(staging, body)
+            self.fs.write_bytes(meta, json.dumps({"epoch": epoch}).encode())
+            self.fs.fsync(meta)
         super().checkpoint_write(slot, payload, epoch)
-        body, meta, seal = self._slot_paths(slot)
-        # Unseal first: a kill between the marker removal and the body
-        # write must leave the slot invalid, never half-new-half-sealed.
-        seal.unlink(missing_ok=True)
-        body.write_bytes(payload)
-        meta.write_text(json.dumps({"epoch": epoch}))
 
     def checkpoint_seal(self, slot: int, epoch: int) -> None:
+        if not self._will_crash():
+            _, _, seal = self._slot_paths(slot)
+            self.fs.touch(seal)
+            self.fs.fsync_dir(self.root)
         super().checkpoint_seal(slot, epoch)
-        _, _, seal = self._slot_paths(slot)
-        seal.touch()
 
 
-def load_file_store(root: str | pathlib.Path) -> FileStore:
+def load_file_store(
+    root: str | pathlib.Path, fs: FaultFS | None = None
+) -> FileStore:
     """Rebuild a :class:`FileStore` from a (possibly killed) directory.
 
     A payload file without its seal marker loads as an unsealed slot;
     recovery's scan discards it, the same as a crash between append and
     seal in the in-memory model.  Checkpoint slots load the same way.
+    ``fs`` becomes the rebuilt store's fault layer for *future*
+    mutations; loading itself only reads.
     """
-    store = FileStore(root)
+    store = FileStore(root, fs=fs)
     for rec_path in sorted(store.journal_dir.glob("*.rec")):
         index = int(rec_path.stem)
         # Indexes are dense by construction (appends mirror a list);

@@ -24,6 +24,15 @@ Lifecycle states:
     All traffic refused with :class:`TenantNotFound` (the namespace is
     gone as far as callers are concerned); the directory remains for
     audit until deleted out-of-band.
+
+Orthogonal to the lifecycle enum, a tenant can enter **degraded
+read-only mode** (:attr:`Tenant.degraded_reason`): after
+``degraded_after`` storage faults, or when the resilience plane's spare
+pool is exhausted with degraded blocks outstanding, writes are refused
+with :class:`TenantDegraded` while reads keep serving.  Degradation is
+deliberately *not* a new lifecycle state -- drain/retire machinery works
+on a degraded tenant unchanged (an operator's way out is exactly drain,
+inspect, re-provision).
 """
 
 from __future__ import annotations
@@ -37,10 +46,15 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.engine.config import preset
+from repro.faultfs import FaultFS, FaultProfile, StorageFault
 from repro.obs.metrics import MetricRegistry
 from repro.persist.config import DurabilityConfig
 from repro.persist.recovery import RecoveryReport
-from repro.service.errors import DrainInProgress, TenantNotFound
+from repro.service.errors import (
+    DrainInProgress,
+    TenantDegraded,
+    TenantNotFound,
+)
 from repro.service.quota import QuotaConfig
 from repro.service.storage import FileStore, load_file_store
 from repro.stack import EngineStack
@@ -150,6 +164,8 @@ class Tenant:
         stack: EngineStack,
         registry: MetricRegistry,
         recovery: RecoveryReport | None = None,
+        fs: FaultFS | None = None,
+        degraded_after: int = 3,
     ) -> None:
         self.spec = spec
         self.directory = directory
@@ -157,6 +173,11 @@ class Tenant:
         self.registry = registry
         self.recovery = recovery
         self.state = TenantState.ACTIVE
+        self.fs = fs
+        self.degraded_after = max(1, degraded_after)
+        self.storage_faults = 0
+        self.degraded_reason: str | None = None
+        self._m_degraded = registry.counter("service.degraded.entered")
 
     # -- construction --------------------------------------------------------
 
@@ -166,6 +187,8 @@ class Tenant:
         root: str | pathlib.Path,
         spec: TenantSpec,
         secret_seed: int,
+        fault_profile: FaultProfile | None = None,
+        degraded_after: int = 3,
     ) -> "Tenant":
         """Create a brand-new tenant under ``root/tenants/<id>``."""
         directory = tenant_dir(root, spec.tenant_id)
@@ -177,7 +200,12 @@ class Tenant:
             )
         directory.mkdir(parents=True, exist_ok=True)
         registry = MetricRegistry()
-        store = FileStore(directory / "store")
+        fs = FaultFS(
+            profile=fault_profile,
+            stream=spec.tenant_id,
+            registry=registry,
+        )
+        store = FileStore(directory / "store", fs=fs)
         stack = EngineStack(
             spec.engine_config(),
             derive_key(secret_seed, spec.tenant_id),
@@ -192,23 +220,39 @@ class Tenant:
         manifest.write_text(
             json.dumps(spec.to_json(), indent=2, sort_keys=True) + "\n"
         )
-        return cls(spec, directory, stack, registry)
+        return cls(
+            spec, directory, stack, registry,
+            fs=fs, degraded_after=degraded_after,
+        )
 
     @classmethod
     def open(
-        cls, directory: str | pathlib.Path, secret_seed: int
+        cls,
+        directory: str | pathlib.Path,
+        secret_seed: int,
+        fault_profile: FaultProfile | None = None,
+        degraded_after: int = 3,
     ) -> "Tenant":
         """Recover a tenant from its directory (the restart path).
 
         Runs the full persist recovery state machine over the reloaded
         :class:`FileStore` -- torn tails discarded, checkpoint loaded,
         journal redone, root and anti-replay verified -- then re-wraps
-        the engine in the tenant's configured stack.
+        the engine in the tenant's configured stack.  The fault layer
+        starts *disarmed* and only arms once recovery has finished: a
+        chaos campaign's injected faults must never hit the repair path
+        (a real recovery reads back what the disk durably holds).
         """
         directory = pathlib.Path(directory)
         spec = read_manifest(directory)
-        store = load_file_store(directory / "store")
         registry = MetricRegistry()
+        fs = FaultFS(
+            profile=fault_profile,
+            stream=spec.tenant_id,
+            registry=registry,
+            armed=False,
+        )
+        store = load_file_store(directory / "store", fs=fs)
         stack, report = EngineStack.recover(
             store,
             spec.engine_config(),
@@ -217,7 +261,11 @@ class Tenant:
             resilience=spec.resilience_kwargs(),
             registry=registry,
         )
-        return cls(spec, directory, stack, registry, recovery=report)
+        fs.armed = True
+        return cls(
+            spec, directory, stack, registry, recovery=report,
+            fs=fs, degraded_after=degraded_after,
+        )
 
     # -- data path ------------------------------------------------------------
 
@@ -243,6 +291,13 @@ class Tenant:
                 f"tenant {self.tenant_id!r} is draining; writes refused",
                 tenant=self.tenant_id,
             )
+        if self.degraded_reason is not None:
+            raise TenantDegraded(
+                f"tenant {self.tenant_id!r} is degraded "
+                f"({self.degraded_reason}); writes refused, reads serve",
+                tenant=self.tenant_id,
+                reason=self.degraded_reason,
+            )
 
     def _check_address(self, address: int) -> None:
         if address % BLOCK_BYTES:
@@ -259,6 +314,7 @@ class Tenant:
         self._check_address(address)
         self.stack.write(address, data)
         self.stack.flush()
+        self._maybe_degrade()
 
     def write_batch(self, writes: list[tuple[int, bytes]]) -> None:
         """One group-commit: every write sealed under a single txn."""
@@ -266,11 +322,52 @@ class Tenant:
         for address, _ in writes:
             self._check_address(address)
         self.stack.write_many(writes)
+        self._maybe_degrade()
 
     def read(self, address: int):
         self._check_readable()
         self._check_address(address)
         return self.stack.read(address)
+
+    # -- degraded read-only mode ----------------------------------------------
+
+    def enter_degraded(self, reason: str) -> bool:
+        """Enter degraded read-only mode; True when newly entered."""
+        if self.degraded_reason is not None:
+            return False
+        self.degraded_reason = reason
+        self._m_degraded.inc()
+        return True
+
+    def record_storage_fault(self, fault: StorageFault) -> bool:
+        """Account one storage fault; True when it tipped the tenant
+        into degraded mode (``degraded_after`` consecutive-run budget).
+        """
+        self.storage_faults += 1
+        if self.storage_faults >= self.degraded_after:
+            return self.enter_degraded(
+                f"storage_faults={self.storage_faults} "
+                f"(last: {fault.kind.value} at fs step {fault.step})"
+            )
+        return False
+
+    def _maybe_degrade(self) -> bool:
+        """Degrade when the spare pool is gone but damage remains.
+
+        ``SparesExhausted`` never escapes the resilience plane (the
+        block stays mapped, merely unprotected), so the service polls
+        the quarantine after each write instead of catching anything.
+        """
+        resilient = self.stack.resilient
+        if resilient is None:
+            return False
+        quarantine = resilient.quarantine
+        if (
+            quarantine.spares_remaining == 0
+            and quarantine.degraded_count > 0
+        ):
+            return self.enter_degraded("spares_exhausted")
+        return False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -327,6 +424,8 @@ class Tenant:
         if resilient is not None:
             out["spares_remaining"] = resilient.quarantine.spares_remaining
             out["retired_blocks"] = len(resilient.quarantine.retired_addresses)
+        out["storage_faults"] = self.storage_faults
+        out["degraded_reason"] = self.degraded_reason
         if self.recovery is not None:
             out["recovered"] = self.recovery.to_json()
         return out
@@ -346,6 +445,15 @@ class Tenant:
                 status = "at_risk"
         if self.state is not TenantState.ACTIVE:
             status = self.state.value
+        if (
+            self.degraded_reason is not None
+            and self.state is not TenantState.RETIRED
+        ):
+            # Degraded read-only mode outranks everything but retired:
+            # an operator must see *why* writes are bouncing.
+            status = "degraded"
+            detail["degraded_reason"] = self.degraded_reason
+            detail["storage_faults"] = self.storage_faults
         detail["status"] = status
         return detail
 

@@ -1,0 +1,93 @@
+"""FaultPlan / FaultProfile: deterministic arming, CrashPlan-style."""
+
+import pickle
+
+import pytest
+
+from repro.faultfs import (
+    FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultProfile,
+    FaultSpec,
+    StorageFault,
+)
+
+
+class TestFaultPlan:
+    def test_single_arms_exactly_one_step(self):
+        plan = FaultPlan.single(3, FaultKind.ENOSPC)
+        assert plan.at(3) is FaultKind.ENOSPC
+        assert plan.at(2) is None
+        assert plan.at(4) is None
+
+    def test_duplicate_steps_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(faults=(
+                FaultSpec(1, FaultKind.EIO),
+                FaultSpec(1, FaultKind.ENOSPC),
+            ))
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(-1, FaultKind.EIO)
+
+
+class TestStorageFault:
+    def test_is_oserror_with_structured_fields(self):
+        fault = StorageFault(FaultKind.SHORT_WRITE, 7, "/x/y", "seal")
+        assert isinstance(fault, OSError)
+        assert fault.kind is FaultKind.SHORT_WRITE
+        assert fault.step == 7
+        assert fault.path == "/x/y"
+        assert "short_write" in str(fault) and "step 7" in str(fault)
+
+
+class TestFaultProfile:
+    def test_zero_rate_never_fires(self):
+        profile = FaultProfile(seed=1, rate=0.0)
+        assert all(
+            profile.fault_at("t", step) is None for step in range(200)
+        )
+
+    def test_decisions_are_deterministic_across_instances(self):
+        a = FaultProfile(seed=9, rate=0.3)
+        b = FaultProfile(seed=9, rate=0.3)
+        decisions = [a.fault_at("tenant-00", s) for s in range(100)]
+        assert decisions == [b.fault_at("tenant-00", s) for s in range(100)]
+        assert any(kind is not None for kind in decisions)
+
+    def test_streams_decorrelate(self):
+        profile = FaultProfile(seed=9, rate=0.3)
+        first = [profile.fault_at("tenant-00", s) for s in range(100)]
+        second = [profile.fault_at("tenant-01", s) for s in range(100)]
+        assert first != second
+
+    def test_warmup_steps_exempt(self):
+        profile = FaultProfile(seed=2, rate=1.0, warmup_steps=10)
+        assert all(
+            profile.fault_at("t", step) is None for step in range(10)
+        )
+        assert profile.fault_at("t", 10) is not None
+
+    def test_kinds_restricted_to_configured_set(self):
+        profile = FaultProfile(
+            seed=3, rate=1.0, kinds=(FaultKind.EIO,)
+        )
+        assert all(
+            profile.fault_at("t", step) is FaultKind.EIO
+            for step in range(50)
+        )
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            FaultProfile(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(rate=0.5, kinds=())
+
+    def test_picklable_for_spawned_workers(self):
+        profile = FaultProfile(seed=4, rate=0.25, warmup_steps=8)
+        assert pickle.loads(pickle.dumps(profile)) == profile
+
+    def test_catalog_enumerates_every_kind(self):
+        assert set(FAULT_KINDS) == set(FaultKind)

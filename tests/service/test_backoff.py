@@ -1,0 +1,52 @@
+"""Full-jitter exponential backoff (the retry-herd fix)."""
+
+import random
+
+import pytest
+
+from repro.service.backoff import BackoffPolicy
+
+
+class TestCeiling:
+    def test_doubles_per_attempt_until_cap(self):
+        policy = BackoffPolicy(base=0.02, cap=1.0)
+        assert policy.ceiling(0) == pytest.approx(0.02)
+        assert policy.ceiling(1) == pytest.approx(0.04)
+        assert policy.ceiling(2) == pytest.approx(0.08)
+        assert policy.ceiling(10) == 1.0  # clamped
+
+    def test_huge_attempt_does_not_overflow(self):
+        policy = BackoffPolicy(base=0.02, cap=1.0)
+        assert policy.ceiling(10_000) == 1.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().ceiling(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.5, cap=0.1)
+
+
+class TestDelay:
+    def test_jitter_stays_within_ceiling(self):
+        policy = BackoffPolicy(base=0.02, cap=1.0)
+        rng = random.Random(7)
+        for attempt in range(12):
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert 0.0 <= delay <= policy.ceiling(attempt)
+
+    def test_reproducible_per_seed(self):
+        policy = BackoffPolicy()
+        first = [policy.delay(a, random.Random(3)) for a in range(6)]
+        second = [policy.delay(a, random.Random(3)) for a in range(6)]
+        assert first == second
+
+    def test_distinct_seeds_decorrelate(self):
+        policy = BackoffPolicy()
+        a = [policy.delay(n, random.Random(1)) for n in range(8)]
+        b = [policy.delay(n, random.Random(2)) for n in range(8)]
+        assert a != b

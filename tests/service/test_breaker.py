@@ -1,0 +1,114 @@
+"""Circuit breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(threshold=3, cooldown=1.0, probes=1):
+    clock = FakeClock()
+    transitions = []
+    breaker = CircuitBreaker(
+        BreakerConfig(
+            failure_threshold=threshold,
+            cooldown=cooldown,
+            half_open_probes=probes,
+        ),
+        clock=clock,
+        on_transition=lambda old, new: transitions.append((old, new)),
+    )
+    return breaker, clock, transitions
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown=0.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(half_open_probes=0)
+
+
+class TestTrip:
+    def test_opens_at_threshold_and_fast_fails(self):
+        breaker, _, transitions = make(threshold=3)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # fast fail, no cooldown elapsed
+        assert transitions == [(CLOSED, OPEN)]
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestRecovery:
+    def test_cooldown_admits_one_probe_then_closes_on_success(self):
+        breaker, clock, transitions = make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        assert not breaker.allow()  # still cooling down
+        clock.advance(0.6)
+        assert breaker.allow()      # the half-open probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # probe quota spent
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert transitions == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+        ]
+
+    def test_half_open_failure_reopens_for_a_fresh_cooldown(self):
+        breaker, clock, transitions = make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # cooldown restarted at re-open
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert transitions == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN), (HALF_OPEN, OPEN),
+            (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+        ]
+
+    def test_probe_budget_is_configurable(self):
+        breaker, clock, _ = make(threshold=1, cooldown=1.0, probes=2)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        assert breaker.allow()      # second concurrent probe admitted
+        assert not breaker.allow()  # third is not

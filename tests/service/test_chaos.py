@@ -1,0 +1,221 @@
+"""The chaos campaign end to end, plus the acceptance gate's checks.
+
+One small campaign runs once per module (real worker processes, real
+injected disk faults, one shard SIGKILLed and restarted, induced
+overload and deadline expiries) and every test asserts one resilience
+claim against its payload.  ``scripts/chaos_gate.py`` -- the CI
+acceptance gate -- is imported and run against both the live payload
+and hand-tampered ones.
+"""
+
+import copy
+import importlib.util
+import json
+import pathlib
+import shutil
+import tempfile
+
+import pytest
+
+from repro.service.chaos import CHAOS_SCHEMA, ChaosSpec, run_chaos
+from repro.service.router import shard_of
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "chaos_gate", REPO / "scripts" / "chaos_gate.py"
+)
+chaos_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(chaos_gate)
+
+SPEC = ChaosSpec(
+    tenants=3,
+    shards=2,
+    ops_per_tenant=40,
+    region_kb=8,
+    seed=7,
+    overload_probes=24,
+    deadline_probes=4,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    # AF_UNIX's ~104-byte path cap rules out deep tmp_path factories.
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro-chaos-test-"))
+    try:
+        yield run_chaos(SPEC, root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+class TestSpec:
+    def test_victim_routes_off_the_killed_shard(self):
+        assert shard_of(SPEC.victim_tenant(), SPEC.shards) != SPEC.kill_shard
+
+    def test_quota_tenant_is_distinct_from_the_victim(self):
+        assert SPEC.quota_tenant() != SPEC.victim_tenant()
+
+    def test_safe_shard_is_never_the_killed_one(self):
+        assert SPEC.safe_shard() != SPEC.kill_shard
+
+    def test_single_shard_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(shards=1)
+        with pytest.raises(ValueError):
+            ChaosSpec(tenants=1)
+        with pytest.raises(ValueError):
+            ChaosSpec(kill_shard=9)
+        with pytest.raises(ValueError):
+            ChaosSpec(fault_rate=1.0)
+
+    def test_boost_profile_targets_the_victim(self):
+        options = SPEC.shard_options()
+        assert options.fault_boost_tenant == SPEC.victim_tenant()
+        assert options.profile_for(SPEC.victim_tenant()).rate == SPEC.boost_rate
+        assert options.profile_for("tenant-xx").rate == SPEC.fault_rate
+
+
+class TestCampaign:
+    def test_no_silent_corruption(self, payload):
+        results = payload["results"]
+        assert results["sdc_blocks"] == 0
+        assert results["inline_mismatches"] == 0
+        assert results["verified_blocks"] >= 1
+
+    def test_every_refusal_is_typed(self, payload):
+        assert payload["results"]["refusals"].get("internal", 0) == 0
+
+    def test_breaker_cycled_through_recovery(self, payload):
+        breaker = payload["results"]["breaker"]
+        assert breaker["opened"] >= 1
+        assert breaker["half_open"] >= 1
+        assert breaker["closed"] >= 1
+        # states is {tenant: {shard: state}}; every circuit recovered
+        assert all(
+            state == "closed"
+            for per_shard in breaker["states"].values()
+            for state in per_shard.values()
+        )
+
+    def test_overload_was_shed(self, payload):
+        assert payload["results"]["overload"]["shed"] >= 1
+
+    def test_deadline_probes_refused(self, payload):
+        deadline = payload["results"]["deadline"]
+        assert deadline["refused"] == deadline["sent"] >= 1
+
+    def test_kill_and_restart_recorded(self, payload):
+        actions = [e["action"] for e in payload["results"]["kill_events"]]
+        assert actions == ["kill", "restart"]
+
+    def test_victim_degraded_readable_write_refusing(self, payload):
+        degraded = payload["results"]["degraded"]
+        assert degraded["tenant"] == SPEC.victim_tenant()
+        assert degraded["write_refused"] is True
+        assert degraded["read_ok"] is True
+
+    def test_health_scrape_reports_the_degraded_tenant(self, payload):
+        victim_shard = shard_of(SPEC.victim_tenant(), SPEC.shards)
+        health = payload["health"][f"shard-{victim_shard}"]
+        assert health["status"] == "degraded"
+        entry = health["tenants"][SPEC.victim_tenant()]
+        assert entry["status"] == "degraded"
+
+    def test_retry_amplification_bounded(self, payload):
+        client = payload["results"]["client"]
+        assert client["amplification"] <= chaos_gate.MAX_AMPLIFICATION
+        assert client["sends"] >= payload["results"]["logical_ops"]
+
+    def test_gate_passes_the_live_payload(self, payload):
+        assert chaos_gate.check(payload) == []
+
+    def test_schema_stamped(self, payload):
+        assert payload["schema"] == CHAOS_SCHEMA
+        assert chaos_gate.EXPECTED_SCHEMA == CHAOS_SCHEMA
+
+
+class TestGate:
+    def passing_payload(self):
+        return {
+            "schema": CHAOS_SCHEMA,
+            "all_verified": True,
+            "results": {
+                "sdc_blocks": 0,
+                "inline_mismatches": 0,
+                "verified_blocks": 10,
+                "logical_ops": 100,
+                "refusals": {"degraded": 3},
+                "breaker": {"opened": 1, "half_open": 1, "closed": 1},
+                "overload": {"shed": 5},
+                "deadline": {"sent": 4, "refused": 4},
+                "degraded": {
+                    "tenant": "tenant-00",
+                    "write_refused": True,
+                    "read_ok": True,
+                },
+                "kill_events": [
+                    {"action": "kill"}, {"action": "restart"},
+                ],
+                "client": {"sends": 110, "amplification": 1.1},
+            },
+        }
+
+    def test_clean_payload_passes(self):
+        assert chaos_gate.check(self.passing_payload()) == []
+
+    @pytest.mark.parametrize("mutate,needle", [
+        (lambda r: r.__setitem__("sdc_blocks", 1), "silent corruption"),
+        (lambda r: r.__setitem__("inline_mismatches", 2), "inline"),
+        (lambda r: r.__setitem__("verified_blocks", 0), "proved nothing"),
+        (lambda r: r["refusals"].__setitem__("internal", 1), "untyped"),
+        (lambda r: r["breaker"].__setitem__("half_open", 0), "half_open"),
+        (lambda r: r["overload"].__setitem__("shed", 0), "never shed"),
+        (lambda r: r["deadline"].__setitem__("refused", 0), "deadline"),
+        (lambda r: r["degraded"].__setitem__("write_refused", False),
+         "refuse"),
+        (lambda r: r["degraded"].__setitem__("read_ok", False), "readable"),
+        (lambda r: r.__setitem__("kill_events", [{"action": "kill"}]),
+         "restart"),
+        (lambda r: r["client"].__setitem__("amplification", 3.5),
+         "amplification"),
+        (lambda r: r["client"].pop("amplification"), "amplification"),
+    ])
+    def test_each_claim_is_enforced(self, mutate, needle):
+        payload = copy.deepcopy(self.passing_payload())
+        mutate(payload["results"])
+        failures = chaos_gate.check(payload)
+        assert failures, "tampering went undetected"
+        assert any(needle in failure for failure in failures), failures
+
+    def test_wrong_schema_is_terminal(self):
+        payload = self.passing_payload()
+        payload["schema"] = "bogus/9"
+        failures = chaos_gate.check(payload)
+        assert len(failures) == 1 and "schema" in failures[0]
+
+    def test_all_verified_flag_checked(self):
+        payload = self.passing_payload()
+        payload["all_verified"] = False
+        assert any(
+            "all_verified" in failure
+            for failure in chaos_gate.check(payload)
+        )
+
+    def test_main_on_committed_bench(self, tmp_path, capsys):
+        bench = REPO / "BENCH_chaos.json"
+        if not bench.exists():
+            pytest.skip("BENCH_chaos.json not committed yet")
+        assert chaos_gate.main([str(bench)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_main_missing_file(self, tmp_path, capsys):
+        assert chaos_gate.main([str(tmp_path / "nope.json")]) == 1
+
+    def test_main_failing_payload(self, tmp_path, capsys):
+        payload = self.passing_payload()
+        payload["results"]["sdc_blocks"] = 3
+        target = tmp_path / "bad.json"
+        target.write_text(json.dumps(payload))
+        assert chaos_gate.main([str(target)]) == 1
+        assert "FAIL" in capsys.readouterr().err
