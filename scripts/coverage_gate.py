@@ -12,6 +12,7 @@ which is exactly how correctness-critical code rots.  Floors:
 
 * ``repro.crypto``     >= 90% lines
 * ``repro.core``       >= 90% lines
+* ``repro.fast``       >= 85% lines
 * ``repro.faultfs``    >= 85% lines
 * ``repro.persist``    >= 85% lines
 * ``repro.resilience`` >= 85% lines
@@ -38,6 +39,7 @@ import xml.etree.ElementTree as ET
 FLOORS = {
     "repro/crypto/": 0.90,
     "repro/core/": 0.90,
+    "repro/fast/": 0.85,
     "repro/faultfs/": 0.85,
     "repro/persist/": 0.85,
     "repro/resilience/": 0.85,

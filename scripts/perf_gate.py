@@ -14,13 +14,22 @@ Times the same figure-8-style workload twice:
   ``BatchSecureMemory`` in ``fast`` mode, applications sharded across
   worker processes (``repro bench`` semantics).
 
-Both runs use ``keystream_mode="aes"`` so the hot loop is the real AES
-round function -- the path the batch kernels exist to accelerate --
-and both verify their read-backs, so neither side can win by skipping
-work.  The measured speedup is recorded in ``BENCH_perf.json`` and the
+Both runs use the ``fast`` keystream backend (real AES, numpy-batched)
+so the hot loop is the actual AES round function -- the path the batch
+kernels exist to accelerate -- and both verify their read-backs, so
+neither side can win by skipping work.  The measured speedup is recorded in ``BENCH_perf.json`` and the
 script exits non-zero if it falls below the floor (default 5x, the
 acceptance criterion), making a perf regression a red build instead of
 a silent slowdown.
+
+The gate also ratchets the **AES-NI floor**: the ``aesni`` backend
+(hardware AES via ``cryptography``) must beat the ``fast`` numpy
+backend by ``--min-aesni-speedup`` on the keystream kernel itself (the
+keystream-bound probe: batched pad generation over thousands of
+nonces), and its end-to-end bench run must reproduce the numpy
+backend's engine state digests bit for bit.  When the ``cryptography``
+package is absent the probe is skipped with a notice (the backend is
+environment-gated, not optional where available).
 
 The gate also probes **group-commit amortization**: the same write
 stream runs batched without durability, batched with durability (one
@@ -38,6 +47,7 @@ artifact like the ``repro bench`` payloads.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
@@ -57,6 +67,7 @@ from repro.harness.parallel import (  # noqa: E402
     _resolve_profile,
     run_bench,
 )
+from repro.fast.backends import resolve_backend  # noqa: E402
 from repro.harness.runner import BLOCK_BYTES, WritebackFilter  # noqa: E402
 from repro.obs.metrics import MetricRegistry, use_registry  # noqa: E402
 
@@ -114,6 +125,71 @@ def run_batched(spec: BenchSpec, workers: int) -> tuple[float, dict]:
     if mismatches:
         raise AssertionError(f"batched read-back mismatches: {mismatches}")
     return elapsed, payload
+
+
+def run_aesni_probe(
+    spec: BenchSpec,
+    workers: int,
+    fast_bench_seconds: float,
+    fast_payload: dict,
+    nonces: int = 4096,
+    repeats: int = 5,
+) -> dict:
+    """Keystream-kernel and end-to-end comparison of aesni vs fast.
+
+    The gated number is the *kernel* speedup -- batched 64-byte pad
+    generation over ``nonces`` nonces, the keystream-bound inner loop --
+    because the end-to-end bench ratio is diluted by everything that is
+    not keystream work (tree walks, queue bookkeeping).  Both numbers
+    are recorded.  The probe also re-runs the bench under ``aesni`` and
+    requires its per-app state digests to match the ``fast`` payload's:
+    the hardware path must be bit-identical, not just faster.
+    """
+    counters = list(range(1, nonces + 1))
+    addresses = [i * BLOCK_BYTES for i in range(nonces)]
+    key = _app_key("aesni-probe", spec.seed)[:16]
+    kernel_seconds = {}
+    for name in ("fast", "aesni"):
+        engine = resolve_backend(name).build(key)
+        engine.pads(counters[:8], addresses[:8])  # warm up
+        started = time.perf_counter()
+        for _ in range(repeats):
+            engine.pads(counters, addresses)
+        kernel_seconds[name] = time.perf_counter() - started
+    kernel_speedup = (
+        kernel_seconds["fast"] / kernel_seconds["aesni"]
+        if kernel_seconds["aesni"]
+        else 0.0
+    )
+
+    aesni_spec = dataclasses.replace(spec, keystream="aesni")
+    aesni_seconds, aesni_payload = run_batched(aesni_spec, workers)
+    digests_fast = {
+        app: result["state_digest"]
+        for app, result in fast_payload["results"].items()
+    }
+    digests_aesni = {
+        app: result["state_digest"]
+        for app, result in aesni_payload["results"].items()
+    }
+    if digests_fast != digests_aesni:
+        raise AssertionError(
+            "aesni and fast backends disagree on engine state digests: "
+            f"{digests_aesni} != {digests_fast}"
+        )
+    return {
+        "nonces": nonces,
+        "repeats": repeats,
+        "kernel_fast_seconds": round(kernel_seconds["fast"], 4),
+        "kernel_aesni_seconds": round(kernel_seconds["aesni"], 4),
+        "kernel_speedup": round(kernel_speedup, 2),
+        "bench_fast_seconds": round(fast_bench_seconds, 3),
+        "bench_aesni_seconds": round(aesni_seconds, 3),
+        "bench_speedup": round(
+            fast_bench_seconds / aesni_seconds if aesni_seconds else 0.0, 2
+        ),
+        "state_digests_match": True,
+    }
 
 
 def run_group_commit_probe(spec: BenchSpec, chunk: int = 32) -> dict:
@@ -212,6 +288,12 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--min-speedup", type=float, default=5.0)
     parser.add_argument(
+        "--min-aesni-speedup",
+        type=float,
+        default=4.0,
+        help="floor on the aesni-vs-fast keystream kernel speedup",
+    )
+    parser.add_argument(
         "--max-durable-overhead",
         type=float,
         default=2.0,
@@ -228,7 +310,7 @@ def main(argv=None) -> int:
         accesses=args.accesses,
         region_mb=args.region_mb,
         seed=args.seed,
-        keystream="aes",
+        keystream="fast",
     )
     scalar_seconds = run_scalar_baseline(spec)
     batched_seconds, bench_payload = run_batched(spec, args.workers)
@@ -245,6 +327,27 @@ def main(argv=None) -> int:
         f"(floor {args.min_speedup:.1f}x) -> "
         f"{'PASS' if passed else 'FAIL'}"
     )
+
+    aesni_backend = resolve_backend("aesni")
+    aesni_error = aesni_backend.availability_error()
+    if aesni_error is None:
+        aesni = run_aesni_probe(
+            spec, args.workers, batched_seconds, bench_payload
+        )
+        aesni_passed = aesni["kernel_speedup"] >= args.min_aesni_speedup
+        aesni["min_aesni_speedup"] = args.min_aesni_speedup
+        aesni["pass"] = aesni_passed
+        print(
+            f"perf_gate: aesni kernel {aesni['kernel_speedup']:.1f}x the "
+            f"fast numpy backend over {aesni['nonces']} nonces (floor "
+            f"{args.min_aesni_speedup:.1f}x), end-to-end "
+            f"{aesni['bench_speedup']:.2f}x, state digests match -> "
+            f"{'PASS' if aesni_passed else 'FAIL'}"
+        )
+    else:
+        aesni = {"skipped": aesni_error}
+        aesni_passed = True
+        print(f"perf_gate: aesni probe SKIPPED: {aesni_error}")
 
     group_commit = run_group_commit_probe(spec)
     gc_passed = group_commit["overhead_ratio"] < args.max_durable_overhead
@@ -267,6 +370,7 @@ def main(argv=None) -> int:
             **spec.config_dict(),
             "workers": args.workers,
             "min_speedup": args.min_speedup,
+            "min_aesni_speedup": args.min_aesni_speedup,
             "max_durable_overhead": args.max_durable_overhead,
         },
         "results": {
@@ -275,6 +379,7 @@ def main(argv=None) -> int:
             "speedup": round(speedup, 2),
             "writebacks": blocks,
             "pass": passed,
+            "aesni": aesni,
             "group_commit": group_commit,
         },
         "metrics": bench_payload["metrics"],
@@ -282,7 +387,7 @@ def main(argv=None) -> int:
     path = pathlib.Path(args.json_out)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"perf_gate: wrote {path}")
-    return 0 if passed and gc_passed else 1
+    return 0 if passed and aesni_passed and gc_passed else 1
 
 
 if __name__ == "__main__":

@@ -19,7 +19,7 @@ Quick start::
     from repro import SecureMemory, preset
 
     config = preset("combined", protected_bytes=1 << 20,
-                    keystream_mode="fast")
+                    keystream_mode="splitmix")
     memory = SecureMemory(config, key=bytes(range(48)))
     memory.write(0, b"secret".ljust(64, b"\\x00"))
     print(memory.read(0).data[:6])          # b'secret'

@@ -39,8 +39,21 @@ from repro.analysis.storage import (
 )
 from repro.core.engine.config import PRESETS, preset
 from repro.core.engine.secure_memory import SecureMemory
+from repro.fast.backends import keystream_backends
 from repro.fast.kernels import MODES as KERNEL_MODES
-from repro.harness.parallel import BenchSpec, dump_payload, run_bench
+from repro.harness.parallel import (
+    TRANSPORTS,
+    BenchSpec,
+    dump_payload,
+    run_bench,
+)
+from repro.harness.study import (
+    DEFAULT_KEYSTREAMS,
+    DEFAULT_MODES,
+    StudySpec,
+    dump_study,
+    run_study,
+)
 from repro.harness.reporting import format_table
 from repro.harness.runner import PerformanceExperiment, ReencryptionExperiment
 from repro.lint import (
@@ -194,8 +207,11 @@ def _cmd_bench(args) -> int:
         seed=args.seed,
         preset=args.preset,
         keystream=args.keystream,
+        paranoid_sample=args.paranoid_sample,
     )
-    payload = run_bench(spec, workers=args.workers)
+    payload = run_bench(
+        spec, workers=args.workers, transport=args.transport
+    )
     rows = [
         [
             app,
@@ -284,7 +300,7 @@ def _cmd_attacks(args) -> int:
             preset(
                 args.preset,
                 protected_bytes=args.region_mb * 1024 * 1024,
-                keystream_mode="fast",
+                keystream_mode="splitmix",
             ),
             os.urandom(48),
         )
@@ -308,7 +324,7 @@ def _cmd_resilience(args) -> int:
     config = preset(
         args.preset,
         protected_bytes=args.region_kb * 1024,
-        keystream_mode="fast",
+        keystream_mode="splitmix",
     )
     # Key derived from the seed so the whole run is reproducible.
     key = bytes(random.Random(args.seed).randrange(256) for _ in range(48))
@@ -526,6 +542,7 @@ def _cmd_loadgen(args) -> int:
         ops_per_tenant=args.ops,
         region_kb=args.region_kb,
         preset=args.preset,
+        keystream=args.keystream,
         seed=args.seed,
         secret_seed=args.secret_seed,
         quota=QuotaConfig(
@@ -660,6 +677,63 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_study(args) -> int:
+    spec = StudySpec(
+        apps=tuple(args.apps),
+        accesses=args.accesses,
+        region_mb=args.region_mb,
+        cores=args.cores,
+        seed=args.seed,
+        keystreams=tuple(args.keystreams),
+        modes=tuple(args.modes),
+        workers=tuple(args.workers_list),
+        presets=tuple(args.presets),
+        transport=args.transport,
+    )
+    payload = run_study(spec, jobs=args.jobs)
+    rows = [
+        [
+            label,
+            summary["elapsed_seconds"],
+            summary["blocks_per_second"],
+            summary["readback_mismatches"],
+        ]
+        for label, summary in sorted(payload["flavors"].items())
+    ]
+    print(
+        format_table(
+            f"Perf study ({len(rows)} flavors)",
+            ["flavor", "seconds", "blocks/s", "mismatches"],
+            rows,
+        )
+    )
+    for group, entry in sorted(payload["comparisons"].items()):
+        parts = []
+        speedups = entry.get("speedup_vs_reference")
+        if speedups:
+            best = max(speedups, key=lambda name: speedups[name])
+            parts.append(f"best {best} {speedups[best]:.2f}x reference")
+        if "aesni_vs_fast" in entry:
+            parts.append(f"aesni {entry['aesni_vs_fast']:.2f}x fast")
+        if "aes_family_digest_agreement" in entry:
+            parts.append(
+                "digests "
+                + ("agree" if entry["aes_family_digest_agreement"]
+                   else "DIVERGE")
+            )
+        print(f"{group}: " + ", ".join(parts))
+    for name, reason in sorted(payload["skipped_backends"].items()):
+        print(f"skipped backend {name}: {reason}", file=sys.stderr)
+    if args.json_out:
+        path = dump_study(payload, args.json_out)
+        print(f"wrote study payload to {path}", file=sys.stderr)
+    summary = payload["summary"]
+    failed = summary["readback_mismatches"] or not summary[
+        "aes_family_digest_agreement"
+    ]
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -715,15 +789,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=list(KERNEL_MODES), default="fast",
                    help="kernel dispatch: fast, reference, or paranoid "
                         "(runs both and cross-checks)")
+    p.add_argument("--paranoid-sample", type=int, default=0, metavar="N",
+                   help="with --mode fast: cross-check 1-in-N kernel "
+                        "calls against the scalar reference on a seeded "
+                        "deterministic schedule")
     p.add_argument("--accesses", type=int, default=20_000,
                    help="trace accesses per core")
     p.add_argument("--preset", default="combined",
                    choices=sorted(PRESETS))
-    p.add_argument("--keystream", choices=["fast", "aes"], default="fast",
-                   help="keystream generator (aes = real batched AES)")
+    p.add_argument("--keystream", choices=list(keystream_backends()),
+                   default="splitmix",
+                   help="keystream backend (reference/fast/aesni run "
+                        "real AES with different execution strategies; "
+                        "splitmix is the simulation PRF)")
+    p.add_argument("--transport", choices=list(TRANSPORTS), default="shm",
+                   help="how block batches reach pool workers: shm "
+                        "(zero-copy shared-memory views) or pickle; "
+                        "never changes the payload")
     p.add_argument("--json-out", metavar="FILE", default=None,
                    help="write the merged bench payload as JSON")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "study",
+        help="perf-study sweep over keystream x mode x workers x preset "
+             "flavors (BENCH_study.json comparison artifact)",
+    )
+    p.add_argument("--apps", nargs="+", default=["stream", "gups"],
+                   choices=table2_apps() + sorted(MICRO_PROFILES),
+                   metavar="APP")
+    p.add_argument("--accesses", type=int, default=5_000,
+                   help="trace accesses per core, per flavor")
+    p.add_argument("--region-mb", type=int, default=4)
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--keystreams", nargs="+",
+                   default=list(DEFAULT_KEYSTREAMS),
+                   choices=list(keystream_backends()), metavar="BACKEND",
+                   help="keystream backends to sweep (unavailable ones "
+                        "are skipped and recorded)")
+    p.add_argument("--modes", nargs="+", default=list(DEFAULT_MODES),
+                   metavar="MODE",
+                   help="kernel-mode tokens: fast, reference, paranoid, "
+                        "or sampled:N")
+    p.add_argument("--workers-list", nargs="+", type=int, default=[1, 2],
+                   metavar="N", help="worker counts to sweep")
+    p.add_argument("--presets", nargs="+", default=["combined"],
+                   choices=sorted(PRESETS), metavar="PRESET")
+    p.add_argument("--transport", choices=list(TRANSPORTS), default="shm",
+                   help="bench transport used by every flavor")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="post-processing pool size (default: cpu-bound)")
+    p.add_argument("--json-out", metavar="FILE", default=None,
+                   help="write the study payload as JSON "
+                        "(e.g. BENCH_study.json)")
+    p.set_defaults(func=_cmd_study)
 
     p = sub.add_parser("figure1", help="storage overhead (Figure 1)")
     common(p, default_region=512)
@@ -907,6 +1027,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="protected region per tenant in KiB")
     p.add_argument("--preset", default="combined",
                    choices=sorted(PRESETS))
+    p.add_argument("--keystream", choices=list(keystream_backends()),
+                   default="splitmix",
+                   help="keystream backend every tenant is provisioned "
+                        "with")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--secret-seed", type=int, default=0xDAC2018)
     p.add_argument("--rate-ops", type=_rate, default=0.0,

@@ -51,7 +51,10 @@ class EngineConfig:
     )
     tree_arity: int = 8
     onchip_tree_bytes: int = 3072
-    keystream_mode: str = "aes"  # "aes" | "fast"
+    #: keystream backend name from the :mod:`repro.fast.backends`
+    #: registry ("reference" | "fast" | "aesni" | "splitmix"); the legacy
+    #: spelling "aes" normalizes to "fast" (same construction and bytes)
+    keystream_mode: str = "fast"
     #: extra read-path cycles for delta decode (paper: 2 at up to 4 GHz)
     decode_cycles: int = 2
     #: pipelined AES-CTR latency hiding the keystream behind the fetch
@@ -72,8 +75,26 @@ class EngineConfig:
     def __post_init__(self) -> None:
         if self.protected_bytes <= 0 or self.protected_bytes % BLOCK_BYTES:
             raise ValueError("protected_bytes must be a multiple of 64")
-        if self.keystream_mode not in ("aes", "fast"):
-            raise ValueError("keystream_mode must be 'aes' or 'fast'")
+        from repro.fast.backends import keystream_backends, resolve_backend
+
+        try:
+            backend = resolve_backend(self.keystream_mode)
+        except ValueError:
+            raise ValueError(
+                f"keystream_mode must be one of "
+                f"{'/'.join(keystream_backends())} "
+                f"(got {self.keystream_mode!r})"
+            ) from None
+        error = backend.availability_error()
+        if error is not None:
+            raise ConfigError(
+                f"keystream backend {backend.name!r} is unavailable: {error}"
+            )
+        # Normalize legacy aliases ("aes" -> "fast") so every consumer
+        # downstream -- engine, kernels, bench payloads -- sees one
+        # canonical name.
+        if backend.name != self.keystream_mode:
+            object.__setattr__(self, "keystream_mode", backend.name)
 
     # -- derived helpers ---------------------------------------------------
 

@@ -149,7 +149,19 @@ class SecureMemory:
             self.scheme = config.build_scheme()
         mode = config.keystream_mode
         self._cipher = CtrModeCipher(key[:16], mode=mode)
-        self._mac = CarterWegmanMac(key[16:40], mode=mode)
+        # The MAC's nonce mask follows the keystream backend's family:
+        # AES-family backends mask with AES (accelerated through the same
+        # backend's block encryptor), the splitmix backend masks with the
+        # simulation PRF.
+        backend = self._cipher.backend
+        if backend.family == "aes":
+            self._mac = CarterWegmanMac(
+                key[16:40],
+                mode="aes",
+                mask_encryptor=backend.build_encryptor(key[24:40]),
+            )
+        else:
+            self._mac = CarterWegmanMac(key[16:40], mode="fast")
         self._codec = MacEccCodec(self._mac)
         self._corrector = FlipAndCheckCorrector(self._mac)
         self._correction_method = correction_method

@@ -8,15 +8,17 @@ to the block cipher").
 
 A 64-byte block needs four AES output blocks; we vary a 2-bit segment index
 inside the AES input so the four keystream blocks are distinct.
+
+How the block cipher is *executed* is pluggable: ``mode`` names a
+:class:`repro.fast.backends.KeystreamBackend` (``reference`` / ``fast`` /
+``aesni`` run the identical AES construction with different execution
+strategies; ``splitmix`` swaps in the non-cryptographic simulation PRF).
+The legacy spelling ``"aes"`` resolves to ``fast``.
 """
 
 from __future__ import annotations
 
-from repro.crypto.aes import AES128
-from repro.crypto.prf import XorShiftKeystream
-
 MEMORY_BLOCK_SIZE = 64  # bytes; one cache line / one protected block
-_AES_BLOCK = 16
 
 
 class KeystreamGenerator:
@@ -27,22 +29,25 @@ class KeystreamGenerator:
     key:
         16-byte encryption key.
     mode:
-        ``"aes"`` (default) for real AES-CTR; ``"fast"`` for the
-        simulation-speed PRF (see :mod:`repro.crypto.prf`).
+        A registered keystream backend name (see
+        :func:`repro.fast.backends.keystream_backends`): ``reference``,
+        ``fast`` (default; alias ``aes``) and ``aesni`` for real AES-CTR,
+        ``splitmix`` for the simulation-speed PRF.
     """
 
-    def __init__(self, key: bytes, mode: str = "aes") -> None:
-        if mode not in ("aes", "fast"):
-            raise ValueError(f"unknown keystream mode {mode!r}")
-        self.mode = mode
-        self._aes: AES128 | None = None
-        self._fast: XorShiftKeystream | None = None
-        if mode == "aes":
-            self._aes = AES128(key)
-        else:
-            self._fast = XorShiftKeystream(key)
+    def __init__(self, key: bytes, mode: str = "fast") -> None:
+        from repro.fast.backends import resolve_backend
 
-    def keystream(self, counter: int, address: int, length: int = MEMORY_BLOCK_SIZE) -> bytes:
+        backend = resolve_backend(mode)
+        self.backend = backend
+        self.mode = backend.name
+        self.family = backend.family
+        self._key = bytes(key)
+        self.engine = backend.build(self._key)
+
+    def keystream(
+        self, counter: int, address: int, length: int = MEMORY_BLOCK_SIZE
+    ) -> bytes:
         """Keystream bytes for a block identified by (counter, address).
 
         The (counter, address) pair is the nonce: reusing a pair reproduces
@@ -51,35 +56,26 @@ class KeystreamGenerator:
         """
         if counter < 0 or address < 0:
             raise ValueError("counter and address must be non-negative")
-        if self._fast is not None:
-            seed = ((counter & ((1 << 64) - 1)) << 64) | (address & ((1 << 64) - 1))
-            return self._fast.keystream(seed, length)
-        assert self._aes is not None
-        out = bytearray()
-        segment = 0
-        while len(out) < length:
-            # AES input block: 56-bit counter | 6-byte address | 2-byte segment
-            block = (
-                (counter & ((1 << 56) - 1)).to_bytes(7, "little")
-                + b"\x00"
-                + (address & ((1 << 48) - 1)).to_bytes(6, "little")
-                + segment.to_bytes(2, "little")
-            )
-            assert len(block) == _AES_BLOCK
-            out.extend(self._aes.encrypt_block(block))
-            segment += 1
-        return bytes(out[:length])
+        return self.engine.keystream(counter, address, length)
 
 
 class CtrModeCipher:
     """Counter-mode encryption of whole 64-byte memory blocks."""
 
-    def __init__(self, key: bytes, mode: str = "aes") -> None:
+    def __init__(self, key: bytes, mode: str = "fast") -> None:
         self._generator = KeystreamGenerator(key, mode=mode)
 
     @property
     def mode(self) -> str:
         return self._generator.mode
+
+    @property
+    def family(self) -> str:
+        return self._generator.family
+
+    @property
+    def backend(self):
+        return self._generator.backend
 
     def encrypt(self, plaintext: bytes, counter: int, address: int) -> bytes:
         """Encrypt one memory block under nonce (counter, address)."""
@@ -89,6 +85,18 @@ class CtrModeCipher:
     def decrypt(self, ciphertext: bytes, counter: int, address: int) -> bytes:
         """Decrypt one memory block (XOR is an involution)."""
         return self.encrypt(ciphertext, counter, address)
+
+    def reference_twin(self) -> "CtrModeCipher":
+        """An independent scalar implementation of the same construction.
+
+        Used as the cross-check side of paranoid / sampled-paranoid
+        kernel verification: for AES-family backends the twin is the
+        pure-python ``reference`` backend, so a hardware (``aesni``)
+        fast path is checked against table AES rather than against
+        itself.
+        """
+        twin_mode = "reference" if self.family == "aes" else "splitmix"
+        return CtrModeCipher(self._generator._key, mode=twin_mode)
 
 
 __all__ = ["KeystreamGenerator", "CtrModeCipher", "MEMORY_BLOCK_SIZE"]

@@ -47,14 +47,23 @@ class CarterWegmanMac:
         ``"aes"`` (default) masks nonces with AES; ``"fast"`` uses the
         simulation-speed PRF.  Tags from the two modes differ, but all
         structural properties (linearity, nonce binding) are identical.
+    mask_encryptor:
+        Optional :class:`repro.fast.backends.BlockEncryptor` keyed with
+        ``key[8:24]`` that accelerates the ``"aes"`` nonce mask (e.g.
+        hardware AES-NI).  Must be bit-identical to table AES under the
+        same key; the table-AES schedule is always kept alongside it so
+        :meth:`reference_twin` stays an independent implementation.
     """
 
-    def __init__(self, key: bytes, mode: str = "aes") -> None:
+    def __init__(
+        self, key: bytes, mode: str = "aes", mask_encryptor=None
+    ) -> None:
         if len(key) < 24:
             raise ValueError("CarterWegmanMac key must be at least 24 bytes")
         if mode not in ("aes", "fast"):
             raise ValueError(f"unknown MAC mode {mode!r}")
         self.mode = mode
+        self._key = bytes(key[:24])
         h = int.from_bytes(key[:8], "little")
         # h == 0 would hash every message to 0 and h == 1 degenerates the
         # polynomial to a plain XOR; remap both to a fixed full-weight
@@ -62,8 +71,10 @@ class CarterWegmanMac:
         self._h = h if h > 1 else 0xD6E8FEB86659FD93
         self._mask_cipher: AES128 | None = None
         self._mask_prf: SplitMix64 | None = None
+        self._mask_encryptor = None
         if mode == "aes":
             self._mask_cipher = AES128(key[8:24])
+            self._mask_encryptor = mask_encryptor
         else:
             self._mask_prf = SplitMix64(key[8:24])
 
@@ -92,7 +103,12 @@ class CarterWegmanMac:
             block = (address & _MASK64).to_bytes(8, "little") + (
                 (counter & ((1 << 63) - 1)) | (1 << 63)
             ).to_bytes(8, "little")
-            return int.from_bytes(self._mask_cipher.encrypt_block(block)[:8], "little")
+            encrypt = (
+                self._mask_encryptor.encrypt_block
+                if self._mask_encryptor is not None
+                else self._mask_cipher.encrypt_block
+            )
+            return int.from_bytes(encrypt(block)[:8], "little")
         assert self._mask_prf is not None
         mixed = self._mask_prf.value(address & _MASK64)
         return self._mask_prf.value(mixed ^ (counter & _MASK64) ^ 0xA5A5A5A5A5A5A5A5)
@@ -108,6 +124,17 @@ class CarterWegmanMac:
     def verify(self, message: bytes, address: int, counter: int, tag: int) -> bool:
         """Check a stored tag.  Constant-time behaviour is out of scope."""
         return self.tag(message, address, counter) == (tag & MAC_MASK)
+
+    def reference_twin(self) -> "CarterWegmanMac":
+        """Same-key MAC with the pure-python mask implementation.
+
+        The cross-check side of paranoid / sampled-paranoid kernel
+        verification: when the production mask runs through an
+        accelerated encryptor (AES-NI), the twin recomputes it through
+        table AES so the comparison is between independent
+        implementations.
+        """
+        return CarterWegmanMac(self._key, mode=self.mode)
 
     # -- linearity hooks for accelerated flip-and-check --------------------
 

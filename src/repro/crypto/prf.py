@@ -3,7 +3,7 @@
 The paper's evaluation runs billions of simulated cycles.  The *timing*
 results (Figure 8, Table 2) depend only on counter values, cache behaviour
 and transaction counts -- not on the actual keystream bits.  The engine
-therefore accepts a ``keystream="fast"`` knob that swaps real AES for the
+therefore accepts a ``keystream_mode="splitmix"`` knob that swaps real AES for the
 mixers below, keeping long simulations tractable while every functional
 property (distinct nonce -> distinct keystream, keyed) still holds
 statistically.

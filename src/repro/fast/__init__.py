@@ -6,10 +6,17 @@ counter pack/unpack -- has a numpy-batched twin in this package that
 processes N blocks per call instead of one.  The pairing is explicit: each
 fast kernel registers against its scalar reference in a
 :class:`repro.fast.kernels.KernelPair`, and the kernel table can run in
-``fast`` (batched only), ``reference`` (scalar only) or ``paranoid``
-(run both, cross-check every call) mode.  The differential test suite
-(`tests/fast/test_differential.py`) property-tests ``fast(x) ==
-reference(x)`` for every pair, so the speedup never costs bit-exactness.
+``fast`` (batched only), ``reference`` (scalar only), ``paranoid``
+(run both, cross-check every call) or sampled-paranoid
+(``paranoid_sample=N``: cross-check 1-in-N calls on a seeded schedule)
+mode.  The differential test suites (`tests/fast/test_differential.py`,
+`tests/fast/test_backend_differential.py`) property-test ``fast(x) ==
+reference(x)`` for every pair and every keystream backend, so the
+speedup never costs bit-exactness.
+
+The block cipher itself is pluggable: :mod:`repro.fast.backends` keys
+keystream execution strategies (``reference`` / ``fast`` / ``aesni`` /
+``splitmix``) by name, selected through ``EngineConfig.keystream_mode``.
 
 :class:`repro.fast.batch_memory.BatchSecureMemory` composes the kernels
 into a façade over :class:`repro.core.engine.secure_memory.SecureMemory`
@@ -17,10 +24,14 @@ that queues reads/writes, groups them per 4 KB block-group, and flushes
 them through the batch kernels while leaving the underlying engine in a
 state indistinguishable from having performed the same operations
 scalar-ly, one at a time.
+
+Submodules are imported lazily (PEP 562): ``repro.fast.backends`` is
+imported by ``repro.core.engine.config`` for backend-name validation, so
+an eager import of :mod:`repro.fast.batch_memory` here would close an
+import cycle back through the engine.
 """
 
-from repro.fast.batch_memory import BatchSecureMemory
-from repro.fast.kernels import KernelDivergence, KernelPair, KernelTable
+from typing import Any
 
 __all__ = [
     "BatchSecureMemory",
@@ -28,3 +39,26 @@ __all__ = [
     "KernelPair",
     "KernelTable",
 ]
+
+_LAZY = {
+    "BatchSecureMemory": "repro.fast.batch_memory",
+    "KernelDivergence": "repro.fast.kernels",
+    "KernelPair": "repro.fast.kernels",
+    "KernelTable": "repro.fast.kernels",
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY))

@@ -73,7 +73,12 @@ from repro.persist.journal import DataImage
 class BatchSecureMemory:
     """Queue/flush façade running an engine through the batch kernels."""
 
-    def __init__(self, engine: SecureMemory, mode: str = "fast") -> None:
+    def __init__(
+        self,
+        engine: SecureMemory,
+        mode: str = "fast",
+        paranoid_sample: int = 0,
+    ) -> None:
         if not isinstance(engine, SecureMemory):
             raise ConfigError(
                 "BatchSecureMemory wraps the core SecureMemory, not "
@@ -89,6 +94,7 @@ class BatchSecureMemory:
             engine.corrector,
             engine.scheme,
             mode=mode,
+            paranoid_sample=paranoid_sample,
         )
         self._has_counter_kernels = "counters.encode" in self.kernels.pairs
         registry = engine.registry
@@ -106,6 +112,10 @@ class BatchSecureMemory:
     @property
     def mode(self) -> str:
         return self.kernels.mode
+
+    @property
+    def paranoid_sample(self) -> int:
+        return self.kernels.paranoid_sample
 
     # -- queueing ----------------------------------------------------------
 

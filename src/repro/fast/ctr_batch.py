@@ -2,18 +2,13 @@
 
 Vector twin of :class:`repro.crypto.ctr.CtrModeCipher`: one call produces
 the keystreams for N ``(counter, address)`` nonces and XORs them into N
-64-byte blocks.  Both keystream modes are covered:
-
-* ``aes``  -- the Section 2.1 construction: four AES blocks per memory
-  block over ``56-bit counter | 0 | 48-bit address | 16-bit segment``,
-  batched through :class:`repro.fast.aes_batch.BatchAes128`;
-* ``fast`` -- the simulation PRF: ``prf(addr ^ mix(counter ^ word))``
-  expanded 8 bytes at a time, batched through
-  :class:`repro.fast.prf_batch.BatchSplitMix64`.
-
-The byte-level layouts replicate the scalar code exactly (including the
-masking quirks, e.g. the aes-mode keystream only sees the low 56 counter
-bits); the differential suite pins the equivalence.
+64-byte blocks.  The actual pad computation lives in the scalar cipher's
+keystream backend (:mod:`repro.fast.backends`) -- AES-family backends
+batch the Section 2.1 nonce blocks through their block encryptor (numpy
+byte-plane AES or hardware AES-NI), the splitmix backend vectorizes the
+simulation PRF -- so this class is a thin shape-checking adapter and the
+batched pads are bit-identical to the scalar ones by construction.  The
+differential suites pin that equivalence.
 """
 
 from __future__ import annotations
@@ -23,19 +18,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.crypto.ctr import CtrModeCipher, MEMORY_BLOCK_SIZE
-from repro.fast.aes_batch import BatchAes128
-from repro.fast.prf_batch import BatchSplitMix64, splitmix64_batch
-
-_MASK64 = (1 << 64) - 1
-_MASK56 = (1 << 56) - 1
-_MASK48 = (1 << 48) - 1
-_WORDS_PER_BLOCK = MEMORY_BLOCK_SIZE // 8
-_AES_BLOCKS = MEMORY_BLOCK_SIZE // 16
-
-
-def _as_u64(values: Sequence[int], mask: int = _MASK64) -> np.ndarray:
-    """Convert arbitrary non-negative Python ints to masked uint64."""
-    return np.array([v & mask for v in values], dtype=np.uint64)
 
 
 class BatchCtrCipher:
@@ -44,58 +26,14 @@ class BatchCtrCipher:
     def __init__(self, cipher: CtrModeCipher) -> None:
         generator = cipher._generator
         self.mode = generator.mode
-        self._aes: BatchAes128 | None = None
-        self._prf: BatchSplitMix64 | None = None
-        if generator.mode == "aes":
-            assert generator._aes is not None
-            self._aes = BatchAes128.from_scalar(generator._aes)
-        else:
-            assert generator._fast is not None
-            self._prf = BatchSplitMix64(generator._fast._prf)
+        self.family = generator.family
+        self._engine = generator.engine
 
     def keystream(
         self, counters: Sequence[int], addresses: Sequence[int]
     ) -> np.ndarray:
         """64-byte keystreams for N (counter, address) nonces: (N, 64)."""
-        if self._aes is not None:
-            return self._aes_keystream(counters, addresses)
-        return self._fast_keystream(counters, addresses)
-
-    def _aes_keystream(
-        self, counters: Sequence[int], addresses: Sequence[int]
-    ) -> np.ndarray:
-        n = len(counters)
-        c = _as_u64(counters, _MASK56)
-        a = _as_u64(addresses, _MASK48)
-        # AES input per segment: 7-byte counter | 0 | 6-byte address |
-        # 2-byte segment index, all little-endian (scalar layout).
-        blocks = np.zeros((n, _AES_BLOCKS, 16), dtype=np.uint8)
-        for k in range(7):
-            blocks[:, :, k] = (
-                (c >> np.uint64(8 * k)) & np.uint64(0xFF)
-            ).astype(np.uint8)[:, None]
-        for k in range(6):
-            blocks[:, :, 8 + k] = (
-                (a >> np.uint64(8 * k)) & np.uint64(0xFF)
-            ).astype(np.uint8)[:, None]
-        blocks[:, :, 14] = np.arange(_AES_BLOCKS, dtype=np.uint8)
-        encrypted = self._aes.encrypt_blocks(blocks.reshape(-1, 16))
-        return encrypted.reshape(n, MEMORY_BLOCK_SIZE)
-
-    def _fast_keystream(
-        self, counters: Sequence[int], addresses: Sequence[int]
-    ) -> np.ndarray:
-        n = len(counters)
-        # Scalar seed = counter << 64 | address, split back into
-        # high = counter, low = address inside XorShiftKeystream.
-        high = _as_u64(counters)
-        low = _as_u64(addresses)
-        word_index = np.arange(_WORDS_PER_BLOCK, dtype=np.uint64)
-        tweak = splitmix64_batch(high[:, None] ^ word_index)
-        words = self._prf.value(low[:, None] ^ tweak)
-        return (
-            words.astype("<u8").view(np.uint8).reshape(n, MEMORY_BLOCK_SIZE)
-        )
+        return self._engine.pads(counters, addresses)
 
     def xor_blocks(
         self,

@@ -31,9 +31,11 @@ from repro.fast.ctr_batch import BatchCtrCipher
 from repro.fast.ecc_batch import BatchFlipAndCheck
 from repro.fast.mac_batch import BatchCarterWegmanMac
 from repro.fast import counters_batch
+from repro.crypto.prf import splitmix64
 from repro.obs.metrics import get_registry
 
 MODES = ("fast", "reference", "paranoid")
+_SEED_MASK = (1 << 64) - 1
 
 
 class KernelDivergence(AssertionError):
@@ -62,13 +64,48 @@ class KernelPair:
     equal: Callable[[Any, Any], bool] = field(default=_default_equal)
 
 
-class KernelTable:
-    """Mode-dispatched registry of kernel pairs."""
+#: default seed for the sampled-paranoid schedule (any fixed value works;
+#: determinism is the requirement, not secrecy)
+SAMPLE_SEED = 0x0DAC2018
 
-    def __init__(self, pairs: Sequence[KernelPair], mode: str = "fast") -> None:
+
+class KernelTable:
+    """Mode-dispatched registry of kernel pairs.
+
+    ``paranoid_sample=N`` (with ``mode="fast"``) enables *sampled*
+    paranoid verification: every Nth kernel call -- counted across the
+    table, on a seeded deterministic schedule -- also runs the scalar
+    reference and cross-checks the results.  The schedule's phase is
+    derived from ``sample_seed`` so repeated runs check the same calls,
+    the sampling rate is exactly 1/N, and a *persistent* kernel
+    corruption is caught within N calls.
+    """
+
+    def __init__(
+        self,
+        pairs: Sequence[KernelPair],
+        mode: str = "fast",
+        paranoid_sample: int = 0,
+        sample_seed: int = SAMPLE_SEED,
+    ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown kernel mode {mode!r}")
+        if paranoid_sample < 0:
+            raise ValueError("paranoid_sample must be >= 0")
+        if paranoid_sample and mode != "fast":
+            raise ValueError(
+                "paranoid_sample only applies to mode='fast' "
+                "(reference/paranoid modes already check every call)"
+            )
         self.mode = mode
+        self.paranoid_sample = paranoid_sample
+        self.sample_seed = sample_seed
+        self._calls_seen = 0
+        self._sample_phase = (
+            splitmix64(sample_seed & _SEED_MASK) % paranoid_sample
+            if paranoid_sample
+            else 0
+        )
         self.pairs: dict[str, KernelPair] = {}
         for pair in pairs:
             if pair.name in self.pairs:
@@ -82,6 +119,8 @@ class KernelTable:
         self._m_divergence = registry.counter(
             "fast.paranoid.divergence", inst=inst
         )
+        self._m_sampled = registry.counter("fast.paranoid.sampled", inst=inst)
+        self._m_skipped = registry.counter("fast.paranoid.skipped", inst=inst)
 
     def run(self, name: str, *args: Any, blocks: int = 1) -> Any:
         """Execute one kernel under the table's mode."""
@@ -91,7 +130,16 @@ class KernelTable:
         result = pair.fast(*args)
         self._m_calls.inc()
         self._m_blocks.inc(blocks)
-        if self.mode == "paranoid":
+        check = self.mode == "paranoid"
+        if not check and self.paranoid_sample:
+            index = self._calls_seen
+            self._calls_seen += 1
+            if index % self.paranoid_sample == self._sample_phase:
+                check = True
+                self._m_sampled.inc()
+            else:
+                self._m_skipped.inc()
+        if check:
             reference = pair.reference(*args)
             self._m_checks.inc()
             if not pair.equal(result, reference):
@@ -149,8 +197,16 @@ def build_kernel_table(
     corrector: FlipAndCheckCorrector,
     scheme: Any,
     mode: str = "fast",
+    paranoid_sample: int = 0,
+    sample_seed: int = SAMPLE_SEED,
 ) -> KernelTable:
-    """Bind the full kernel-pair set to one engine's primitives."""
+    """Bind the full kernel-pair set to one engine's primitives.
+
+    The crypto reference sides are *independent twins* of the production
+    primitives (same key, pure-python implementation), so paranoid and
+    sampled-paranoid checks on an accelerated backend (numpy batches,
+    AES-NI) compare against table AES rather than the code under test.
+    """
     batch_cipher = BatchCtrCipher(cipher)
     batch_mac = BatchCarterWegmanMac(mac)
     batch_corrector = BatchFlipAndCheck(corrector)
@@ -158,12 +214,12 @@ def build_kernel_table(
         KernelPair(
             name="ctr.encrypt",
             fast=batch_cipher.xor_blocks,
-            reference=_reference_ctr_encrypt(cipher),
+            reference=_reference_ctr_encrypt(cipher.reference_twin()),
         ),
         KernelPair(
             name="mac.tags",
             fast=batch_mac.tags,
-            reference=_reference_mac_tags(mac),
+            reference=_reference_mac_tags(mac.reference_twin()),
         ),
         KernelPair(
             name="ecc.flip_and_check",
@@ -227,7 +283,12 @@ def build_kernel_table(
                 reference=scheme.group_metadata,
             )
         )
-    return KernelTable(pairs, mode=mode)
+    return KernelTable(
+        pairs,
+        mode=mode,
+        paranoid_sample=paranoid_sample,
+        sample_seed=sample_seed,
+    )
 
 
 __all__ = [
@@ -235,5 +296,6 @@ __all__ = [
     "KernelPair",
     "KernelTable",
     "MODES",
+    "SAMPLE_SEED",
     "build_kernel_table",
 ]

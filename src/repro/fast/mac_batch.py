@@ -42,10 +42,16 @@ class BatchCarterWegmanMac:
     def __init__(self, mac: CarterWegmanMac) -> None:
         self.mode = mac.mode
         self._horner = BatchHornerHash(mac._h)
-        self._mask_aes: BatchAes128 | None = None
+        self._mask_aes = None
         self._mask_prf: BatchSplitMix64 | None = None
         if mac._mask_cipher is not None:
-            self._mask_aes = BatchAes128.from_scalar(mac._mask_cipher)
+            # The mask cipher batches through the MAC's backend encryptor
+            # when one is attached (e.g. AES-NI); otherwise through the
+            # numpy byte-plane AES bound to the scalar key schedule.
+            if mac._mask_encryptor is not None:
+                self._mask_aes = mac._mask_encryptor
+            else:
+                self._mask_aes = BatchAes128.from_scalar(mac._mask_cipher)
         else:
             assert mac._mask_prf is not None
             self._mask_prf = BatchSplitMix64(mac._mask_prf)

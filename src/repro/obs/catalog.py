@@ -189,6 +189,12 @@ def _fast_specs() -> list[MetricSpec]:
                    "paranoid-mode fast/reference cross-checks"),
         MetricSpec("fast.paranoid.divergence", "counter",
                    "paranoid-mode divergences (must stay zero)"),
+        MetricSpec("fast.paranoid.sampled", "counter",
+                   "kernel calls selected by the sampled-paranoid "
+                   "schedule (1-in-N, seeded)"),
+        MetricSpec("fast.paranoid.skipped", "counter",
+                   "kernel calls the sampled-paranoid schedule let "
+                   "through unchecked"),
         MetricSpec("fast.batch.reads", "counter",
                    "reads queued through the batch facade"),
         MetricSpec("fast.batch.writes", "counter",

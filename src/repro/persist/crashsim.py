@@ -107,7 +107,7 @@ class CrashSimSpec:
             self.preset,
             protected_bytes=self.group_count * 64 * BLOCK_BYTES,
             scheme_kwargs=dict(self.scheme_kwargs),
-            keystream_mode="fast",
+            keystream_mode="splitmix",
         )
 
     def durability(self) -> DurabilityConfig:

@@ -55,6 +55,7 @@ class LoadgenSpec:
     read_every: int = 5
     region_kb: int = 16
     preset: str = "combined"
+    keystream: str = "splitmix"
     seed: int = 1
     secret_seed: int = 0xDAC2018
     quota: QuotaConfig = field(default_factory=QuotaConfig)
@@ -85,6 +86,7 @@ class LoadgenSpec:
             "read_every": self.read_every,
             "region_kb": self.region_kb,
             "preset": self.preset,
+            "keystream": self.keystream,
             "seed": self.seed,
             "kill_shard": self.kill_shard,
             "kill_after_fraction": self.kill_after_fraction,
@@ -144,6 +146,7 @@ class _TenantTraffic:
             "tenant": self.tenant_id,
             "preset": self.spec.preset,
             "region_kb": self.spec.region_kb,
+            "keystream": self.spec.keystream,
             "quota": self.spec.quota.to_json(),
         })
         self.capacity_bytes = int(response["capacity_bytes"])

@@ -8,7 +8,8 @@ frame :func:`repro.service.errors.to_response` produces.
 
 Operations::
 
-    provision {tenant, preset?, region_kb?, resilience?, quota?...}
+    provision {tenant, preset?, region_kb?, keystream?, resilience?,
+               quota?...}
     write     {tenant, address, data}       one acknowledged write
     batch     {tenant, writes: [[addr, data], ...]}  one group-commit
     read      {tenant, address}
@@ -464,6 +465,7 @@ class Shard:
             tenant_id=str(request["tenant"]),
             preset=str(request.get("preset", "combined")),
             region_kb=int(request.get("region_kb", 64)),
+            keystream=str(request.get("keystream", "splitmix")),
             resilience=bool(request.get("resilience", False)),
             spare_blocks=int(request.get("spare_blocks", 4)),
             ce_threshold=int(request.get("ce_threshold", 2)),

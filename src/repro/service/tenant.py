@@ -87,6 +87,7 @@ class TenantSpec:
     tenant_id: str
     preset: str = "combined"
     region_kb: int = 64
+    keystream: str = "splitmix"
     resilience: bool = False
     spare_blocks: int = 4
     ce_threshold: int = 2
@@ -105,9 +106,21 @@ class TenantSpec:
             raise ValueError("spare_blocks and ce_threshold must be >= 1")
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
+        # Validate + normalize the backend name at spec construction so
+        # a bad manifest fails at provision time, not on worker start,
+        # and legacy aliases never land in tenant.json.
+        from repro.fast.backends import resolve_backend
+
+        object.__setattr__(
+            self, "keystream", resolve_backend(self.keystream).name
+        )
 
     def engine_config(self):
-        return preset(self.preset, protected_bytes=self.region_kb * 1024)
+        return preset(
+            self.preset,
+            protected_bytes=self.region_kb * 1024,
+            keystream_mode=self.keystream,
+        )
 
     def durability_config(self) -> DurabilityConfig:
         return DurabilityConfig(
@@ -128,6 +141,7 @@ class TenantSpec:
             "tenant_id": self.tenant_id,
             "preset": self.preset,
             "region_kb": self.region_kb,
+            "keystream": self.keystream,
             "resilience": self.resilience,
             "spare_blocks": self.spare_blocks,
             "ce_threshold": self.ce_threshold,
@@ -146,6 +160,7 @@ class TenantSpec:
             tenant_id=payload["tenant_id"],
             preset=payload.get("preset", "combined"),
             region_kb=int(payload.get("region_kb", 64)),
+            keystream=payload.get("keystream", "splitmix"),
             resilience=bool(payload.get("resilience", False)),
             spare_blocks=int(payload.get("spare_blocks", 4)),
             ce_threshold=int(payload.get("ce_threshold", 2)),

@@ -73,6 +73,7 @@ class EngineStack:
         *,
         fast: bool = True,
         kernel_mode: str = "fast",
+        paranoid_sample: int = 0,
         durability: DurabilityConfig | None = None,
         store: DurableStore | None = None,
         resilience: dict[str, Any] | None = None,
@@ -96,7 +97,11 @@ class EngineStack:
         self.registry = registry
         self.engine = engine
         self.batch: BatchSecureMemory | None = (
-            BatchSecureMemory(engine, mode=kernel_mode) if fast else None
+            BatchSecureMemory(
+                engine, mode=kernel_mode, paranoid_sample=paranoid_sample
+            )
+            if fast
+            else None
         )
         self.resilient: ResilientMemory | None = (
             ResilientMemory(memory=engine, registry=registry, **resilience)
@@ -191,6 +196,7 @@ class EngineStack:
         *,
         fast: bool = True,
         kernel_mode: str = "fast",
+        paranoid_sample: int = 0,
         durability: DurabilityConfig | None = None,
         resilience: dict[str, Any] | None = None,
         registry: MetricRegistry | None = None,
@@ -210,6 +216,7 @@ class EngineStack:
         stack = cls(
             fast=fast,
             kernel_mode=kernel_mode,
+            paranoid_sample=paranoid_sample,
             resilience=resilience,
             registry=registry,
             _engine=engine,

@@ -14,7 +14,7 @@ def factory(preset_name, region=16 * 1024 * 1024):
     def build():
         return SecureMemory(
             preset(preset_name, protected_bytes=region,
-                   keystream_mode="fast"),
+                   keystream_mode="splitmix"),
             KEY,
         )
 

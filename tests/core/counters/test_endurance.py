@@ -42,7 +42,7 @@ class TestOverflowPaths:
         with use_registry(registry):
             memory = SecureMemory(
                 preset("endurance", protected_bytes=8192,
-                       keystream_mode="fast"),
+                       keystream_mode="splitmix"),
                 key48,
             )
             payload = bytes(range(64))

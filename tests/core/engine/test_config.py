@@ -75,3 +75,32 @@ class TestBuildHelpers:
             EngineConfig(protected_bytes=100)
         with pytest.raises(ValueError):
             EngineConfig(keystream_mode="rot13")
+
+
+class TestKeystreamMode:
+    """keystream_mode is validated against (and normalized by) the
+    backend registry at construction time."""
+
+    def test_default_is_fast(self):
+        assert EngineConfig().keystream_mode == "fast"
+
+    def test_every_registered_backend_accepted(self):
+        from repro.fast.backends import keystream_backends, resolve_backend
+
+        for name in keystream_backends():
+            if resolve_backend(name).availability_error() is not None:
+                continue
+            assert EngineConfig(keystream_mode=name).keystream_mode == name
+
+    def test_legacy_aes_alias_normalized(self):
+        # Pre-registry configs said keystream_mode="aes"; they must
+        # keep working and resolve to the canonical backend name.
+        assert EngineConfig(keystream_mode="aes").keystream_mode == "fast"
+
+    def test_unknown_backend_names_choices(self):
+        with pytest.raises(ValueError, match="aesni"):
+            EngineConfig(keystream_mode="rot13")
+
+    def test_preset_override_carries_backend(self):
+        config = preset("combined", keystream_mode="splitmix")
+        assert config.keystream_mode == "splitmix"

@@ -133,7 +133,7 @@ class TestTamperDetection:
     def test_tree_node_corruption_detected(self, key48, rng):
         memory = SecureMemory(
             preset("combined", protected_bytes=16 * 1024 * 1024,
-                   keystream_mode="fast"),
+                   keystream_mode="splitmix"),
             key48,
         )
         memory.write(0, random_block(rng))
@@ -245,7 +245,7 @@ class TestKeyHandling:
 
     def test_different_keys_different_ciphertexts(self, rng):
         config = preset("combined", protected_bytes=4096,
-                        keystream_mode="fast")
+                        keystream_mode="splitmix")
         a = SecureMemory(config, bytes(range(48)))
         b = SecureMemory(config, bytes(range(1, 49)))
         data = random_block(rng)
@@ -271,7 +271,7 @@ class TestGlobalReencryption:
             preset(
                 "mac_in_ecc",
                 protected_bytes=8 * 1024,  # 128 blocks, 2 groups
-                keystream_mode="fast",
+                keystream_mode="splitmix",
                 counter_scheme="monolithic",
                 scheme_kwargs={"counter_bits": 4},  # wraps after 15 writes
             ),

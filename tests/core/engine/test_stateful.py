@@ -35,7 +35,7 @@ class SecureMemoryMachine(RuleBasedStateMachine):
             preset(
                 "combined",
                 protected_bytes=BLOCKS * 64,
-                keystream_mode="fast",
+                keystream_mode="splitmix",
                 scheme_kwargs={"delta_bits": 4},  # overflow often
             ),
             KEY,

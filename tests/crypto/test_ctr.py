@@ -5,7 +5,7 @@ import pytest
 from repro.crypto.ctr import MEMORY_BLOCK_SIZE, CtrModeCipher, KeystreamGenerator
 
 
-@pytest.fixture(params=["aes", "fast"])
+@pytest.fixture(params=["reference", "fast", "aesni", "splitmix"])
 def cipher(request):
     return CtrModeCipher(bytes(range(16)), mode=request.param)
 
@@ -89,7 +89,13 @@ class TestKeystreamGenerator:
         with pytest.raises(ValueError):
             KeystreamGenerator(bytes(16), mode="rot13")
 
-    def test_modes_differ(self):
-        aes = KeystreamGenerator(bytes(16), mode="aes")
+    def test_families_differ(self):
+        aes = KeystreamGenerator(bytes(16), mode="fast")
+        splitmix = KeystreamGenerator(bytes(16), mode="splitmix")
+        assert aes.keystream(1, 64) != splitmix.keystream(1, 64)
+
+    def test_legacy_aes_alias_resolves_to_fast(self):
+        legacy = KeystreamGenerator(bytes(16), mode="aes")
+        assert legacy.mode == "fast"
         fast = KeystreamGenerator(bytes(16), mode="fast")
-        assert aes.keystream(1, 64) != fast.keystream(1, 64)
+        assert legacy.keystream(1, 64) == fast.keystream(1, 64)

@@ -11,10 +11,35 @@ compatibility -- fails loudly.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.crypto.aes import AES128
 from repro.crypto.mac import CarterWegmanMac
+from repro.fast.backends import (
+    BACKEND_ALIASES,
+    KeystreamBackend,
+    keystream_backends,
+    register_backend,
+    resolve_backend,
+)
+
+
+def _available_backends(family=None):
+    out = []
+    for name in keystream_backends():
+        backend = resolve_backend(name)
+        if family is not None and backend.family != family:
+            continue
+        out.append(
+            pytest.param(name, marks=())
+            if backend.availability_error() is None
+            else pytest.param(
+                name,
+                marks=pytest.mark.skip(reason=backend.availability_error()),
+            )
+        )
+    return out
 
 # -- FIPS-197 appendix vectors ---------------------------------------------
 
@@ -38,6 +63,129 @@ FIPS197_VECTORS = [
 def test_fips197_encrypt(key, plaintext, ciphertext):
     aes = AES128(bytes.fromhex(key))
     assert aes.encrypt_block(bytes.fromhex(plaintext)).hex() == ciphertext
+
+
+# -- the same vectors, through every registered AES-family backend ----------
+
+
+@pytest.mark.parametrize("backend_name", _available_backends(family="aes"))
+@pytest.mark.parametrize("key,plaintext,ciphertext", FIPS197_VECTORS)
+def test_fips197_every_aes_backend(backend_name, key, plaintext, ciphertext):
+    encryptor = resolve_backend(backend_name).build_encryptor(
+        bytes.fromhex(key)
+    )
+    assert (
+        encryptor.encrypt_block(bytes.fromhex(plaintext)).hex() == ciphertext
+    )
+
+
+@pytest.mark.parametrize("backend_name", _available_backends(family="aes"))
+def test_fips197_every_aes_backend_batch(backend_name):
+    # The batch entry point must agree with the scalar one on the same
+    # standard vectors (stacked in one call).
+    for key, plaintext, ciphertext in FIPS197_VECTORS:
+        encryptor = resolve_backend(backend_name).build_encryptor(
+            bytes.fromhex(key)
+        )
+        blocks = np.frombuffer(
+            bytes.fromhex(plaintext) * 3, dtype=np.uint8
+        ).reshape(3, 16)
+        out = np.asarray(encryptor.encrypt_blocks(blocks))
+        assert out.shape == (3, 16)
+        for row in out:
+            assert bytes(bytearray(row)).hex() == ciphertext
+
+
+@pytest.mark.parametrize("backend_name", _available_backends(family="aes"))
+def test_sp800_38a_ctr_every_aes_backend(backend_name):
+    # Standard CTR mode is ECB over the counter blocks; composing any
+    # backend's block encryptor with the NIST counter sequence must
+    # reproduce the F.5.1 keystream exactly.
+    encryptor = resolve_backend(backend_name).build_encryptor(
+        bytes.fromhex(SP800_38A_KEY)
+    )
+    counter0 = int(SP800_38A_COUNTER0, 16)
+    for index, (plain_hex, cipher_hex) in enumerate(SP800_38A_BLOCKS):
+        counter = (counter0 + index) % (1 << 128)
+        pad = encryptor.encrypt_block(counter.to_bytes(16, "big"))
+        plain = bytes.fromhex(plain_hex)
+        assert bytes(a ^ b for a, b in zip(plain, pad)).hex() == cipher_hex
+
+
+# -- pinned engine keystream pads, one per backend family -------------------
+
+KEYSTREAM_KEY = bytes(range(16))
+
+#: family -> 64-byte pad for (counter=5, address=0x1000), frozen from
+#: the reviewed implementation; every backend of a family must emit its
+#: family's exact bytes, so a new backend cannot silently change what
+#: ends up XORed into memory.
+KEYSTREAM_GOLDEN = {
+    "aes": (
+        "7516e0672d1aab2a5792c4ac5b5d2d0edefcf66368b5942d386a66b3de822fb8"
+        "8a94296e475cc4bba462e7e74eb3271818b2c2c0134efacf86fa0fee31cf6028"
+    ),
+    "splitmix": (
+        "e618b9f0ed1d41722677971e8440e70e359f425484ab111107d9e72675251f10"
+        "ee5839d07ac71da33fa39c98c695b3ddbedb8dbc0be3c5c9c649206cd0f546ca"
+    ),
+}
+
+
+@pytest.mark.parametrize("backend_name", _available_backends())
+def test_engine_keystream_pinned_per_family(backend_name):
+    backend = resolve_backend(backend_name)
+    golden = KEYSTREAM_GOLDEN.get(backend.family)
+    assert golden is not None, (
+        f"backend {backend_name!r} declares family {backend.family!r} "
+        "with no pinned keystream vector; add one to KEYSTREAM_GOLDEN"
+    )
+    engine = backend.build(KEYSTREAM_KEY)
+    assert engine.keystream(5, 0x1000, 64).hex() == golden
+
+
+@pytest.mark.parametrize("backend_name", _available_backends())
+def test_engine_pads_batch_matches_pinned(backend_name):
+    engine = resolve_backend(backend_name).build(KEYSTREAM_KEY)
+    golden = KEYSTREAM_GOLDEN[resolve_backend(backend_name).family]
+    pads = np.asarray(engine.pads([5], [0x1000]))
+    assert pads.shape == (1, 64)
+    assert bytes(bytearray(pads[0])).hex() == golden
+
+
+# -- registry contract ------------------------------------------------------
+
+
+def test_registry_lists_expected_backends_in_order():
+    assert list(keystream_backends()) == [
+        "reference",
+        "fast",
+        "aesni",
+        "splitmix",
+    ]
+
+
+def test_registry_resolves_legacy_alias():
+    assert BACKEND_ALIASES == {"aes": "fast"}
+    assert resolve_backend("aes").name == "fast"
+
+
+def test_registry_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown keystream backend"):
+        resolve_backend("nope")
+
+
+def test_registry_rejects_duplicate_registration():
+    existing = resolve_backend("fast")
+    with pytest.raises(ValueError, match="duplicate keystream backend"):
+        register_backend(
+            KeystreamBackend(
+                name="fast",
+                family=existing.family,
+                summary="duplicate",
+                encryptor_factory=existing.encryptor_factory,
+            )
+        )
 
 
 @pytest.mark.parametrize("key,plaintext,ciphertext", FIPS197_VECTORS)

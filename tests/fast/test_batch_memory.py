@@ -36,14 +36,14 @@ CONFIGS = [
 
 
 def _config(name, scheme_kwargs):
-    config = preset(name, protected_bytes=REGION, keystream_mode="fast")
+    config = preset(name, protected_bytes=REGION, keystream_mode="splitmix")
     if scheme_kwargs:
         merged = dict(config.scheme_kwargs)
         merged.update(scheme_kwargs)
         config = preset(
             name,
             protected_bytes=REGION,
-            keystream_mode="fast",
+            keystream_mode="splitmix",
             scheme_kwargs=merged,
         )
     return config

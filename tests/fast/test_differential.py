@@ -42,7 +42,7 @@ def _as_matrix(rows: list) -> np.ndarray:
 # -- ctr.encrypt -----------------------------------------------------------
 
 
-@pytest.mark.parametrize("mode", ["aes", "fast"])
+@pytest.mark.parametrize("mode", ["reference", "fast", "aesni", "splitmix"])
 @settings(max_examples=40, deadline=None)
 @given(key=KEYS, rows=BLOCKS, data=st.data())
 def test_ctr_keystream_differential(mode, key, rows, data):

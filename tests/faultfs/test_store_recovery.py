@@ -27,7 +27,7 @@ N_WRITES = 6
 
 def small_config():
     return preset("combined", protected_bytes=4096,
-                  scheme_kwargs={"delta_bits": 2}, keystream_mode="fast")
+                  scheme_kwargs={"delta_bits": 2}, keystream_mode="splitmix")
 
 
 def durability():

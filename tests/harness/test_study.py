@@ -1,0 +1,221 @@
+"""The perf-study sweep harness: grid expansion, summarization, payload.
+
+Wall-clock numbers are host noise, so these tests pin everything
+*except* the timings: mode-token parsing, grid expansion and skip
+accounting, the purity of :func:`summarize_flavor` (serial and pooled
+post-processing must agree on identical raw records), cross-backend
+digest agreement, and the payload schema.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fast.backends import resolve_backend
+from repro.harness.study import (
+    STUDY_SCHEMA,
+    Flavor,
+    StudySpec,
+    parse_mode_token,
+    render_study,
+    run_flavor,
+    run_study,
+    summarize_flavor,
+)
+
+SPEC = StudySpec(
+    apps=("stream",),
+    accesses=3000,
+    region_mb=2,
+    keystreams=("reference", "fast"),
+    modes=("fast",),
+    workers=(1,),
+)
+
+
+class TestModeTokens:
+    def test_plain_modes(self):
+        assert parse_mode_token("fast") == ("fast", 0)
+        assert parse_mode_token("reference") == ("reference", 0)
+        assert parse_mode_token("paranoid") == ("paranoid", 0)
+
+    def test_sampled(self):
+        assert parse_mode_token("sampled:4") == ("fast", 4)
+        assert parse_mode_token("sampled:128") == ("fast", 128)
+
+    @pytest.mark.parametrize("token", ["sampled:0", "sampled:-3"])
+    def test_sampled_requires_positive(self, token):
+        with pytest.raises(ValueError, match="N >= 1"):
+            parse_mode_token(token)
+
+    def test_unknown_token(self):
+        with pytest.raises(ValueError, match="unknown mode token"):
+            parse_mode_token("yolo")
+
+
+class TestGrid:
+    def test_flavor_label_and_group(self):
+        flavor = Flavor(
+            preset="combined", keystream="aesni",
+            mode_token="sampled:32", workers=2,
+        )
+        assert flavor.label == "combined/aesni/sampled:32/w2"
+        # The group omits the keystream: members differ only by backend.
+        assert flavor.group == "combined/sampled:32/w2"
+
+    def test_grid_size(self):
+        spec = StudySpec(
+            keystreams=("reference", "fast"),
+            modes=("fast", "sampled:8"),
+            workers=(1, 2),
+            presets=("combined",),
+        )
+        flavors, skipped = spec.flavors()
+        assert len(flavors) == 2 * 2 * 2
+        assert skipped == {}
+
+    def test_unknown_keystream_raises(self):
+        with pytest.raises(ValueError, match="unknown keystream backend"):
+            StudySpec(keystreams=("nope",)).flavors()
+
+    def test_sampled_flavor_builds_bench_spec(self):
+        flavor = Flavor(
+            preset="combined", keystream="fast",
+            mode_token="sampled:16", workers=1,
+        )
+        bench = flavor.bench_spec(StudySpec())
+        assert bench.mode == "fast"
+        assert bench.paranoid_sample == 16
+        assert bench.keystream == "fast"
+
+
+@pytest.fixture(scope="module")
+def raw_records():
+    flavors, skipped = SPEC.flavors()
+    assert not skipped
+    return [run_flavor(flavor, SPEC) for flavor in flavors]
+
+
+class TestSummarize:
+    def test_pure_and_pool_safe(self, raw_records):
+        # Same record in, same summary out -- the precondition for
+        # fanning summaries over a process pool.
+        for raw in raw_records:
+            assert summarize_flavor(raw) == summarize_flavor(raw)
+
+    def test_summary_fields(self, raw_records):
+        summary = summarize_flavor(raw_records[0])
+        assert summary["keystream"] == "reference"
+        assert summary["family"] == "aes"
+        assert summary["writebacks"] > 0
+        assert summary["blocks_per_second"] > 0
+        assert summary["readback_mismatches"] == 0
+        assert set(summary["state_digests"]) == {"stream"}
+
+
+class TestRunStudy:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_study(SPEC, jobs=2)
+
+    def test_schema_and_flavor_count(self, payload):
+        assert payload["schema"] == STUDY_SCHEMA
+        assert payload["bench"] == "study"
+        assert len(payload["flavors"]) == 2
+        assert payload["summary"]["flavors"] == 2
+        assert payload["summary"]["keystreams_available"] == [
+            "reference", "fast",
+        ]
+
+    def test_aes_family_digests_agree(self, payload):
+        assert payload["summary"]["aes_family_digest_agreement"] is True
+        digests = {
+            summary["state_digests"]["stream"]
+            for summary in payload["flavors"].values()
+        }
+        assert len(digests) == 1
+
+    def test_comparisons_have_reference_speedups(self, payload):
+        (entry,) = payload["comparisons"].values()
+        assert entry["keystreams"] == ["fast", "reference"]
+        assert entry["speedup_vs_reference"]["reference"] == pytest.approx(
+            1.0
+        )
+        # The numpy batch backend must beat the scalar table loop by a
+        # wide margin even on tiny workloads.
+        assert entry["speedup_vs_reference"]["fast"] > 1.5
+
+    def test_pool_and_serial_post_processing_agree(self, payload):
+        serial = run_study(SPEC, jobs=1)
+        # Timings differ run to run; everything derived from the bench
+        # payloads must not.
+        for label, summary in payload["flavors"].items():
+            other = serial["flavors"][label]
+            for field in (
+                "keystream", "mode", "workers", "preset", "family",
+                "group", "writebacks", "readback_mismatches",
+                "state_digests", "paranoid",
+            ):
+                assert summary[field] == other[field], (label, field)
+
+    def test_render_is_json_with_trailing_newline(self, payload):
+        import json
+
+        text = render_study(payload)
+        assert text.endswith("\n")
+        assert json.loads(text)["schema"] == STUDY_SCHEMA
+
+
+class TestSampledAndSkipped:
+    def test_sampled_mode_meters(self):
+        spec = StudySpec(
+            apps=("stream",),
+            accesses=3000,
+            region_mb=2,
+            keystreams=("fast",),
+            modes=("sampled:8",),
+            workers=(1,),
+        )
+        payload = run_study(spec, jobs=1)
+        (summary,) = payload["flavors"].values()
+        assert summary["mode"] == "sampled:8"
+        assert summary["paranoid"]["sampled"] > 0
+        assert summary["paranoid"]["divergence"] == 0
+
+    def test_unavailable_backend_recorded_not_fatal(self, monkeypatch):
+        import repro.fast.backends as backends
+
+        aesni = backends.resolve_backend("aesni")
+        monkeypatch.setitem(
+            backends._REGISTRY,
+            "aesni",
+            backends.KeystreamBackend(
+                name="aesni",
+                family=aesni.family,
+                summary=aesni.summary,
+                encryptor_factory=aesni.encryptor_factory,
+                availability=lambda: "cryptography not installed",
+            ),
+        )
+        spec = StudySpec(keystreams=("fast", "aesni"))
+        flavors, skipped = spec.flavors()
+        assert skipped == {"aesni": "cryptography not installed"}
+        assert {flavor.keystream for flavor in flavors} == {"fast"}
+
+
+def test_aesni_flavor_joins_the_sweep_when_available():
+    if resolve_backend("aesni").availability_error() is not None:
+        pytest.skip("cryptography unavailable")
+    spec = StudySpec(
+        apps=("stream",),
+        accesses=3000,
+        region_mb=2,
+        keystreams=("fast", "aesni"),
+        modes=("fast",),
+        workers=(1,),
+    )
+    payload = run_study(spec, jobs=1)
+    assert len(payload["flavors"]) == 2
+    (entry,) = payload["comparisons"].values()
+    assert entry["aes_family_digest_agreement"] is True
+    assert "aesni_vs_fast" in entry

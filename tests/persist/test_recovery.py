@@ -20,7 +20,7 @@ def engine_config(name="combined", **scheme_kwargs):
         name,
         protected_bytes=REGION,
         scheme_kwargs=scheme_kwargs,
-        keystream_mode="fast",
+        keystream_mode="splitmix",
     )
 
 

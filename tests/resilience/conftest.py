@@ -11,7 +11,7 @@ from repro.resilience.runtime import ResilientMemory
 def small_config():
     """16 KiB MAC-in-ECC region: 256 physical blocks, fast keystream."""
     return preset(
-        "mac_in_ecc", protected_bytes=16 * 1024, keystream_mode="fast"
+        "mac_in_ecc", protected_bytes=16 * 1024, keystream_mode="splitmix"
     )
 
 

@@ -21,7 +21,7 @@ from repro.resilience.runtime import ResilientMemory
 
 def _build(preset_name="mac_in_ecc", region=64 * 1024, key_seed=5, **kwargs):
     config = preset(
-        preset_name, protected_bytes=region, keystream_mode="fast"
+        preset_name, protected_bytes=region, keystream_mode="splitmix"
     )
     key = bytes(random.Random(key_seed).randrange(256) for _ in range(48))
     return ResilientMemory(config, key, **kwargs)

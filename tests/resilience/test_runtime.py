@@ -203,7 +203,7 @@ class TestScrubIntegration:
 
     def test_scrub_requires_mac_in_ecc(self, key48):
         config = preset(
-            "delta_only", protected_bytes=16 * 1024, keystream_mode="fast"
+            "delta_only", protected_bytes=16 * 1024, keystream_mode="splitmix"
         )
         resilient = ResilientMemory(config, key48, spare_blocks=4)
         with pytest.raises(ValueError):
@@ -217,7 +217,7 @@ class TestSeparateMacConfiguration:
     @pytest.fixture
     def separate(self, key48):
         config = preset(
-            "delta_only", protected_bytes=16 * 1024, keystream_mode="fast"
+            "delta_only", protected_bytes=16 * 1024, keystream_mode="splitmix"
         )
         return ResilientMemory(
             config, key48, spare_blocks=4, due_threshold=2,

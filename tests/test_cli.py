@@ -4,8 +4,86 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
+from repro.fast.backends import keystream_backends
 from repro.memsim.cpu.trace import load_trace
+
+
+def _argument_choices(parser, command, option):
+    """The argparse ``choices`` list for ``command --option``."""
+    subparsers = next(
+        action
+        for action in parser._actions
+        if hasattr(action, "choices") and command in (action.choices or {})
+    )
+    sub = subparsers.choices[command]
+    action = next(a for a in sub._actions if option in a.option_strings)
+    return list(action.choices)
+
+
+class TestKeystreamRegistryLock:
+    """The argparse surface must be derived from the backend registry,
+    never hand-maintained: registering a new backend must make it
+    selectable everywhere without touching the CLI."""
+
+    @pytest.mark.parametrize(
+        "command,option",
+        [
+            ("bench", "--keystream"),
+            ("study", "--keystreams"),
+            ("loadgen", "--keystream"),
+        ],
+    )
+    def test_choices_match_registry(self, command, option):
+        parser = build_parser()
+        assert _argument_choices(parser, command, option) == list(
+            keystream_backends()
+        )
+
+    def test_registry_names_parse(self):
+        parser = build_parser()
+        for name in keystream_backends():
+            args = parser.parse_args(
+                ["bench", "--apps", "stream", "--keystream", name]
+            )
+            assert args.keystream == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench", "--apps", "stream", "--keystream", "aes"]
+            )
+
+
+class TestBench:
+    def test_exit_zero_and_table(self, capsys):
+        code = main(
+            ["bench", "--apps", "stream", "--accesses", "2000",
+             "--region-mb", "2", "--workers", "2",
+             "--keystream", "fast", "--paranoid-sample", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream" in out and "paranoid divergences: 0" in out
+
+
+class TestStudy:
+    def test_sweep_exit_zero_and_artifact(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_study.json"
+        code = main(
+            ["study", "--apps", "stream", "--accesses", "2000",
+             "--region-mb", "2", "--keystreams", "reference", "fast",
+             "--modes", "fast", "--workers-list", "1",
+             "--json-out", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Perf study" in out
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.study/1"
+        assert len(payload["flavors"]) == 2
+        assert payload["summary"]["aes_family_digest_agreement"] is True
+        assert payload["summary"]["readback_mismatches"] == 0
 
 
 class TestFigure1:

@@ -107,7 +107,7 @@ class TestFaultStormRecovery:
         heal every one back to a byte-identical image."""
         memory = SecureMemory(
             preset("combined", protected_bytes=64 * 1024,
-                   keystream_mode="fast"),
+                   keystream_mode="splitmix"),
             key48,
         )
         image = {}

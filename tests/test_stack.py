@@ -28,7 +28,7 @@ def _config():
     return preset(
         "combined",
         protected_bytes=REGION,
-        keystream_mode="fast",
+        keystream_mode="splitmix",
         scheme_kwargs={"delta_bits": 3},
     )
 
